@@ -1,0 +1,133 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. Relaxation vs per-error traversal — candidate-fix computation with the
+   relaxed scope (one pass) vs the offline per-group dataset traversals.
+2. Statistics-based dirty-group pruning on vs off (the Fig. 9 driver).
+3. Incremental theta-join matrix vs rebuilding/rechecking the full matrix
+   per query.
+"""
+
+import time
+
+import pytest
+
+from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.core import TableState, clean_sigma
+from repro.core.relaxation import relax_fd
+from repro.constraints.analysis import FilterSide
+from repro.detection import ThetaJoinMatrix
+from repro.engine import WorkCounter
+from repro.datasets import ssb
+from repro.datasets.errors import inject_numeric_errors
+from repro.relation import ColumnType, Relation
+from repro.repair import compute_fd_fixes
+
+
+def _lineorder(n=2000, ok=200, sk=50, frac=0.5):
+    dirty, fd, _ = ssb.dirty_lineorder(n, ok, sk, error_group_fraction=frac, seed=120)
+    return dirty, fd
+
+
+class TestAblationRelaxation:
+    """Relaxation batches candidate computation; per-error traversal rescans."""
+
+    def test_relaxation_beats_per_group_traversal(self, benchmark):
+        def run():
+            dirty, fd = _lineorder()
+            answer = {r.tid for r in dirty.where("suppkey", "<", 10)}
+
+            # With relaxation: one closure + one grouped fix computation.
+            wc_relax = WorkCounter()
+            relax = relax_fd(dirty, answer, fd, FilterSide.LHS, counter=wc_relax)
+            compute_fd_fixes(
+                dirty, fd, relax.relaxed_tids(answer), counter=wc_relax
+            )
+
+            # Without: per violating group, a full-dataset traversal
+            # (the offline baseline's candidate computation).
+            from repro.baselines import OfflineCleaner
+
+            wc_offline = WorkCounter()
+            OfflineCleaner().clean(dirty, [fd], counter=wc_offline)
+            return wc_relax.total(), wc_offline.total()
+
+        relax_work, offline_work = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(
+            f"\n=== Ablation 1 — relaxation {relax_work:,} wu vs "
+            f"per-group traversal {offline_work:,} wu ==="
+        )
+        assert relax_work < offline_work
+
+
+class TestAblationPruning:
+    """Dirty-group statistics skip relaxation for clean query answers."""
+
+    def test_pruning_saves_scans_on_clean_queries(self, benchmark):
+        def run():
+            # 20% dirty: most point queries touch only clean groups.
+            dirty, fd = _lineorder(frac=0.2)
+
+            with_stats = TableState(relation=dirty)
+            with_stats.add_rule(fd)  # precomputes statistics
+            without_stats = TableState(relation=dirty)
+            without_stats.rules.append(fd)  # no statistics
+
+            clean_keys = sorted(
+                set(range(200)) - {k[0] for k in with_stats.statistics.per_fd[
+                    "phi_ok_sk"].dirty_groups}
+            )[:10]
+            for key in clean_keys:
+                answer = {r.tid for r in dirty.where("orderkey", "=", key)}
+                clean_sigma(with_stats, answer, where_attrs=["orderkey"],
+                            projection=["suppkey"])
+                clean_sigma(without_stats, answer, where_attrs=["orderkey"],
+                            projection=["suppkey"])
+            return (
+                with_stats.counter.tuples_scanned,
+                without_stats.counter.tuples_scanned,
+            )
+
+        pruned, unpruned = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(
+            f"\n=== Ablation 2 — scans with pruning {pruned:,} vs "
+            f"without {unpruned:,} ==="
+        )
+        assert pruned < unpruned
+
+
+class TestAblationIncrementalThetaJoin:
+    """The incremental matrix never rechecks cells; a fresh matrix does."""
+
+    def test_incremental_matrix_fewer_comparisons(self, benchmark):
+        def run():
+            raw = [(i, 100.0 + i, 0.01 * i) for i in range(600)]
+            rel = Relation.from_rows(
+                [("k", ColumnType.INT), ("price", ColumnType.FLOAT),
+                 ("discount", ColumnType.FLOAT)],
+                raw, name="t",
+            )
+            rel, _ = inject_numeric_errors(rel, "discount", 0.05, seed=121)
+            dc = DenialConstraint(
+                [Predicate(0, "price", "<", 1, "price"),
+                 Predicate(0, "discount", ">", 1, "discount")],
+                name="dc",
+            )
+            batches = [set(range(i * 60, (i + 1) * 60)) for i in range(10)]
+
+            wc_inc = WorkCounter()
+            matrix = ThetaJoinMatrix(rel, dc, sqrt_p=8, counter=wc_inc)
+            for batch in batches:
+                matrix.check_partial(batch)
+
+            wc_fresh = WorkCounter()
+            for batch in batches:
+                fresh = ThetaJoinMatrix(rel, dc, sqrt_p=8, counter=wc_fresh)
+                fresh.check_partial(batch)
+            return wc_inc.comparisons, wc_fresh.comparisons
+
+        incremental, fresh = benchmark.pedantic(run, rounds=1, iterations=1)
+        print(
+            f"\n=== Ablation 3 — incremental theta-join {incremental:,} cmp vs "
+            f"fresh-per-query {fresh:,} cmp ==="
+        )
+        assert incremental < fresh

@@ -1,0 +1,58 @@
+"""Figure 6 — SP query cost when varying suppkey selectivity.
+
+Paper setup: lineorder versions with 100/1K/10K distinct suppkeys; queries
+contain range filters on the **lhs** (orderkey), so relaxation needs the
+transitive closure.  Expected shape: Daisy still beats full cleaning, and
+cost rises as suppkey selectivity shrinks (each erroneous suppkey matches
+more orderkeys → more candidate values).
+
+Scaled here: 3000 rows, 300 orderkeys, suppkey cardinalities {15, 60, 240},
+25 queries on orderkey ranges.
+"""
+
+import pytest
+
+from _harness import print_series, run_daisy, run_offline, speedup
+from repro.datasets import ssb, workloads
+
+NUM_ROWS = 3000
+NUM_ORDERKEYS = 300
+NUM_QUERIES = 25
+CARDINALITIES = (15, 60, 240)
+
+
+def _setup(num_suppkeys: int):
+    dirty, fd, _ = ssb.dirty_lineorder(
+        NUM_ROWS, NUM_ORDERKEYS, num_suppkeys, seed=102
+    )
+    queries = workloads.range_queries(
+        "lineorder", "orderkey", NUM_ORDERKEYS, NUM_QUERIES,
+        projection="orderkey, suppkey",
+    )
+    return dirty, fd, queries
+
+
+def _run_pair(num_suppkeys: int):
+    dirty, fd, queries = _setup(num_suppkeys)
+    daisy = run_daisy(
+        dirty, [fd], queries, label=f"Daisy ({num_suppkeys} sk)",
+        use_cost_model=False,
+    )
+    dirty2, fd2, queries2 = _setup(num_suppkeys)
+    offline = run_offline(
+        dirty2, [fd2], queries2, label=f"Full cleaning ({num_suppkeys} sk)"
+    )
+    return daisy, offline
+
+
+@pytest.mark.parametrize("num_suppkeys", CARDINALITIES)
+def test_fig06_series(benchmark, num_suppkeys):
+    daisy, offline = benchmark.pedantic(
+        _run_pair, args=(num_suppkeys,), rounds=1, iterations=1
+    )
+    print_series(
+        f"Fig.6 — suppkey selectivity {num_suppkeys}", [daisy, offline]
+    )
+    print(f"  Daisy speedup over full cleaning: {speedup(daisy, offline):.2f}x")
+    # Daisy wins on work units despite the transitive closure.
+    assert daisy.work_units < offline.work_units

@@ -1,0 +1,51 @@
+"""Figure 11 — SPJ (join) query cost.
+
+Paper setup: 50 join queries over lineorder ⋈ supplier; lineorder violates
+ϕ: orderkey → suppkey, supplier violates ψ: address → suppkey; queries
+filter lineorder then join.  Expected shape: Daisy beats full cleaning by
+(a) relaxation-restricted comparisons and (b) incrementally updating the
+join result, while offline pays a full probabilistic join after cleaning.
+
+Scaled here: 1500 lineorder rows, 150 orderkeys, 40 suppliers, 15 queries.
+"""
+
+from _harness import print_cumulative, print_series, run_daisy, run_offline, speedup
+from repro.datasets import ssb, workloads
+
+NUM_ROWS = 1500
+NUM_ORDERKEYS = 150
+NUM_SUPPKEYS = 40
+NUM_QUERIES = 15
+
+
+def _setup():
+    lineorder, phi, _ = ssb.dirty_lineorder(
+        NUM_ROWS, NUM_ORDERKEYS, NUM_SUPPKEYS, seed=107
+    )
+    supplier, psi, _ = ssb.dirty_supplier(
+        NUM_SUPPKEYS, error_fraction=0.1, seed=107
+    )
+    queries = workloads.join_queries(NUM_QUERIES, NUM_ORDERKEYS)
+    return lineorder, phi, supplier, psi, queries
+
+
+def _run_pair():
+    lineorder, phi, supplier, psi, queries = _setup()
+    daisy = run_daisy(
+        lineorder, [phi], queries, use_cost_model=False, label="Daisy",
+        extra_tables={"supplier": supplier}, extra_rules={"supplier": [psi]},
+    )
+    lineorder2, phi2, supplier2, psi2, queries2 = _setup()
+    offline = run_offline(
+        lineorder2, [phi2], queries2, label="Full",
+        extra_tables={"supplier": supplier2}, extra_rules={"supplier": [psi2]},
+    )
+    return daisy, offline
+
+
+def test_fig11_join_queries(benchmark):
+    daisy, offline = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    print_series("Fig.11 — SPJ queries (totals)", [daisy, offline])
+    print_cumulative("Fig.11", [daisy, offline], step=3)
+    print(f"  speedup: {speedup(daisy, offline):.2f}x")
+    assert daisy.seconds < offline.seconds * 1.2

@@ -1,0 +1,76 @@
+"""Table 8 — real-world exploratory scenarios (Nestlé, air quality).
+
+Paper setup:
+
+* Nestlé: 37 SP queries on product categories over a catalogue whose
+  ``Material → Category`` FD is 95% conflicting; the 200MB version takes
+  Daisy 26.8 min vs 8.5 *hours* offline (the category attribute's tiny
+  selectivity makes offline iterate per dirty group).
+* Air quality: 52 per-state AVG(CO) GROUP BY year queries; offline cleaning
+  cannot finish within a day at either violation level.
+
+Scaled here: Nestlé 2000 rows / 300 materials; air quality 1500 rows /
+20 states, 30% and 97% violation levels.  Expected shape: Daisy finishes
+each scenario; offline pays a large multiple on the Nestlé catalogue (one
+dataset traversal per dirty material group).
+"""
+
+import pytest
+
+from _harness import print_series, run_daisy, run_offline, speedup
+from repro.datasets import airquality, nestle
+
+NESTLE_ROWS = 2000
+NESTLE_MATERIALS = 300
+AQ_ROWS = 1500
+AQ_STATES = 20
+
+
+def _run_nestle():
+    inst = nestle.generate_instance(
+        NESTLE_ROWS, NESTLE_MATERIALS, conflict_fraction=0.95, seed=113
+    )
+    queries = nestle.coffee_queries(20)
+    daisy = run_daisy(
+        inst.dirty, [inst.fd], queries, table="nestle",
+        use_cost_model=False, label="Daisy (nestle)",
+    )
+    inst2 = nestle.generate_instance(
+        NESTLE_ROWS, NESTLE_MATERIALS, conflict_fraction=0.95, seed=113
+    )
+    offline = run_offline(
+        inst2.dirty, [inst2.fd], queries, table="nestle",
+        label="Offline (nestle)",
+    )
+    return daisy, offline
+
+
+def test_table8_nestle(benchmark):
+    daisy, offline = benchmark.pedantic(_run_nestle, rounds=1, iterations=1)
+    print_series("Table 8 — Nestlé exploratory analysis", [daisy, offline])
+    print(f"  offline/daisy: {speedup(daisy, offline):.1f}x")
+    # The paper's 26.8min-vs-8.5h gap (≈19x) shows up as a clear multiple
+    # (≈2x at this laptop scale; the gap grows with the number of dirty
+    # material groups, which is what the paper's 200MB version amplifies).
+    assert offline.seconds > daisy.seconds * 1.5
+
+
+@pytest.mark.parametrize("level", ("low", "high"))
+def test_table8_airquality(benchmark, level):
+    def run():
+        inst = airquality.generate_instance(
+            AQ_ROWS, num_states=AQ_STATES, violation_level=level, seed=114
+        )
+        queries = airquality.state_co_queries(AQ_STATES)
+        return run_daisy(
+            inst.dirty, [inst.fd], queries, table="airquality",
+            use_cost_model=False, label=f"Daisy (air quality, {level})",
+        )
+
+    daisy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series(f"Table 8 — air quality ({level} violations)", [daisy])
+    # Daisy completes the whole 52-query-style workload (the offline
+    # cleaner times out in the paper; we simply assert Daisy terminates
+    # with cleaning work done).
+    assert daisy.seconds > 0
+    assert daisy.work_units > 0

@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Scales are laptop-sized (seconds per experiment, not cluster minutes).
+Run with ``pytest benchmarks/ --benchmark-only`` — each benchmark prints the
+paper-style series to stdout (use ``-s`` to see them live; they also appear
+in the captured output section).
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _harness module importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,87 @@
+"""SSB join workload with the cost-model strategy switch (Figs 7/11/12).
+
+Runs a mixed SP + SPJ workload over a dirty lineorder ⋈ supplier pair three
+ways — always-incremental Daisy, cost-model Daisy, and offline-then-query —
+and prints the cumulative response times, showing where the cost model
+switches from incremental to full cleaning.
+
+Run:  python examples/ssb_join_workload.py
+"""
+
+import time
+
+from repro import Daisy
+from repro.baselines import OfflineCleaner
+from repro.core.state import TableState
+from repro.datasets import ssb, workloads
+from repro.query.executor import Executor
+from repro.query.planner import PlannerCatalog
+
+
+def build_inputs():
+    lineorder, phi, _ = ssb.dirty_lineorder(
+        2000, 250, 250, error_group_fraction=0.25, seed=21
+    )
+    supplier, psi, _ = ssb.dirty_supplier(250, error_fraction=0.1, seed=21)
+    queries = workloads.mixed_workload(25, 250, seed=21)
+    return lineorder, phi, supplier, psi, queries
+
+
+def run_daisy(use_cost_model: bool) -> tuple[list[float], int | None]:
+    lineorder, phi, supplier, psi, queries = build_inputs()
+    daisy = Daisy(use_cost_model=use_cost_model, expected_queries=len(queries))
+    daisy.register_table("lineorder", lineorder)
+    daisy.register_table("supplier", supplier)
+    daisy.add_rule("lineorder", phi)
+    daisy.add_rule("supplier", psi)
+    report = daisy.execute_workload(queries)
+    return report.cumulative_seconds(), report.switch_query_index
+
+
+def run_offline() -> list[float]:
+    lineorder, phi, supplier, psi, queries = build_inputs()
+    started = time.perf_counter()
+    lineorder_clean, _ = OfflineCleaner().clean(lineorder, [phi])
+    supplier_clean, _ = OfflineCleaner().clean(supplier, [psi])
+    catalog = PlannerCatalog()
+    states = {
+        "lineorder": TableState(relation=lineorder_clean),
+        "supplier": TableState(relation=supplier_clean),
+    }
+    catalog.add_table("lineorder", lineorder_clean.schema)
+    catalog.add_table("supplier", supplier_clean.schema)
+    executor = Executor(states, catalog, cleaning_enabled=False)
+    cumulative = []
+    for sql in queries:
+        executor.execute(sql)
+        cumulative.append(time.perf_counter() - started)
+    return cumulative
+
+
+def main() -> None:
+    print("Running always-incremental Daisy (w/o cost model)...")
+    incremental, _ = run_daisy(use_cost_model=False)
+    print("Running Daisy with the cost model...")
+    switching, switch_at = run_daisy(use_cost_model=True)
+    print("Running offline cleaning + plain queries...")
+    offline = run_offline()
+
+    print("\nCumulative response time (seconds):")
+    print(f"  {'query':<8}{'Daisy w/o cost':>16}{'Daisy':>12}{'Full':>12}")
+    for i in range(0, len(incremental), 5):
+        print(
+            f"  {i + 1:<8}{incremental[i]:>16.2f}{switching[i]:>12.2f}"
+            f"{offline[min(i, len(offline) - 1)]:>12.2f}"
+        )
+    print(
+        f"\nTotals: w/o cost {incremental[-1]:.2f}s | "
+        f"Daisy {switching[-1]:.2f}s | full {offline[-1]:.2f}s"
+    )
+    if switch_at is not None:
+        print(f"Daisy switched to full cleaning at query {switch_at + 1}.")
+    else:
+        print("Daisy stayed incremental for the whole workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of *Cleaning Denial Constraint Violations through
+Relaxation* (Daisy, SIGMOD 2020).
+
+Public API highlights:
+
+* :class:`repro.Daisy` — the query-driven cleaning engine (register tables
+  and rules, execute SQL, data is cleaned incrementally).
+* :mod:`repro.constraints` — denial constraints, FDs, and the textual
+  parser (``parse_rule("zip -> city")``).
+* :mod:`repro.relation` — the relational substrate (schemas, relations,
+  CSV i/o).
+* :mod:`repro.baselines` — the offline full-dataset cleaner and the
+  HoloClean-like inference baseline.
+* :mod:`repro.datasets` — synthetic SSB / hospital / Nestlé / air-quality
+  generators with BART-style error injection.
+
+Quickstart::
+
+    from repro import Daisy
+    from repro.relation import Relation, ColumnType
+
+    rel = Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [(9001, "Los Angeles"), (9001, "San Francisco"), (10001, "New York")],
+    )
+    daisy = Daisy()
+    daisy.register_table("cities", rel)
+    daisy.add_rule("cities", "zip -> city")
+    result = daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+"""
+
+from repro.daisy import Daisy, QueryLogEntry, WorkloadReport
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Daisy",
+    "WorkloadReport",
+    "QueryLogEntry",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baselines: offline full-dataset cleaner and HoloClean-like inference."""
+
+from repro.baselines.offline import OfflineCleaner, OfflineReport, offline_then_query
+from repro.baselines.holoclean import (
+    HoloCleanLike,
+    HoloCleanReport,
+    domains_from_daisy,
+    most_probable_repairs,
+)
+
+__all__ = [
+    "OfflineCleaner",
+    "OfflineReport",
+    "offline_then_query",
+    "HoloCleanLike",
+    "HoloCleanReport",
+    "domains_from_daisy",
+    "most_probable_repairs",
+]

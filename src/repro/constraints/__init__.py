@@ -1,0 +1,50 @@
+"""Constraint language: predicates, denial constraints, FDs, parsing."""
+
+from repro.constraints.predicate import OPERATORS, Predicate, eq, gt, lt, neq
+from repro.constraints.dc import (
+    DenialConstraint,
+    FunctionalDependency,
+    Rule,
+    as_dc,
+    as_fd,
+    decompose_fd,
+)
+from repro.constraints.parser import parse_dc, parse_fd, parse_rule
+from repro.constraints.analysis import (
+    FilterSide,
+    RuleOverlap,
+    analyze_rule_overlap,
+    filter_side,
+    query_accesses_rule,
+    relevant_rules,
+    rule_attributes,
+    rules_on_attribute,
+    split_rules,
+)
+
+__all__ = [
+    "Predicate",
+    "OPERATORS",
+    "eq",
+    "neq",
+    "lt",
+    "gt",
+    "DenialConstraint",
+    "FunctionalDependency",
+    "Rule",
+    "as_dc",
+    "as_fd",
+    "decompose_fd",
+    "parse_dc",
+    "parse_fd",
+    "parse_rule",
+    "FilterSide",
+    "RuleOverlap",
+    "filter_side",
+    "query_accesses_rule",
+    "relevant_rules",
+    "rule_attributes",
+    "rules_on_attribute",
+    "analyze_rule_overlap",
+    "split_rules",
+]

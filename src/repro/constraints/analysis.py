@@ -1,0 +1,115 @@
+"""Rule/query overlap analysis.
+
+Section 4.1: a rule ϕ affects the correctness of a query iff the query
+accesses at least one attribute of ϕ — formally, (X ∪ Y) ∩ (P ∪ W) ≠ ∅ where
+P is the projection list and W the where-clause attributes.  The cleaning-
+aware planner (Section 5.1) uses this test to decide which operators need a
+cleaning operator attached.
+
+This module also classifies how a filter interacts with an FD (on the lhs,
+the rhs, or both), which determines how many relaxation iterations Algorithm
+1 needs (Lemmas 1 and 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
+
+
+class FilterSide(enum.Enum):
+    """Which side of an FD a query filter restricts."""
+
+    NONE = "none"
+    LHS = "lhs"
+    RHS = "rhs"
+    BOTH = "both"
+
+
+def rule_attributes(rule: Rule) -> set[str]:
+    """All attributes mentioned by a rule (X ∪ Y for an FD)."""
+    if isinstance(rule, FunctionalDependency):
+        return rule.attributes()
+    return rule.attributes()
+
+
+def query_accesses_rule(
+    projection: Iterable[str], where_attrs: Iterable[str], rule: Rule
+) -> bool:
+    """The paper's overlap test: (X ∪ Y) ∩ (P ∪ W) ≠ ∅."""
+    accessed = set(projection) | set(where_attrs)
+    return bool(accessed & rule_attributes(rule))
+
+
+def relevant_rules(
+    projection: Iterable[str], where_attrs: Iterable[str], rules: Sequence[Rule]
+) -> list[Rule]:
+    """The subset of ``rules`` that affect the query's correctness."""
+    projection = list(projection)
+    where_attrs = list(where_attrs)
+    return [r for r in rules if query_accesses_rule(projection, where_attrs, r)]
+
+
+def filter_side(where_attrs: Iterable[str], fd: FunctionalDependency) -> FilterSide:
+    """Classify a filter's position relative to an FD.
+
+    * RHS filter → Lemma 1: one relaxation iteration suffices.
+    * LHS filter → Lemma 2: extra iterations (transitive closure) are needed.
+    """
+    attrs = set(where_attrs)
+    on_lhs = bool(attrs & set(fd.lhs))
+    on_rhs = fd.rhs in attrs
+    if on_lhs and on_rhs:
+        return FilterSide.BOTH
+    if on_lhs:
+        return FilterSide.LHS
+    if on_rhs:
+        return FilterSide.RHS
+    return FilterSide.NONE
+
+
+@dataclass(frozen=True)
+class RuleOverlap:
+    """How a set of rules interacts on shared attributes.
+
+    Section 4.3: when multiple rules involve the same attribute, candidate
+    fixes for cells of that attribute must be merged across rules.
+    """
+
+    shared_attributes: frozenset[str]
+    rule_pairs: tuple[tuple[int, int], ...]
+
+
+def analyze_rule_overlap(rules: Sequence[Rule]) -> RuleOverlap:
+    """Find attributes shared between rules and the overlapping rule pairs."""
+    attr_sets = [rule_attributes(r) for r in rules]
+    shared: set[str] = set()
+    pairs: list[tuple[int, int]] = []
+    for i in range(len(rules)):
+        for j in range(i + 1, len(rules)):
+            common = attr_sets[i] & attr_sets[j]
+            if common:
+                shared |= common
+                pairs.append((i, j))
+    return RuleOverlap(frozenset(shared), tuple(pairs))
+
+
+def rules_on_attribute(rules: Sequence[Rule], attr: str) -> list[Rule]:
+    """The rules that mention ``attr``."""
+    return [r for r in rules if attr in rule_attributes(r)]
+
+
+def split_rules(rules: Sequence[Rule]) -> tuple[list[FunctionalDependency], list[DenialConstraint]]:
+    """Partition rules into FDs and general DCs (FD-shaped DCs become FDs)."""
+    fds: list[FunctionalDependency] = []
+    dcs: list[DenialConstraint] = []
+    for rule in rules:
+        fd = as_fd(rule)
+        if fd is not None:
+            fds.append(fd)
+        else:
+            dcs.append(as_dc(rule))
+    return fds, dcs

@@ -1,0 +1,195 @@
+"""Denial constraints and functional dependencies.
+
+A :class:`DenialConstraint` is ∀t1,…,tk ¬(p1 ∧ … ∧ pm).  Functional
+dependencies X→Y are the special case
+``¬(t1.X=t2.X ∧ t1.Y!=t2.Y)``; :class:`FunctionalDependency` provides the
+lhs/rhs view that Algorithm 1 (relaxation) and the FD repair path need, and
+converts to/from the DC form.
+
+Per the paper (Section 4.1), an FD with a multi-attribute rhs is decomposed
+into one FD per rhs attribute.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ConstraintError
+from repro.constraints.predicate import Predicate
+from repro.relation.relation import Relation, Row
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """∀t1,…,tk ¬(p1 ∧ … ∧ pm) over one relation."""
+
+    predicates: tuple[Predicate, ...]
+    name: str = ""
+
+    def __init__(self, predicates: Iterable[Predicate], name: str = ""):
+        preds = tuple(predicates)
+        if not preds:
+            raise ConstraintError("a denial constraint needs at least one predicate")
+        object.__setattr__(self, "predicates", preds)
+        object.__setattr__(self, "name", name)
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of tuple variables (k)."""
+        return max(max(p.tuple_variables()) for p in self.predicates) + 1
+
+    def attributes(self) -> set[str]:
+        """All attributes mentioned anywhere in the constraint."""
+        out: set[str] = set()
+        for p in self.predicates:
+            out |= p.attributes()
+        return out
+
+    def equality_predicates(self) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.op == "=")
+
+    def inequality_predicates(self) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.is_inequality())
+
+    def is_fd_shaped(self) -> bool:
+        """True iff this DC encodes a functional dependency.
+
+        FD shape: two tuple variables; every predicate is a two-tuple
+        same-attribute comparison; all but one are ``=`` and exactly one is
+        ``!=``.
+        """
+        if self.arity != 2:
+            return False
+        neq_count = 0
+        for p in self.predicates:
+            if p.is_constant() or p.left_attr != p.right_attr:
+                return False
+            if p.op == "=":
+                continue
+            if p.op == "!=":
+                neq_count += 1
+            else:
+                return False
+        eq_count = len(self.predicates) - neq_count
+        return neq_count == 1 and eq_count >= 1
+
+    def to_fd(self) -> "FunctionalDependency":
+        """Convert an FD-shaped DC to a :class:`FunctionalDependency`."""
+        if not self.is_fd_shaped():
+            raise ConstraintError(f"constraint {self} is not FD-shaped")
+        lhs = tuple(p.left_attr for p in self.predicates if p.op == "=")
+        rhs = next(p.left_attr for p in self.predicates if p.op == "!=")
+        return FunctionalDependency(lhs=lhs, rhs=rhs, name=self.name)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def violates(self, rows: Sequence[Row], relation: Relation) -> bool:
+        """Does the tuple assignment ``rows`` violate the constraint?
+
+        A violation is an assignment under which every predicate holds.
+        Possible-worlds semantics: a probabilistic cell may satisfy a
+        predicate through any candidate.
+        """
+        if len(rows) != self.arity:
+            raise ConstraintError(
+                f"constraint has arity {self.arity}, got {len(rows)} rows"
+            )
+        indexes = {a: relation.schema.index_of(a) for a in self.attributes()}
+        return all(p.evaluate(rows, indexes) for p in self.predicates)
+
+    def find_violations(self, relation: Relation) -> list[tuple[int, ...]]:
+        """Exhaustive violation search: all tid tuples that violate the DC.
+
+        Quadratic (or worse for arity > 2); intended for tests and tiny data.
+        Production paths use :mod:`repro.detection` instead.  Symmetric pairs
+        (permutations of the same tids) are reported once, in sorted order,
+        unless the constraint is asymmetric (contains inequalities), in which
+        case the violating order is preserved.
+        """
+        indexes = {a: relation.schema.index_of(a) for a in self.attributes()}
+        seen: set[tuple[int, ...]] = set()
+        out: list[tuple[int, ...]] = []
+        symmetric = all(p.op in ("=", "!=") for p in self.predicates)
+        for combo in itertools.permutations(relation.rows, self.arity):
+            if all(p.evaluate(combo, indexes) for p in self.predicates):
+                tids = tuple(r.tid for r in combo)
+                key = tuple(sorted(tids)) if symmetric else tids
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def __str__(self) -> str:
+        body = " & ".join(str(p) for p in self.predicates)
+        vars_ = ",".join(f"t{i + 1}" for i in range(self.arity))
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}forall {vars_}: not({body})"
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """X → A with a single rhs attribute (multi-rhs FDs are decomposed)."""
+
+    lhs: tuple[str, ...]
+    rhs: str
+    name: str = ""
+
+    def __init__(self, lhs: Sequence[str] | str, rhs: str, name: str = ""):
+        lhs_tuple = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+        if not lhs_tuple:
+            raise ConstraintError("FD needs at least one lhs attribute")
+        if rhs in lhs_tuple:
+            raise ConstraintError(f"rhs {rhs!r} cannot also be on the lhs")
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs)
+        object.__setattr__(self, "name", name)
+
+    def attributes(self) -> set[str]:
+        return set(self.lhs) | {self.rhs}
+
+    def to_dc(self) -> DenialConstraint:
+        """The canonical DC form ¬(∧ t1.X=t2.X ∧ t1.A!=t2.A)."""
+        preds = [Predicate(0, a, "=", 1, a) for a in self.lhs]
+        preds.append(Predicate(0, self.rhs, "!=", 1, self.rhs))
+        return DenialConstraint(preds, name=self.name)
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{','.join(self.lhs)} -> {self.rhs}"
+
+
+def decompose_fd(
+    lhs: Sequence[str] | str, rhs_attrs: Sequence[str], name: str = ""
+) -> list[FunctionalDependency]:
+    """Decompose X → (Y1,…,Yn) into n single-rhs FDs (Section 4.1)."""
+    lhs_tuple = (lhs,) if isinstance(lhs, str) else tuple(lhs)
+    out = []
+    for i, rhs in enumerate(rhs_attrs):
+        suffix = f"_{i + 1}" if len(rhs_attrs) > 1 and name else ""
+        out.append(FunctionalDependency(lhs_tuple, rhs, name=f"{name}{suffix}"))
+    return out
+
+
+Rule = DenialConstraint | FunctionalDependency
+"""Either constraint kind; most cleaning APIs accept both."""
+
+
+def as_dc(rule: Rule) -> DenialConstraint:
+    """Normalize a rule to its DC form."""
+    if isinstance(rule, FunctionalDependency):
+        return rule.to_dc()
+    return rule
+
+
+def as_fd(rule: Rule) -> Optional[FunctionalDependency]:
+    """Return the FD view of a rule, or None if it is a general DC."""
+    if isinstance(rule, FunctionalDependency):
+        return rule
+    if rule.is_fd_shaped():
+        return rule.to_fd()
+    return None

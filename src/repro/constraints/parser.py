@@ -1,0 +1,205 @@
+"""Parser for the textual denial-constraint notation.
+
+Accepts the notation used in the paper (ASCII-ized)::
+
+    not(t1.zip = t2.zip & t1.city != t2.city)
+    forall t1,t2: not(t1.salary < t2.salary & t1.tax > t2.tax)
+    zip -> city                      (FD shorthand)
+    county_code, state_code -> county_name
+
+Grammar (informal)::
+
+    rule        := fd | dc
+    fd          := attr_list "->" attr_list
+    dc          := [quantifier ":"] "not" "(" predicate ("&" predicate)* ")"
+    quantifier  := "forall" tvar ("," tvar)*
+    predicate   := operand op operand
+    operand     := tvar "." attr | constant
+    op          := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    constant    := number | quoted string
+
+``<>`` is accepted as an alias for ``!=``.  Unicode ¬, ∧, ∀ are normalized
+to ASCII before parsing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.errors import ConstraintParseError
+from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, decompose_fd
+from repro.constraints.predicate import Predicate
+
+_UNICODE_NORMALIZATION = {
+    "¬": "not",
+    "⌝": "not",
+    "∧": "&",
+    "∀": "forall ",
+    "≠": "!=",
+    "≤": "<=",
+    "≥": ">=",
+    "→": "->",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        not\b | forall\b | and\b |
+        t\d+\.[A-Za-z_][A-Za-z0-9_.]* |      # tuple attribute ref
+        t\d+ |                               # bare tuple var (quantifier list)
+        '[^']*' | "[^"]*" |                  # string constants
+        -?\d+\.\d+ | -?\d+ |                 # numeric constants
+        <> | != | <= | >= | = | < | > |
+        -> | \( | \) | & | , | :
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _normalize(text: str) -> str:
+    for src, dst in _UNICODE_NORMALIZATION.items():
+        text = text.replace(src, dst)
+    return text.strip()
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise ConstraintParseError(
+                f"unexpected character at position {pos}: {text[pos:pos + 20]!r}"
+            )
+        token = match.group(1)
+        tokens.append(token)
+        pos = match.end()
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ConstraintParseError("unexpected end of constraint text")
+        self._pos += 1
+        return token
+
+    def expect(self, expected: str) -> str:
+        token = self.next()
+        if token != expected:
+            raise ConstraintParseError(f"expected {expected!r}, got {token!r}")
+        return token
+
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+
+_ATTR_REF_RE = re.compile(r"^t(\d+)\.([A-Za-z_][A-Za-z0-9_.]*)$")
+
+
+def _parse_operand(stream: _TokenStream) -> tuple[Optional[int], Optional[str], Any]:
+    """Return (tuple_index, attr, constant); attr is None for constants."""
+    token = stream.next()
+    match = _ATTR_REF_RE.match(token)
+    if match:
+        return int(match.group(1)) - 1, match.group(2), None
+    if token.startswith(("'", '"')):
+        return None, None, token[1:-1]
+    try:
+        if "." in token:
+            return None, None, float(token)
+        return None, None, int(token)
+    except ValueError:
+        raise ConstraintParseError(f"invalid operand {token!r}") from None
+
+
+_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _parse_predicate(stream: _TokenStream) -> Predicate:
+    lt, la, lc = _parse_operand(stream)
+    op = stream.next()
+    if op not in _OPS:
+        raise ConstraintParseError(f"expected comparison operator, got {op!r}")
+    if op == "<>":
+        op = "!="
+    rt, ra, rc = _parse_operand(stream)
+    if la is None and ra is None:
+        raise ConstraintParseError("predicate compares two constants")
+    if la is None:
+        # constant op t.attr  ->  flip to t.attr flipped(op) constant
+        flip = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return Predicate(rt, ra, flip[op], constant=lc)  # type: ignore[arg-type]
+    if ra is None:
+        return Predicate(lt, la, op, constant=rc)  # type: ignore[arg-type]
+    return Predicate(lt, la, op, rt, ra)  # type: ignore[arg-type]
+
+
+def parse_dc(text: str, name: str = "") -> DenialConstraint:
+    """Parse a denial constraint in textual notation."""
+    normalized = _normalize(text)
+    tokens = _tokenize(normalized)
+    stream = _TokenStream(tokens)
+
+    if stream.peek() == "forall":
+        stream.next()
+        while stream.peek() not in (":", "not"):
+            token = stream.next()
+            if token not in (",",) and not re.match(r"^t\d+$", token):
+                raise ConstraintParseError(f"bad quantifier token {token!r}")
+        if stream.peek() == ":":
+            stream.next()
+
+    stream.expect("not")
+    stream.expect("(")
+    predicates = [_parse_predicate(stream)]
+    while stream.peek() in ("&", "and"):
+        stream.next()
+        predicates.append(_parse_predicate(stream))
+    stream.expect(")")
+    if not stream.exhausted():
+        raise ConstraintParseError(f"trailing tokens after constraint: {stream.peek()!r}")
+    return DenialConstraint(predicates, name=name)
+
+
+def parse_fd(text: str, name: str = "") -> list[FunctionalDependency]:
+    """Parse FD shorthand ``a, b -> c, d`` (decomposed per rhs attribute)."""
+    normalized = _normalize(text)
+    if "->" not in normalized:
+        raise ConstraintParseError(f"FD text must contain '->': {text!r}")
+    lhs_text, _, rhs_text = normalized.partition("->")
+    lhs = [a.strip() for a in lhs_text.split(",") if a.strip()]
+    rhs = [a.strip() for a in rhs_text.split(",") if a.strip()]
+    if not lhs or not rhs:
+        raise ConstraintParseError(f"FD needs attributes on both sides: {text!r}")
+    for attr in lhs + rhs:
+        if not re.match(r"^[A-Za-z_][A-Za-z0-9_.]*$", attr):
+            raise ConstraintParseError(f"invalid attribute name {attr!r}")
+    return decompose_fd(lhs, rhs, name=name)
+
+
+def parse_rule(text: str, name: str = "") -> list[Rule]:
+    """Parse either notation; FD-shaped DCs are returned as FDs.
+
+    Returns a list because a multi-rhs FD decomposes into several rules.
+    """
+    normalized = _normalize(text)
+    if "not" in normalized and "(" in normalized:
+        dc = parse_dc(normalized, name=name)
+        fd = dc.to_fd() if dc.is_fd_shaped() else None
+        return [fd if fd is not None else dc]
+    return list(parse_fd(normalized, name=name))

@@ -1,0 +1,184 @@
+"""Predicates of denial constraints.
+
+A denial constraint ∀t1,…,tk ¬(p1 ∧ … ∧ pm) is a conjunction of predicates
+under negation.  Each predicate compares an attribute of one tuple variable
+with either an attribute of a (possibly different) tuple variable or a
+constant: ``t1.salary < t2.salary``, ``t1.city != t2.city``,
+``t1.age >= 18``.
+
+This module defines the :class:`Predicate` dataclass plus evaluation with
+possible-worlds semantics (a predicate *may hold* if some candidate
+combination satisfies it) and the usual operator algebra (negation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.errors import ConstraintError
+from repro.probabilistic.value import cell_compare, plain
+from repro.relation.relation import Relation, Row
+
+#: Comparison operators supported in predicates.
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+_NEGATION = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+_FLIP = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One atom of a denial constraint.
+
+    ``left_tuple`` / ``right_tuple`` are 0-based tuple-variable indexes
+    (``t1`` -> 0).  If ``right_attr`` is None the right side is the constant
+    ``constant``.
+    """
+
+    left_tuple: int
+    left_attr: str
+    op: str
+    right_tuple: Optional[int] = None
+    right_attr: Optional[str] = None
+    constant: Any = None
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ConstraintError(f"unknown operator {self.op!r}; use one of {OPERATORS}")
+        if (self.right_tuple is None) != (self.right_attr is None):
+            raise ConstraintError(
+                "right_tuple and right_attr must both be set (attribute comparison) "
+                "or both be None (constant comparison)"
+            )
+
+    # -- classification --------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        """True for predicates comparing against a constant."""
+        return self.right_attr is None
+
+    def is_single_tuple(self) -> bool:
+        """True if the predicate mentions only one tuple variable."""
+        return self.is_constant() or self.left_tuple == self.right_tuple
+
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    def is_inequality(self) -> bool:
+        return self.op in ("<", "<=", ">", ">=")
+
+    def attributes(self) -> set[str]:
+        """All attribute names mentioned by the predicate."""
+        attrs = {self.left_attr}
+        if self.right_attr is not None:
+            attrs.add(self.right_attr)
+        return attrs
+
+    def tuple_variables(self) -> set[int]:
+        out = {self.left_tuple}
+        if self.right_tuple is not None:
+            out.add(self.right_tuple)
+        return out
+
+    def negated(self) -> "Predicate":
+        """The logical negation (same operands, complemented operator)."""
+        return Predicate(
+            left_tuple=self.left_tuple,
+            left_attr=self.left_attr,
+            op=_NEGATION[self.op],
+            right_tuple=self.right_tuple,
+            right_attr=self.right_attr,
+            constant=self.constant,
+        )
+
+    def flipped(self) -> "Predicate":
+        """Swap operand sides (only for attribute comparisons)."""
+        if self.is_constant():
+            raise ConstraintError("cannot flip a constant predicate")
+        return Predicate(
+            left_tuple=self.right_tuple,  # type: ignore[arg-type]
+            left_attr=self.right_attr,  # type: ignore[arg-type]
+            op=_FLIP[self.op],
+            right_tuple=self.left_tuple,
+            right_attr=self.left_attr,
+        )
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, rows: Sequence[Row], schema_indexes: dict[str, int]) -> bool:
+        """Possible-worlds evaluation over an assignment of tuple variables.
+
+        ``rows[i]`` is the row bound to tuple variable ``i``.  Returns True
+        iff the predicate *may* hold (at least one candidate combination).
+        """
+        left_cell = rows[self.left_tuple].values[schema_indexes[self.left_attr]]
+        if self.is_constant():
+            return cell_compare(left_cell, self.op, self.constant)
+        right_cell = rows[self.right_tuple].values[schema_indexes[self.right_attr]]  # type: ignore[index]
+        return cell_compare(left_cell, self.op, right_cell)
+
+    def evaluate_concrete(
+        self, rows: Sequence[Row], schema_indexes: dict[str, int]
+    ) -> bool:
+        """Evaluate using most-probable values (a single designated world)."""
+        left = plain(rows[self.left_tuple].values[schema_indexes[self.left_attr]])
+        if self.is_constant():
+            right = self.constant
+        else:
+            right = plain(
+                rows[self.right_tuple].values[schema_indexes[self.right_attr]]  # type: ignore[index]
+            )
+        return cell_compare(left, self.op, right)
+
+    def bind_indexes(self, relation: Relation) -> dict[str, int]:
+        """Resolve the predicate's attributes against a relation schema."""
+        out = {self.left_attr: relation.schema.index_of(self.left_attr)}
+        if self.right_attr is not None:
+            out[self.right_attr] = relation.schema.index_of(self.right_attr)
+        return out
+
+    # -- display ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        left = f"t{self.left_tuple + 1}.{self.left_attr}"
+        if self.is_constant():
+            right = repr(self.constant)
+        else:
+            right = f"t{self.right_tuple + 1}.{self.right_attr}"
+        return f"{left}{self.op}{right}"
+
+
+def eq(attr: str) -> Predicate:
+    """Shorthand: ``t1.attr = t2.attr`` (two-tuple equality)."""
+    return Predicate(0, attr, "=", 1, attr)
+
+
+def neq(attr: str) -> Predicate:
+    """Shorthand: ``t1.attr != t2.attr`` (two-tuple inequality)."""
+    return Predicate(0, attr, "!=", 1, attr)
+
+
+def lt(attr_a: str, attr_b: Optional[str] = None) -> Predicate:
+    """Shorthand: ``t1.attr_a < t2.attr_b`` (default attr_b = attr_a)."""
+    return Predicate(0, attr_a, "<", 1, attr_b or attr_a)
+
+
+def gt(attr_a: str, attr_b: Optional[str] = None) -> Predicate:
+    """Shorthand: ``t1.attr_a > t2.attr_b`` (default attr_b = attr_a)."""
+    return Predicate(0, attr_a, ">", 1, attr_b or attr_a)

@@ -1,0 +1,198 @@
+"""The Section 5.2 cost model: offline vs incremental cleaning.
+
+Implements the paper's cost formulas and the switch decision of
+Section 5.2.3:
+
+* offline (full) cleaning cost — detection + per-error repair + dataset
+  update, plus plain query execution for the workload;
+* incremental cleaning cost — per query: relaxation over the unknown
+  remainder, detection and repair over the enhanced result, and the
+  probabilistic dataset update;
+* the inequality that decides, while the workload executes, whether to keep
+  cleaning incrementally or to clean the remaining dirty part at once
+  (the Fig. 7 / Fig. 12 strategy switch).
+
+The model works on observed per-query measurements plus the precomputed
+statistics (ε and p estimates from :mod:`repro.core.statistics`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class QueryObservation:
+    """Measured quantities for one executed query."""
+
+    result_size: int       # q_i
+    extra_tuples: int      # e_i (relaxation additions)
+    errors: int            # ε_i (erroneous entities repaired)
+    detection_cost: float  # d_i work units
+
+
+@dataclass
+class CostModelConfig:
+    """Tuning knobs for the cost model."""
+
+    #: Expected number of queries in the workload (q in the inequality).
+    expected_queries: int = 50
+    #: Safety factor: switch only when incremental exceeds full by this much.
+    hysteresis: float = 1.0
+
+
+def offline_cost(
+    n: int,
+    errors: int,
+    candidates_per_error: float,
+    num_queries: int,
+    is_dc: bool = False,
+) -> float:
+    """Total offline cost: q·n + d_full + ε·n + n + ε·p (Section 5.2.3).
+
+    ``d_full`` is O(n) for FDs (hash grouping) and the triangular
+    n·(n+1)/2 for DCs.
+    """
+    d_full = (n * (n + 1)) / 2.0 if is_dc else float(n)
+    repair = errors * float(n)
+    update = n + errors * candidates_per_error
+    return num_queries * float(n) + d_full + repair + update
+
+
+def incremental_query_cost(
+    n: int,
+    seen_tuples: int,
+    result_size: int,
+    extra_tuples: int,
+    errors: int,
+    prior_prob_values: float,
+    candidates_per_error: float,
+    is_dc: bool = False,
+    partitions: int = 64,
+) -> float:
+    """Cost of cleaning one query incrementally (formula (1), Section 5.2.2).
+
+    ``seen_tuples`` = Σ_{j<i} q_j, ``prior_prob_values`` = Σ_{j<i} ε_j·p.
+    """
+    relaxation = max(0, n - seen_tuples)
+    if is_dc:
+        detection = (n * result_size) / max(1, partitions)
+    else:
+        detection = result_size + extra_tuples
+    repair = errors * (result_size + extra_tuples)
+    update = (
+        max(0, n - prior_prob_values / max(1.0, candidates_per_error))
+        + prior_prob_values
+        + errors * candidates_per_error
+    )
+    return relaxation + detection + repair + update
+
+
+@dataclass
+class CostModel:
+    """Adaptive incremental-vs-full decision, updated after every query.
+
+    Usage: construct with the dataset size and statistics estimates, call
+    :meth:`observe` after each query, then :meth:`should_switch_to_full`.
+    The decision compares the projected cost of finishing the workload
+    incrementally against cleaning the remaining dirty part now and running
+    the remaining queries plainly.
+    """
+
+    dataset_size: int
+    estimated_errors: int
+    candidates_per_error: float = 2.0
+    is_dc: bool = False
+    config: CostModelConfig = field(default_factory=CostModelConfig)
+
+    observations: list[QueryObservation] = field(default_factory=list)
+    cumulative_incremental_cost: float = 0.0
+    errors_cleaned: int = 0
+    tuples_seen: int = 0
+
+    def observe(self, obs: QueryObservation) -> None:
+        """Record one executed query's measurements."""
+        prior_prob_values = self.errors_cleaned * self.candidates_per_error
+        cost = incremental_query_cost(
+            n=self.dataset_size,
+            seen_tuples=self.tuples_seen,
+            result_size=obs.result_size,
+            extra_tuples=obs.extra_tuples,
+            errors=obs.errors,
+            prior_prob_values=prior_prob_values,
+            candidates_per_error=self.candidates_per_error,
+            is_dc=self.is_dc,
+        )
+        self.cumulative_incremental_cost += cost
+        self.observations.append(obs)
+        self.errors_cleaned += obs.errors
+        self.tuples_seen += obs.result_size + obs.extra_tuples
+
+    # -- projections ------------------------------------------------------------
+
+    def remaining_errors(self) -> int:
+        return max(0, self.estimated_errors - self.errors_cleaned)
+
+    def _avg(self, selector) -> float:
+        if not self.observations:
+            return 0.0
+        return sum(selector(o) for o in self.observations) / len(self.observations)
+
+    def projected_incremental_remaining(self, remaining_queries: int) -> float:
+        """Projected cost of finishing the workload incrementally."""
+        if remaining_queries <= 0:
+            return 0.0
+        avg_q = self._avg(lambda o: o.result_size) or self.dataset_size * 0.02
+        avg_e = self._avg(lambda o: o.extra_tuples)
+        total_remaining_err = self.remaining_errors()
+        avg_err = (
+            total_remaining_err / remaining_queries if remaining_queries else 0.0
+        )
+        total = 0.0
+        seen = float(self.tuples_seen)
+        cleaned = float(self.errors_cleaned)
+        for _ in range(remaining_queries):
+            total += incremental_query_cost(
+                n=self.dataset_size,
+                seen_tuples=int(seen),
+                result_size=int(avg_q),
+                extra_tuples=int(avg_e),
+                errors=int(avg_err),
+                prior_prob_values=cleaned * self.candidates_per_error,
+                candidates_per_error=self.candidates_per_error,
+                is_dc=self.is_dc,
+            )
+            seen += avg_q + avg_e
+            cleaned += avg_err
+        return total
+
+    def full_clean_now_cost(self, remaining_queries: int) -> float:
+        """Cost of cleaning the remaining dirty part now + plain queries.
+
+        Cheaper than a from-scratch offline clean because only the dirty
+        remainder is processed (the Fig. 7 observation that the switched
+        strategy beats pure offline).
+        """
+        n = self.dataset_size
+        remaining_err = self.remaining_errors()
+        unseen = max(0, n - self.tuples_seen)
+        d_full = (unseen * (unseen + 1)) / 2.0 if self.is_dc else float(unseen)
+        repair = remaining_err * float(unseen if unseen > 0 else n)
+        update = unseen + remaining_err * self.candidates_per_error
+        queries = remaining_queries * float(n)
+        return d_full + repair + update + queries
+
+    def should_switch_to_full(
+        self, remaining_queries: Optional[int] = None
+    ) -> bool:
+        """The Section 5.2.3 inequality, evaluated with current estimates."""
+        if remaining_queries is None:
+            remaining_queries = max(
+                0, self.config.expected_queries - len(self.observations)
+            )
+        if remaining_queries <= 0:
+            return False
+        incremental = self.projected_incremental_remaining(remaining_queries)
+        full = self.full_clean_now_cost(remaining_queries)
+        return incremental > full * self.config.hysteresis

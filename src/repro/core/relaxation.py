@@ -1,0 +1,274 @@
+"""Query-result relaxation (Algorithm 1) and its analytical estimators.
+
+Relaxation enhances a query result with *correlated tuples*: tuples sharing
+an lhs or rhs value with the result under an FD.  The shape of the
+relaxation depends on which side of the FD the query filter restricts:
+
+* **rhs filter** (Lemma 1, Example 2): one iteration suffices.  The repair
+  scope is the answer plus tuples sharing an lhs value with it (candidates
+  to obtain a qualifying rhs).  A further *consultation* set — tuples
+  sharing an rhs value with the repair scope — is needed to compute lhs
+  candidate probabilities (P(lhs | rhs)), but those tuples are not
+  themselves repaired: in Table 2b the (10001, San Francisco) tuple feeds
+  tuple 2's zip candidates yet stays untouched.
+
+* **lhs filter** (Lemma 2, Example 3): transitive closure.  Newly added
+  tuples contribute new lhs/rhs values that pull in further tuples, until a
+  full iteration adds nothing; the whole correlated cluster is repaired
+  (Table 3 repairs both the 9001 and the 10001 groups).
+
+Lemma 2's hypergeometric estimate of needing an extra iteration and
+Lemma 3's relaxed-size upper bound are provided as analytical helpers.
+
+For general DCs, relaxation is the partial theta-join of
+:mod:`repro.detection.thetajoin`; this module covers the FD path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.constraints.analysis import FilterSide
+from repro.constraints.dc import FunctionalDependency
+from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
+from repro.probabilistic.value import PValue
+from repro.relation.relation import Relation, Row
+
+
+@dataclass
+class RelaxationResult:
+    """Output of Algorithm 1.
+
+    ``extra_tids`` join the repair scope; ``consult_tids`` are additionally
+    read when computing candidate probabilities but are not repaired.
+    """
+
+    extra_tids: set[int] = field(default_factory=set)
+    consult_tids: set[int] = field(default_factory=set)
+    iterations: int = 0
+    scanned_tuples: int = 0
+
+    def relaxed_tids(self, answer_tids: Iterable[int]) -> set[int]:
+        """The repair scope: answer ∪ extra."""
+        return set(answer_tids) | self.extra_tids
+
+    def full_scope(self, answer_tids: Iterable[int]) -> set[int]:
+        """Everything read: answer ∪ extra ∪ consult."""
+        return set(answer_tids) | self.extra_tids | self.consult_tids
+
+
+def _cell_values(cell: Any) -> tuple[Any, ...]:
+    """Values a cell contributes to the correlated-value sets."""
+    if isinstance(cell, PValue):
+        return cell.concrete_values()
+    return (cell,)
+
+
+def relax_fd(
+    relation: Relation,
+    answer_tids: Iterable[int],
+    fd: FunctionalDependency,
+    filter_side: FilterSide = FilterSide.LHS,
+    counter: Optional[WorkCounter] = None,
+    max_iterations: Optional[int] = None,
+    skip_tids: Optional[set[int]] = None,
+) -> RelaxationResult:
+    """Algorithm 1: SP query-result relaxation for one FD.
+
+    ``filter_side`` selects the Lemma 1 single-pass behaviour (RHS) or the
+    Lemma 2 transitive closure (LHS / BOTH / NONE — closure is the safe
+    general case).  Work accounting mirrors the paper's cost analysis:
+    every unvisited tuple inspected by a filter pass is charged as a scan.
+
+    ``skip_tids`` are tuples already processed by this rule in earlier
+    queries (the paper's incremental cost n − Σ_{j<i} q_j): they are
+    excluded from the closure passes — sound, because every earlier scope
+    was lhs-group-complete, so no unseen violation can hide behind a seen
+    tuple — but still consulted in a final support pass so candidate
+    probabilities stay identical to the offline result.
+    """
+    counter = counter if counter is not None else GLOBAL_COUNTER
+    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
+    rhs_idx = relation.schema.index_of(fd.rhs)
+    answer = set(answer_tids)
+    skip = (skip_tids or set()) - answer
+
+    def lhs_values_of(row: Row) -> tuple[tuple[Any, ...], ...]:
+        per_attr = [_cell_values(row.values[i]) for i in lhs_idx]
+        combos: list[tuple[Any, ...]] = [()]
+        for values in per_attr:
+            combos = [c + (v,) for c in combos for v in values]
+        return tuple(combos)
+
+    def rhs_values_of(row: Row) -> tuple[Any, ...]:
+        return _cell_values(row.values[rhs_idx])
+
+    result_lhs: set[tuple[Any, ...]] = set()
+    result_rhs: set[Any] = set()
+    tid_rows = relation.tid_index()
+    for tid in answer:
+        row = tid_rows.get(tid)
+        if row is None:
+            continue
+        result_lhs.update(lhs_values_of(row))
+        result_rhs.update(rhs_values_of(row))
+
+    unvisited: list[Row] = [
+        r for r in relation.rows if r.tid not in answer and r.tid not in skip
+    ]
+    skipped_rows: list[Row] = (
+        [r for r in relation.rows if r.tid in skip] if skip else []
+    )
+    result = RelaxationResult()
+
+    def support_pass(rows: Iterable[Row]) -> None:
+        """One pass collecting same-rhs tuples for P(lhs | rhs) support."""
+        for row in rows:
+            counter.charge_scan()
+            result.scanned_tuples += 1
+            if any(v in result_rhs for v in rhs_values_of(row)):
+                result.consult_tids.add(row.tid)
+
+    if filter_side is FilterSide.RHS:
+        # Lemma 1: one iteration.  Pass 1 — same-lhs tuples join the repair
+        # scope; pass 2 — same-rhs tuples against the *answer's* rhs values
+        # are already in the answer (they satisfy the filter), so nothing new
+        # is repaired.  The consultation pass collects same-rhs tuples of the
+        # enlarged scope for P(lhs | rhs) computation.
+        result.iterations = 1
+        remaining: list[Row] = []
+        for row in unvisited:
+            counter.charge_scan()
+            result.scanned_tuples += 1
+            if any(key in result_lhs for key in lhs_values_of(row)):
+                result.extra_tids.add(row.tid)
+                result_rhs.update(rhs_values_of(row))
+            else:
+                remaining.append(row)
+        support_pass(remaining)
+        support_pass(skipped_rows)
+        return result
+
+    # Transitive closure (lhs filter / general case).
+    while True:
+        if max_iterations is not None and result.iterations >= max_iterations:
+            break
+        result.iterations += 1
+        added: list[Row] = []
+        remaining = []
+        # Pass 1: tuples sharing an lhs value with the (relaxed) result.
+        for row in unvisited:
+            counter.charge_scan()
+            result.scanned_tuples += 1
+            if any(key in result_lhs for key in lhs_values_of(row)):
+                added.append(row)
+            else:
+                remaining.append(row)
+        unvisited = remaining
+        # Pass 2: tuples sharing an rhs value with the (relaxed) result.
+        remaining = []
+        for row in unvisited:
+            counter.charge_scan()
+            result.scanned_tuples += 1
+            if any(v in result_rhs for v in rhs_values_of(row)):
+                added.append(row)
+            else:
+                remaining.append(row)
+        unvisited = remaining
+        if not added:
+            break
+        for row in added:
+            result.extra_tids.add(row.tid)
+            result_lhs.update(lhs_values_of(row))
+            result_rhs.update(rhs_values_of(row))
+    # Support pass over the skipped tuples: they cannot open new violations
+    # (their groups were already checked) but their values still weight the
+    # lhs-candidate probabilities of newly found errors.
+    support_pass(skipped_rows)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Analytical estimators (Lemmas 1-3)
+# ---------------------------------------------------------------------------
+
+
+def iterations_needed_rhs_filter() -> int:
+    """Lemma 1: one iteration suffices for a filter on the FD's rhs."""
+    return 1
+
+
+def extra_iteration_probability(
+    dataset_size: int, violations: int, relaxed_size: int
+) -> float:
+    """Lemma 2: P(≥1 violation in a relaxed result of maximal size |AR|).
+
+    Hypergeometric: 1 - C(#vio,0)·C(n-#vio,|AR|)/C(n,|AR|).
+    """
+    n, k, m = dataset_size, violations, relaxed_size
+    if k <= 0 or m <= 0:
+        return 0.0
+    if m > n:
+        m = n
+    if k >= n:
+        return 1.0
+    if m > n - k:
+        return 1.0
+    log_p0 = _log_comb(n - k, m) - _log_comb(n, m)
+    return 1.0 - math.exp(log_p0)
+
+
+def _log_comb(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def relaxed_size_upper_bound(
+    dataset_freq: dict[str, dict[Any, int]],
+    result_freq: dict[str, dict[Any, int]],
+) -> int:
+    """Lemma 3: upper bound on the relaxed-result growth per iteration.
+
+    ``dataset_freq[attr][value]`` is the dataset-wide frequency of ``value``
+    in constraint attribute ``attr``; ``result_freq`` the same over the query
+    result.  The bound sums, per attribute, the dataset frequency mass of
+    the result's values minus the mass already in the result:
+
+        R = Σ_attr ( Σ_{v in result values} D[v] − Σ_{v} Dq[v] ).
+    """
+    total = 0
+    for attr, rf in result_freq.items():
+        df = dataset_freq.get(attr, {})
+        dataset_mass = sum(df.get(value, 0) for value in rf)
+        result_mass = sum(rf.values())
+        total += max(0, dataset_mass - result_mass)
+    return total
+
+
+def frequency_distribution(
+    relation: Relation, attr: str, tids: Optional[Iterable[int]] = None
+) -> dict[Any, int]:
+    """Value frequencies of one attribute (over a tid subset if given)."""
+    idx = relation.schema.index_of(attr)
+    tid_filter = set(tids) if tids is not None else None
+    out: dict[Any, int] = {}
+    for row in relation.rows:
+        if tid_filter is not None and row.tid not in tid_filter:
+            continue
+        for value in _cell_values(row.values[idx]):
+            out[value] = out.get(value, 0) + 1
+    return out
+
+
+def estimate_relaxed_size(
+    relation: Relation,
+    answer_tids: Iterable[int],
+    fd: FunctionalDependency,
+) -> int:
+    """Lemma 3 applied to a concrete query answer and FD."""
+    answer = set(answer_tids)
+    attrs = list(fd.lhs) + [fd.rhs]
+    dataset_freq = {a: frequency_distribution(relation, a) for a in attrs}
+    result_freq = {a: frequency_distribution(relation, a, answer) for a in attrs}
+    return relaxed_size_upper_bound(dataset_freq, result_freq)

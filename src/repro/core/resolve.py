@@ -1,0 +1,144 @@
+"""Committing a probabilistic dataset back to a deterministic one.
+
+Daisy leaves repaired cells probabilistic; Section 3 notes that once all
+rules are known, the candidate suggestions can be resolved by *inference
+when master data exist* or by a human.  This module provides the resolution
+step as explicit, composable policies:
+
+* :func:`resolve_most_probable` — each probabilistic cell takes its most
+  probable candidate (the DaisyP policy).
+* :func:`resolve_keep_original` — revert every repaired cell to its original
+  value (undo, via the provenance store).
+* :func:`resolve_with_master` — pick the candidate matching the master data
+  when one exists, else fall back to most probable (the upper bound an
+  oracle inference could reach given Daisy's domains).
+* :func:`resolve_with` — bring-your-own ``chooser(tid, attr, pvalue)``
+  callable, e.g. a human-in-the-loop prompt.
+
+All functions return a *new* relation plus the repair map (cell -> chosen
+value) so accuracy can be scored with :mod:`repro.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.probabilistic.value import PValue, ValueRange
+from repro.relation.relation import Relation
+from repro.repair.provenance import ProvenanceStore
+
+Chooser = Callable[[int, str, PValue], Any]
+
+
+def _concretize(value: Any) -> Any:
+    """Turn a range candidate into a representative concrete value."""
+    if isinstance(value, ValueRange):
+        return value.midpoint()
+    return value
+
+
+def resolve_with(
+    relation: Relation, chooser: Chooser
+) -> tuple[Relation, dict[tuple[int, str], Any]]:
+    """Resolve every probabilistic cell with a custom chooser."""
+    updates: dict[tuple[int, str], Any] = {}
+    for row in relation.rows:
+        for attr, cell in zip(relation.schema.names, row.values):
+            if isinstance(cell, PValue):
+                chosen = _concretize(chooser(row.tid, attr, cell))
+                updates[(row.tid, attr)] = chosen
+    return relation.update_cells(updates), updates
+
+
+def resolve_most_probable(
+    relation: Relation,
+) -> tuple[Relation, dict[tuple[int, str], Any]]:
+    """The DaisyP policy: blindly take each cell's most probable candidate."""
+    return resolve_with(relation, lambda _tid, _attr, pv: pv.most_probable())
+
+
+def resolve_keep_original(
+    relation: Relation, provenance: ProvenanceStore
+) -> tuple[Relation, dict[tuple[int, str], Any]]:
+    """Undo: every repaired cell reverts to its provenance original."""
+
+    def choose(tid: int, attr: str, pv: PValue) -> Any:
+        original = provenance.original(tid, attr)
+        return original if original is not None else pv.most_probable()
+
+    return resolve_with(relation, choose)
+
+
+def resolve_with_master(
+    relation: Relation, master: Relation
+) -> tuple[Relation, dict[tuple[int, str], Any]]:
+    """Oracle resolution: prefer the candidate equal to the master value.
+
+    Cells whose candidate set does not contain the master value fall back to
+    the most probable candidate — measuring this fallback rate tells how
+    often Daisy's domains missed the truth.
+    """
+    master_rows = master.tid_index()
+
+    def choose(tid: int, attr: str, pv: PValue) -> Any:
+        row = master_rows.get(tid)
+        if row is not None and attr in master.schema:
+            truth = row.values[master.schema.index_of(attr)]
+            for candidate in pv.candidates:
+                if candidate.matches(truth):
+                    return truth
+        return pv.most_probable()
+
+    return resolve_with(relation, choose)
+
+
+def domain_coverage(relation: Relation, master: Relation) -> float:
+    """Fraction of probabilistic cells whose candidates include the truth.
+
+    The paper argues relaxation produces the "pruned domain of values that a
+    system, or a user needs to infer the correct value"; this measures how
+    often that domain actually covers it.
+    """
+    master_rows = master.tid_index()
+    total = 0
+    covered = 0
+    for row in relation.rows:
+        truth_row = master_rows.get(row.tid)
+        if truth_row is None:
+            continue
+        for attr, cell in zip(relation.schema.names, row.values):
+            if not isinstance(cell, PValue) or attr not in master.schema:
+                continue
+            total += 1
+            truth = truth_row.values[master.schema.index_of(attr)]
+            if any(c.matches(truth) for c in cell.candidates):
+                covered += 1
+    return covered / total if total else 1.0
+
+
+def refine_probabilities(
+    cell: PValue, evidence_counts: dict[Any, int], weight: float = 1.0
+) -> PValue:
+    """Update a cell's candidate probabilities with new frequency evidence.
+
+    The paper's future-work direction ("updating the probabilities after
+    accessing more data, thereby incrementally inferring the correct
+    value"): existing candidate weights are combined with new evidence
+    counts; unseen candidates keep their mass, candidates confirmed by
+    evidence gain proportionally.  ``weight`` scales the evidence's
+    influence relative to the prior.
+    """
+    from repro.probabilistic.value import Candidate
+
+    total_evidence = sum(evidence_counts.values())
+    if total_evidence <= 0:
+        return cell
+    raw = []
+    for cand in cell.candidates:
+        boost = evidence_counts.get(cand.value, 0) / total_evidence
+        raw.append((cand, cand.prob + weight * boost))
+    norm = sum(w for _c, w in raw)
+    updated = [
+        Candidate(value=c.value, prob=w / norm, world=c.world) for c, w in raw
+    ]
+    return PValue(updated)

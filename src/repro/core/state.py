@@ -1,0 +1,106 @@
+"""Mutable per-table cleaning state shared by the cleaning operators.
+
+A :class:`TableState` bundles everything Daisy keeps per registered table:
+
+* the current relation (gradually becoming probabilistic),
+* the registered rules,
+* the provenance store (original values + per-rule progress),
+* precomputed statistics (dirty groups, ε/p estimates),
+* one incremental theta-join matrix per general DC,
+* the work counter that accumulates this table's cleaning cost.
+
+The theta-join matrices are built once over the original data and keep their
+checked-cell bookkeeping across queries; violation detection always reasons
+about original values (via provenance), so the matrices stay valid as cells
+turn probabilistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
+from repro.core.statistics import FdStatistics, TableStatistics, build_fd_statistics
+from repro.detection.thetajoin import ThetaJoinMatrix
+from repro.engine.stats import WorkCounter
+from repro.relation.relation import Relation
+from repro.repair.provenance import ProvenanceStore
+
+
+def rule_key(rule: Rule) -> str:
+    """A stable identifier for a rule (its name, else its string form)."""
+    return rule.name or str(rule)
+
+
+@dataclass
+class TableState:
+    """All cleaning state for one registered table."""
+
+    relation: Relation
+    rules: list[Rule] = field(default_factory=list)
+    provenance: ProvenanceStore = field(default_factory=ProvenanceStore)
+    statistics: TableStatistics = field(default_factory=TableStatistics)
+    counter: WorkCounter = field(default_factory=WorkCounter)
+    matrices: dict[str, ThetaJoinMatrix] = field(default_factory=dict)
+    fully_cleaned_rules: set[str] = field(default_factory=set)
+    sqrt_partitions: int = 8
+    #: Per-rule tuples already processed (answers + relaxation extras) —
+    #: the incremental-cost memory of Section 5.2.2 (n − Σ q_j).
+    seen_tids: dict[str, set[int]] = field(default_factory=dict)
+
+    # -- rule management -----------------------------------------------------------
+
+    def add_rule(self, rule: Rule, precompute: bool = True) -> None:
+        """Register a rule; optionally precompute its statistics/matrix."""
+        self.rules.append(rule)
+        if not precompute:
+            return
+        fd = as_fd(rule)
+        if fd is not None:
+            stats = build_fd_statistics(self.relation, fd, counter=self.counter)
+            self.statistics.add(rule_key(rule), stats)
+        else:
+            dc = as_dc(rule)
+            self.matrices[rule_key(rule)] = ThetaJoinMatrix(
+                self.relation, dc, sqrt_p=self.sqrt_partitions, counter=self.counter
+            )
+
+    def fd_rules(self) -> list[FunctionalDependency]:
+        return [fd for rule in self.rules if (fd := as_fd(rule)) is not None]
+
+    def dc_rules(self) -> list[DenialConstraint]:
+        return [as_dc(rule) for rule in self.rules if as_fd(rule) is None]
+
+    def fd_stats(self, rule: Rule) -> Optional[FdStatistics]:
+        return self.statistics.get(rule_key(rule))
+
+    def matrix_for(self, dc: DenialConstraint) -> ThetaJoinMatrix:
+        key = rule_key(dc)
+        if key not in self.matrices:
+            self.matrices[key] = ThetaJoinMatrix(
+                self.relation, dc, sqrt_p=self.sqrt_partitions, counter=self.counter
+            )
+        return self.matrices[key]
+
+    def seen_for(self, rule: Rule) -> set[int]:
+        """Tuples already processed by ``rule`` in earlier queries."""
+        return self.seen_tids.setdefault(rule_key(rule), set())
+
+    def mark_seen(self, rule: Rule, tids: set[int]) -> None:
+        self.seen_tids.setdefault(rule_key(rule), set()).update(tids)
+
+    def is_fully_cleaned(self, rule: Rule) -> bool:
+        return rule_key(rule) in self.fully_cleaned_rules
+
+    def mark_fully_cleaned(self, rule: Rule) -> None:
+        self.fully_cleaned_rules.add(rule_key(rule))
+
+    # -- updates ---------------------------------------------------------------------
+
+    def replace_relation(self, relation: Relation) -> None:
+        """Install an updated relation (after applying a repair delta)."""
+        self.relation = relation
+
+    def probabilistic_cells(self) -> int:
+        return self.relation.probabilistic_cell_count()

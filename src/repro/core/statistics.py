@@ -1,0 +1,126 @@
+"""Precomputed statistics for pruning and cost estimation (Section 6).
+
+Daisy "collects statistics by pre-computing the size of the erroneous
+groups": a group-by on each FD's lhs yields, per lhs key, the group size and
+whether it is dirty (holds conflicting rhs values).  At query time these
+statistics serve two purposes:
+
+* **pruning** — values belonging to clean groups skip violation checks
+  entirely (the Fig. 9 optimization);
+* **cost-model inputs** — ε (erroneous entities) and p (candidate values per
+  erroneous cell) estimates for the incremental-vs-full inequality of
+  Section 5.2.3, approximated by grouping on the FD's lhs and rhs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.constraints.dc import FunctionalDependency
+from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
+from repro.probabilistic.value import PValue
+from repro.relation.relation import Relation
+
+
+@dataclass
+class FdStatistics:
+    """Per-FD statistics precomputed over a relation."""
+
+    fd: FunctionalDependency
+    #: lhs key -> group size
+    group_sizes: dict[tuple[Any, ...], int] = field(default_factory=dict)
+    #: lhs keys whose group has more than one distinct rhs value
+    dirty_groups: set[tuple[Any, ...]] = field(default_factory=set)
+    #: rhs value -> number of distinct lhs keys co-occurring with it
+    rhs_fanout: dict[Any, int] = field(default_factory=dict)
+    #: rhs values that appear in at least one dirty group (for rhs-filter
+    #: pruning: a query answer touching none of these needs no cleaning)
+    dirty_rhs_values: set[Any] = field(default_factory=set)
+
+    def erroneous_entities(self) -> int:
+        """ε estimate: number of tuples in dirty groups."""
+        return sum(self.group_sizes[k] for k in self.dirty_groups)
+
+    def dirty_group_count(self) -> int:
+        return len(self.dirty_groups)
+
+    def candidate_count_estimate(self) -> float:
+        """p estimate: average candidate values per erroneous cell.
+
+        Candidates for a dirty rhs come from the distinct rhs values of its
+        group; candidates for a dirty lhs come from the lhs fanout of its
+        rhs.  We average both directions over dirty groups.
+        """
+        if not self.dirty_groups:
+            return 1.0
+        rhs_cands = []
+        for key in self.dirty_groups:
+            rhs_cands.append(self._distinct_rhs.get(key, 1))
+        lhs_cands = [max(1, f) for f in self.rhs_fanout.values()] or [1]
+        avg_rhs = sum(rhs_cands) / len(rhs_cands)
+        avg_lhs = sum(lhs_cands) / len(lhs_cands)
+        return (avg_rhs + avg_lhs) / 2.0
+
+    def is_dirty_key(self, key: tuple[Any, ...]) -> bool:
+        return key in self.dirty_groups
+
+    # internal: distinct rhs count per lhs key (set during build)
+    _distinct_rhs: dict[tuple[Any, ...], int] = field(default_factory=dict)
+
+
+def build_fd_statistics(
+    relation: Relation,
+    fd: FunctionalDependency,
+    counter: Optional[WorkCounter] = None,
+) -> FdStatistics:
+    """One pass over the relation to build :class:`FdStatistics`."""
+    counter = counter if counter is not None else GLOBAL_COUNTER
+    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
+    rhs_idx = relation.schema.index_of(fd.rhs)
+
+    stats = FdStatistics(fd=fd)
+    group_rhs: dict[tuple[Any, ...], set[Any]] = {}
+    rhs_lhs: dict[Any, set[tuple[Any, ...]]] = {}
+    for row in relation.rows:
+        counter.charge_scan()
+        key = tuple(
+            row.values[i].most_probable()
+            if isinstance(row.values[i], PValue)
+            else row.values[i]
+            for i in lhs_idx
+        )
+        rhs_cell = row.values[rhs_idx]
+        rhs = rhs_cell.most_probable() if isinstance(rhs_cell, PValue) else rhs_cell
+        stats.group_sizes[key] = stats.group_sizes.get(key, 0) + 1
+        group_rhs.setdefault(key, set()).add(rhs)
+        rhs_lhs.setdefault(rhs, set()).add(key)
+
+    for key, rhs_values in group_rhs.items():
+        stats._distinct_rhs[key] = len(rhs_values)
+        if len(rhs_values) > 1:
+            stats.dirty_groups.add(key)
+            stats.dirty_rhs_values.update(rhs_values)
+    stats.rhs_fanout = {rhs: len(keys) for rhs, keys in rhs_lhs.items()}
+    return stats
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for all FDs registered on one table."""
+
+    per_fd: dict[str, FdStatistics] = field(default_factory=dict)
+
+    def add(self, name: str, stats: FdStatistics) -> None:
+        self.per_fd[name] = stats
+
+    def get(self, name: str) -> Optional[FdStatistics]:
+        return self.per_fd.get(name)
+
+    def total_erroneous(self) -> int:
+        return sum(s.erroneous_entities() for s in self.per_fd.values())
+
+    def max_candidate_estimate(self) -> float:
+        if not self.per_fd:
+            return 1.0
+        return max(s.candidate_count_estimate() for s in self.per_fd.values())

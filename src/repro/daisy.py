@@ -1,0 +1,255 @@
+"""Daisy — the query-driven cleaning engine (Section 6).
+
+The façade over the whole library: register tables and rules, then execute
+queries; Daisy weaves cleaning operators into each query plan, repairs the
+violations the query touches, updates the dataset in place with
+probabilistic fixes, and — when the cost model predicts that finishing the
+workload incrementally would cost more than cleaning the remaining dirty
+part at once — switches strategy mid-workload (Fig. 7 / Fig. 12).
+
+Typical usage::
+
+    daisy = Daisy()
+    daisy.register_table("cities", relation)
+    daisy.add_rule("cities", "zip -> city")
+    result = daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+
+``Daisy(use_cost_model=False)`` gives the always-incremental variant the
+paper calls "Daisy w/o cost".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.constraints.dc import Rule
+from repro.constraints.parser import parse_rule
+from repro.core.costmodel import CostModel, CostModelConfig, QueryObservation
+from repro.core.operators import CleanReport, clean_full_table
+from repro.core.state import TableState, rule_key
+from repro.engine.stats import WorkCounter
+from repro.errors import PlanError
+from repro.query.ast import Query
+from repro.query.executor import Executor, QueryResult
+from repro.query.planner import PlannerCatalog
+from repro.query.sql import parse_sql
+from repro.relation.relation import Relation
+
+
+@dataclass
+class QueryLogEntry:
+    """Bookkeeping for one executed query (feeds the workload reports)."""
+
+    sql: str
+    result_size: int
+    elapsed_seconds: float
+    errors_fixed: int
+    extra_tuples: int
+    switched_to_full: bool = False
+    work_units: int = 0
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate of a workload execution."""
+
+    entries: list[QueryLogEntry] = field(default_factory=list)
+    total_seconds: float = 0.0
+    total_work_units: int = 0
+    switch_query_index: Optional[int] = None
+
+    def cumulative_seconds(self) -> list[float]:
+        out, acc = [], 0.0
+        for entry in self.entries:
+            acc += entry.elapsed_seconds
+            out.append(acc)
+        return out
+
+    def cumulative_work(self) -> list[int]:
+        out, acc = [], 0
+        for entry in self.entries:
+            acc += entry.work_units
+            out.append(acc)
+        return out
+
+
+class Daisy:
+    """Query-driven incremental cleaning engine.
+
+    Parameters
+    ----------
+    use_cost_model:
+        Enable the Section 5.2.3 strategy switch.  Disabled, Daisy always
+        cleans incrementally ("Daisy w/o cost" in Fig. 7).
+    expected_queries:
+        The workload-length hint the cost model projects over.
+    dc_error_threshold:
+        Algorithm 2 threshold for escalating a DC query to full cleaning.
+    """
+
+    def __init__(
+        self,
+        use_cost_model: bool = True,
+        expected_queries: int = 50,
+        dc_error_threshold: float = 0.2,
+    ):
+        self.states: dict[str, TableState] = {}
+        self.catalog = PlannerCatalog()
+        self.use_cost_model = use_cost_model
+        self.dc_error_threshold = dc_error_threshold
+        self.expected_queries = expected_queries
+        self.cost_models: dict[str, CostModel] = {}
+        self.query_log: list[QueryLogEntry] = []
+        self._executor = Executor(
+            self.states, self.catalog, dc_error_threshold=dc_error_threshold
+        )
+
+    # -- registration ------------------------------------------------------------------
+
+    def register_table(self, name: str, relation: Relation) -> TableState:
+        """Register a (dirty) table.  Returns its mutable state."""
+        relation.name = relation.name or name
+        state = TableState(relation=relation)
+        self.states[name] = state
+        self.catalog.add_table(name, relation.schema)
+        return state
+
+    def add_rule(self, table: str, rule: Rule | str, name: str = "") -> list[Rule]:
+        """Register a rule (object or textual notation) on a table.
+
+        Precomputes the rule's statistics (FDs) or theta-join matrix (DCs)
+        and refreshes the table's cost model.  Returns the registered rules
+        (textual FDs with multi-attribute rhs decompose into several).
+        """
+        state = self._state(table)
+        rules: list[Rule]
+        if isinstance(rule, str):
+            rules = parse_rule(rule, name=name)
+        else:
+            rules = [rule]
+        for r in rules:
+            state.add_rule(r)
+            self.catalog.add_rule(table, r)
+        self._refresh_cost_model(table)
+        return rules
+
+    def _state(self, table: str) -> TableState:
+        try:
+            return self.states[table]
+        except KeyError:
+            raise PlanError(f"table {table!r} is not registered") from None
+
+    def _refresh_cost_model(self, table: str) -> None:
+        state = self._state(table)
+        eps = state.statistics.total_erroneous()
+        p = state.statistics.max_candidate_estimate()
+        has_dc = bool(state.dc_rules())
+        self.cost_models[table] = CostModel(
+            dataset_size=len(state.relation),
+            estimated_errors=eps,
+            candidates_per_error=max(1.0, p),
+            is_dc=has_dc,
+            config=CostModelConfig(expected_queries=self.expected_queries),
+        )
+
+    # -- execution ----------------------------------------------------------------------
+
+    def execute(self, query: Query | str) -> QueryResult:
+        """Execute one query with inline cleaning (and maybe switch strategy)."""
+        sql_text = query if isinstance(query, str) else "<ast>"
+        parsed = parse_sql(query) if isinstance(query, str) else query
+
+        work_before = {t: self._state(t).counter.total() for t in parsed.tables}
+        result = self._executor.execute(parsed)
+        switched = False
+
+        # The cost model only reasons about queries that needed cleaning:
+        # a query not touching any rule neither observes nor switches.
+        from repro.query.logical import CleanJoinNode, CleanSigmaNode, plan_contains
+
+        query_cleaned = result.plan is not None and (
+            plan_contains(result.plan, CleanSigmaNode)
+            or plan_contains(result.plan, CleanJoinNode)
+        )
+        if self.use_cost_model and query_cleaned:
+            for table in parsed.tables:
+                model = self.cost_models.get(table)
+                state = self.states[table]
+                if model is None or not state.rules:
+                    continue
+                model.observe(
+                    QueryObservation(
+                        result_size=len(result.result_tids.get(table, ())),
+                        extra_tuples=result.report.extra_tuples,
+                        errors=result.report.errors_fixed,
+                        detection_cost=result.report.detection_cost,
+                    )
+                )
+                pending = [
+                    r for r in state.rules if not state.is_fully_cleaned(r)
+                ]
+                if pending and model.should_switch_to_full():
+                    started = time.perf_counter()
+                    clean_full_table(state, pending)
+                    result.elapsed_seconds += time.perf_counter() - started
+                    switched = True
+
+        work_after = {t: self.states[t].counter.total() for t in parsed.tables}
+        entry = QueryLogEntry(
+            sql=sql_text,
+            result_size=len(result),
+            elapsed_seconds=result.elapsed_seconds,
+            errors_fixed=result.report.errors_fixed,
+            extra_tuples=result.report.extra_tuples,
+            switched_to_full=switched,
+            work_units=sum(work_after[t] - work_before[t] for t in parsed.tables),
+        )
+        self.query_log.append(entry)
+        return result
+
+    def execute_workload(self, queries: Sequence[Query | str]) -> WorkloadReport:
+        """Execute a query sequence, returning cumulative timing/work."""
+        report = WorkloadReport()
+        started = time.perf_counter()
+        for i, query in enumerate(queries):
+            self.execute(query)
+            entry = self.query_log[-1]
+            report.entries.append(entry)
+            if entry.switched_to_full and report.switch_query_index is None:
+                report.switch_query_index = i
+        report.total_seconds = time.perf_counter() - started
+        report.total_work_units = sum(e.work_units for e in report.entries)
+        return report
+
+    # -- direct cleaning ----------------------------------------------------------------
+
+    def clean_table(self, table: str, rules: Optional[Iterable[Rule]] = None) -> CleanReport:
+        """Clean a whole table now (bypass the query-driven path)."""
+        return clean_full_table(self._state(table), rules)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def table(self, name: str) -> Relation:
+        """The current (gradually cleaned) relation of a table."""
+        return self._state(name).relation
+
+    def work_counter(self, table: str) -> WorkCounter:
+        return self._state(table).counter
+
+    def total_work(self) -> int:
+        return sum(s.counter.total() for s in self.states.values())
+
+    def probabilistic_cells(self, table: str) -> int:
+        return self._state(table).probabilistic_cells()
+
+    def provenance(self, table: str):
+        return self._state(table).provenance
+
+    def explain(self, query: Query | str) -> str:
+        """The cleaning-aware logical plan for a query, as text."""
+        from repro.query.planner import explain as explain_plan
+
+        parsed = parse_sql(query) if isinstance(query, str) else query
+        return explain_plan(parsed, self.catalog)

@@ -1,0 +1,19 @@
+"""Synthetic datasets, error injection, and workload builders."""
+
+from repro.datasets.errors import (
+    ErrorInjectionReport,
+    inject_fd_errors,
+    inject_numeric_errors,
+)
+from repro.datasets import airquality, hospital, nestle, ssb, workloads
+
+__all__ = [
+    "ErrorInjectionReport",
+    "inject_fd_errors",
+    "inject_numeric_errors",
+    "ssb",
+    "hospital",
+    "nestle",
+    "airquality",
+    "workloads",
+]

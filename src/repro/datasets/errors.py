@@ -1,0 +1,159 @@
+"""BART-style error injection (Arocena et al., used by the paper's §7 setup).
+
+The paper injects errors "similar to BART with the difference that we also
+add errors using uniform distribution to evenly distribute the errors across
+the dataset".  :func:`inject_fd_errors` edits, for a chosen fraction of lhs
+groups, a fraction of the group members' rhs values — each edit is
+detectable by the FD.  :func:`inject_numeric_errors` perturbs numeric cells
+to create DC (inequality) violations.
+
+Both return the dirty relation plus the ground truth needed for accuracy
+evaluation: a map (tid, attr) -> original value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.constraints.dc import FunctionalDependency
+from repro.errors import DatasetError
+from repro.relation.relation import Relation
+
+
+@dataclass
+class ErrorInjectionReport:
+    """What was injected: ground truth and summary statistics."""
+
+    ground_truth: dict[tuple[int, str], Any] = field(default_factory=dict)
+    edited_cells: int = 0
+    affected_groups: int = 0
+
+    def dirty_tids(self) -> set[int]:
+        return {tid for tid, _ in self.ground_truth}
+
+
+def inject_fd_errors(
+    relation: Relation,
+    fd: FunctionalDependency,
+    group_fraction: float = 1.0,
+    member_fraction: float = 0.1,
+    seed: int = 7,
+    value_pool: Optional[Sequence[Any]] = None,
+    prefer_rare_groups: bool = False,
+) -> tuple[Relation, ErrorInjectionReport]:
+    """Edit rhs values inside a fraction of lhs groups.
+
+    ``group_fraction`` selects how many lhs groups receive errors (1.0 =
+    the paper's worst case where every orderkey participates in a
+    violation); ``member_fraction`` how many of each group's members are
+    edited (the paper's 10%; at least one member per chosen group).
+    Replacement values are drawn uniformly from ``value_pool`` (default:
+    the rhs domain), always different from the original so every edit is a
+    real violation.  ``prefer_rare_groups`` biases selection to the least
+    frequent groups (the air-quality setup).
+    """
+    if not 0.0 <= group_fraction <= 1.0 or not 0.0 < member_fraction <= 1.0:
+        raise DatasetError("fractions must be in (0, 1]")
+    rng = random.Random(seed)
+    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
+    rhs_idx = relation.schema.index_of(fd.rhs)
+
+    groups: dict[tuple[Any, ...], list[int]] = {}
+    for row in relation.rows:
+        key = tuple(row.values[i] for i in lhs_idx)
+        groups.setdefault(key, []).append(row.tid)
+
+    pool = list(value_pool) if value_pool is not None else sorted(
+        {row.values[rhs_idx] for row in relation.rows}, key=str
+    )
+    if len(pool) < 2:
+        raise DatasetError("rhs domain must have at least 2 values to inject errors")
+
+    keys = sorted(groups, key=lambda k: (len(groups[k]), str(k))) if prefer_rare_groups \
+        else sorted(groups, key=str)
+    if not prefer_rare_groups:
+        rng.shuffle(keys)
+    n_groups = max(1, round(group_fraction * len(keys))) if group_fraction > 0 else 0
+    chosen = keys[:n_groups]
+
+    report = ErrorInjectionReport(affected_groups=len(chosen))
+    tid_rows = relation.tid_index()
+    updates: dict[tuple[int, str], Any] = {}
+    for key in chosen:
+        members = groups[key]
+        n_edit = max(1, round(member_fraction * len(members)))
+        edited = rng.sample(members, min(n_edit, len(members)))
+        for tid in edited:
+            original = tid_rows[tid].values[rhs_idx]
+            replacement = rng.choice(pool)
+            attempts = 0
+            while replacement == original and attempts < 50:
+                replacement = rng.choice(pool)
+                attempts += 1
+            if replacement == original:
+                continue
+            updates[(tid, fd.rhs)] = replacement
+            report.ground_truth[(tid, fd.rhs)] = original
+    report.edited_cells = len(updates)
+    return relation.update_cells(updates), report
+
+
+def inject_numeric_errors(
+    relation: Relation,
+    attr: str,
+    cell_fraction: float = 0.1,
+    magnitude: float = 0.5,
+    seed: int = 7,
+) -> tuple[Relation, ErrorInjectionReport]:
+    """Perturb a fraction of numeric cells (for DC / inequality violations).
+
+    Each chosen cell is scaled by a random factor in
+    [1 - magnitude, 1 + magnitude] (never exactly 1), producing outliers
+    that break monotone relationships like salary/tax.
+    """
+    if not 0.0 < cell_fraction <= 1.0:
+        raise DatasetError("cell_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    idx = relation.schema.index_of(attr)
+    numeric_tids = [
+        row.tid
+        for row in relation.rows
+        if isinstance(row.values[idx], (int, float))
+        and not isinstance(row.values[idx], bool)
+    ]
+    n_edit = max(1, round(cell_fraction * len(numeric_tids)))
+    chosen = rng.sample(numeric_tids, min(n_edit, len(numeric_tids)))
+    tid_rows = relation.tid_index()
+    report = ErrorInjectionReport(affected_groups=len(chosen))
+    updates: dict[tuple[int, str], Any] = {}
+    for tid in chosen:
+        original = tid_rows[tid].values[idx]
+        factor = 1.0 + rng.uniform(0.1, magnitude) * rng.choice((-1.0, 1.0))
+        perturbed = original * factor
+        if isinstance(original, int):
+            perturbed = int(round(perturbed))
+            if perturbed == original:
+                perturbed = original + rng.choice((-1, 1)) * max(
+                    1, int(abs(original) * 0.2)
+                )
+        updates[(tid, attr)] = perturbed
+        report.ground_truth[(tid, attr)] = original
+    report.edited_cells = len(updates)
+    return relation.update_cells(updates), report
+
+
+def typo(value: str, rng: random.Random) -> str:
+    """A simple character-level typo (substitute / drop / duplicate)."""
+    if not value:
+        return "x"
+    pos = rng.randrange(len(value))
+    kind = rng.choice(("sub", "drop", "dup"))
+    if kind == "sub":
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        replacement = rng.choice([c for c in alphabet if c != value[pos].lower()])
+        return value[:pos] + replacement + value[pos + 1:]
+    if kind == "drop" and len(value) > 1:
+        return value[:pos] + value[pos + 1:]
+    return value[:pos] + value[pos] + value[pos:]

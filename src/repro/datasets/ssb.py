@@ -1,0 +1,283 @@
+"""Star Schema Benchmark (SSB) style synthetic data.
+
+The paper's synthetic experiments use the SSB ``lineorder`` table joined with
+``supplier`` / ``part`` / ``date`` / ``customer``, varying the number of
+distinct orderkeys (5K-100K) and suppkeys (100-10K) and injecting FD
+violations on ``orderkey → suppkey``.
+
+This generator is schema-compatible at the granularity the experiments need
+and exposes exactly the knobs the paper varies: row count, distinct key
+cardinalities, and the error rate.  A clean lineorder satisfies
+``orderkey → suppkey`` by construction (each orderkey maps to one supplier);
+:func:`dirty_lineorder` then edits ~``member_fraction`` of each chosen
+orderkey's rows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.constraints.dc import FunctionalDependency
+from repro.datasets.errors import ErrorInjectionReport, inject_fd_errors
+from repro.errors import DatasetError
+from repro.relation.relation import Relation
+from repro.relation.schema import ColumnType, Schema
+
+LINEORDER_SCHEMA = Schema(
+    [
+        ("orderkey", ColumnType.INT),
+        ("linenumber", ColumnType.INT),
+        ("custkey", ColumnType.INT),
+        ("partkey", ColumnType.INT),
+        ("suppkey", ColumnType.INT),
+        ("orderdate", ColumnType.INT),
+        ("quantity", ColumnType.INT),
+        ("extended_price", ColumnType.FLOAT),
+        ("discount", ColumnType.FLOAT),
+        ("revenue", ColumnType.FLOAT),
+    ]
+)
+
+SUPPLIER_SCHEMA = Schema(
+    [
+        ("suppkey", ColumnType.INT),
+        ("name", ColumnType.STRING),
+        ("address", ColumnType.STRING),
+        ("city", ColumnType.STRING),
+        ("nation", ColumnType.STRING),
+    ]
+)
+
+PART_SCHEMA = Schema(
+    [
+        ("partkey", ColumnType.INT),
+        ("pname", ColumnType.STRING),
+        ("brand", ColumnType.STRING),
+        ("category", ColumnType.STRING),
+    ]
+)
+
+DATE_SCHEMA = Schema(
+    [
+        ("datekey", ColumnType.INT),
+        ("year", ColumnType.INT),
+        ("month", ColumnType.INT),
+    ]
+)
+
+CUSTOMER_SCHEMA = Schema(
+    [
+        ("custkey", ColumnType.INT),
+        ("cname", ColumnType.STRING),
+        ("ccity", ColumnType.STRING),
+        ("cnation", ColumnType.STRING),
+    ]
+)
+
+_NATIONS = (
+    "UNITED STATES", "CHINA", "FRANCE", "GERMANY", "BRAZIL",
+    "JAPAN", "INDIA", "CANADA", "EGYPT", "KENYA",
+)
+
+_CITIES = tuple(f"{nation[:6].strip()}{i}" for nation in _NATIONS for i in range(5))
+
+
+@dataclass
+class SsbInstance:
+    """A generated SSB-style database."""
+
+    lineorder: Relation
+    supplier: Relation
+    part: Relation
+    date: Relation
+    customer: Relation
+    fd: FunctionalDependency
+    injection: Optional[ErrorInjectionReport] = None
+
+
+def clean_lineorder(
+    num_rows: int,
+    num_orderkeys: int,
+    num_suppkeys: int,
+    num_partkeys: int = 200,
+    num_custkeys: int = 200,
+    num_dates: int = 365,
+    seed: int = 42,
+) -> Relation:
+    """A lineorder table satisfying ``orderkey → suppkey`` by construction."""
+    if num_orderkeys < 1 or num_suppkeys < 1:
+        raise DatasetError("key cardinalities must be >= 1")
+    rng = random.Random(seed)
+    # Each orderkey is assigned one supplier (the FD's ground truth).
+    order_to_supp = {
+        ok: rng.randrange(num_suppkeys) for ok in range(num_orderkeys)
+    }
+    raw = []
+    for i in range(num_rows):
+        orderkey = i % num_orderkeys
+        price = round(rng.uniform(100.0, 10000.0), 2)
+        discount = round(rng.uniform(0.0, 0.10), 4)
+        raw.append(
+            (
+                orderkey,
+                i // num_orderkeys + 1,
+                rng.randrange(num_custkeys),
+                rng.randrange(num_partkeys),
+                order_to_supp[orderkey],
+                20200101 + rng.randrange(num_dates),
+                rng.randrange(1, 51),
+                price,
+                discount,
+                round(price * (1 - discount), 2),
+            )
+        )
+    return Relation.from_rows(LINEORDER_SCHEMA, raw, name="lineorder", validate=False)
+
+
+def dirty_lineorder(
+    num_rows: int,
+    num_orderkeys: int,
+    num_suppkeys: int,
+    error_group_fraction: float = 1.0,
+    error_member_fraction: float = 0.1,
+    seed: int = 42,
+) -> tuple[Relation, FunctionalDependency, ErrorInjectionReport]:
+    """A lineorder with FD violations on orderkey → suppkey.
+
+    ``error_group_fraction`` controls how many orderkeys are violated (the
+    Fig. 9 knob: 20%-80%; Figs 5/6 use 100%); ``error_member_fraction`` how
+    many of each orderkey's rows get a wrong supplier (the paper's 10%).
+    """
+    clean = clean_lineorder(num_rows, num_orderkeys, num_suppkeys, seed=seed)
+    fd = FunctionalDependency("orderkey", "suppkey", name="phi_ok_sk")
+    dirty, report = inject_fd_errors(
+        clean,
+        fd,
+        group_fraction=error_group_fraction,
+        member_fraction=error_member_fraction,
+        seed=seed + 1,
+        value_pool=list(range(num_suppkeys)),
+    )
+    return dirty, fd, report
+
+
+def supplier_table(
+    num_suppkeys: int, duplicates: int = 2, seed: int = 43
+) -> Relation:
+    """A supplier dimension with ``duplicates`` entries per supplier.
+
+    Each supplier's rows share one address (``address → suppkey`` holds by
+    construction); duplicate entries give the FD multi-member groups, the
+    same scale-up-by-duplication the paper applies to the Nestlé data.
+    """
+    rng = random.Random(seed)
+    raw = []
+    for sk in range(num_suppkeys):
+        nation = rng.choice(_NATIONS)
+        city = rng.choice(_CITIES)
+        for _copy in range(max(1, duplicates)):
+            raw.append(
+                (
+                    sk,
+                    f"Supplier#{sk:05d}",
+                    f"addr_{sk:05d}",
+                    city,
+                    nation,
+                )
+            )
+    return Relation.from_rows(SUPPLIER_SCHEMA, raw, name="supplier", validate=False)
+
+
+def dirty_supplier(
+    num_suppkeys: int,
+    error_fraction: float = 0.1,
+    duplicates: int = 2,
+    seed: int = 43,
+) -> tuple[Relation, FunctionalDependency, ErrorInjectionReport]:
+    """A supplier table violating ``address → suppkey``.
+
+    A fraction of the address groups get one of their duplicate entries'
+    suppkey edited, producing conflicting suppkeys at one address.
+    """
+    clean = supplier_table(num_suppkeys, duplicates=duplicates, seed=seed)
+    fd = FunctionalDependency("address", "suppkey", name="psi_addr_sk")
+    dirty, report = inject_fd_errors(
+        clean,
+        fd,
+        group_fraction=error_fraction,
+        member_fraction=0.5,
+        seed=seed + 1,
+        value_pool=list(range(num_suppkeys)),
+    )
+    return dirty, fd, report
+
+
+def part_table(num_partkeys: int, seed: int = 44) -> Relation:
+    rng = random.Random(seed)
+    categories = [f"CAT#{i}" for i in range(10)]
+    raw = [
+        (
+            pk,
+            f"Part#{pk:05d}",
+            f"Brand#{rng.randrange(25)}",
+            rng.choice(categories),
+        )
+        for pk in range(num_partkeys)
+    ]
+    return Relation.from_rows(PART_SCHEMA, raw, name="part", validate=False)
+
+
+def date_table(num_dates: int = 365, seed: int = 45) -> Relation:
+    raw = []
+    for i in range(num_dates):
+        datekey = 20200101 + i
+        raw.append((datekey, 2020 + i // 365, (i // 30) % 12 + 1))
+    return Relation.from_rows(DATE_SCHEMA, raw, name="date", validate=False)
+
+
+def customer_table(num_custkeys: int, seed: int = 46) -> Relation:
+    rng = random.Random(seed)
+    raw = [
+        (
+            ck,
+            f"Customer#{ck:05d}",
+            rng.choice(_CITIES),
+            rng.choice(_NATIONS),
+        )
+        for ck in range(num_custkeys)
+    ]
+    return Relation.from_rows(CUSTOMER_SCHEMA, raw, name="customer", validate=False)
+
+
+def generate_instance(
+    num_rows: int = 5000,
+    num_orderkeys: int = 500,
+    num_suppkeys: int = 100,
+    error_group_fraction: float = 1.0,
+    error_member_fraction: float = 0.1,
+    supplier_error_fraction: float = 0.1,
+    seed: int = 42,
+) -> SsbInstance:
+    """A full SSB-style instance with dirty lineorder and supplier tables."""
+    lineorder, fd, injection = dirty_lineorder(
+        num_rows,
+        num_orderkeys,
+        num_suppkeys,
+        error_group_fraction=error_group_fraction,
+        error_member_fraction=error_member_fraction,
+        seed=seed,
+    )
+    supplier, _supp_fd, _supp_rep = dirty_supplier(
+        num_suppkeys, error_fraction=supplier_error_fraction, seed=seed + 10
+    )
+    return SsbInstance(
+        lineorder=lineorder,
+        supplier=supplier,
+        part=part_table(200, seed=seed + 20),
+        date=date_table(365, seed=seed + 30),
+        customer=customer_table(200, seed=seed + 40),
+        fd=fd,
+        injection=injection,
+    )

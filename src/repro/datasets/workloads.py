@@ -1,0 +1,163 @@
+"""Query-workload builders for the paper's experiments.
+
+All workloads are sequences of SQL strings for the supported template.
+The synthetic experiments use *non-overlapping* range queries with a fixed
+selectivity that together cover the whole key domain (Figs 5-12); the SSB
+"complex" workload provides the Q1/Q2/Q3 join templates of Fig. 13.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+def range_queries(
+    table: str,
+    attr: str,
+    domain_size: int,
+    num_queries: int,
+    projection: str = "*",
+    shuffle_seed: Optional[int] = None,
+) -> list[str]:
+    """``num_queries`` non-overlapping range filters covering [0, domain_size).
+
+    Each query selects a contiguous slice of the attribute's integer domain;
+    together they access the whole dataset exactly once (the Figs 5/6 setup:
+    50 queries, 2% selectivity each).
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    bounds = [round(i * domain_size / num_queries) for i in range(num_queries + 1)]
+    queries = []
+    for i in range(num_queries):
+        low, high = bounds[i], bounds[i + 1]
+        queries.append(
+            f"SELECT {projection} FROM {table} "
+            f"WHERE {attr} >= {low} AND {attr} < {high}"
+        )
+    if shuffle_seed is not None:
+        random.Random(shuffle_seed).shuffle(queries)
+    return queries
+
+
+def random_selectivity_queries(
+    table: str,
+    attr: str,
+    domain_size: int,
+    num_queries: int,
+    seed: int = 3,
+    projection: str = "*",
+) -> list[str]:
+    """Non-overlapping queries with random widths (the Fig. 7 / Fig. 12 mix
+    of equality and range conditions with random selectivities)."""
+    rng = random.Random(seed)
+    cuts = sorted(rng.sample(range(1, domain_size), min(num_queries - 1, domain_size - 1)))
+    bounds = [0] + cuts + [domain_size]
+    queries = []
+    for i in range(len(bounds) - 1):
+        low, high = bounds[i], bounds[i + 1]
+        if high - low == 1:
+            queries.append(f"SELECT {projection} FROM {table} WHERE {attr} = {low}")
+        else:
+            queries.append(
+                f"SELECT {projection} FROM {table} "
+                f"WHERE {attr} >= {low} AND {attr} < {high}"
+            )
+    rng.shuffle(queries)
+    return queries
+
+
+def join_queries(
+    num_queries: int,
+    num_orderkeys: int,
+    projection: str = "lineorder.orderkey, lineorder.suppkey, supplier.address",
+) -> list[str]:
+    """Fig. 11's workload: filter lineorder, join with supplier.
+
+    Non-overlapping orderkey ranges that cover the whole lineorder table.
+    """
+    bounds = [round(i * num_orderkeys / num_queries) for i in range(num_queries + 1)]
+    out = []
+    for i in range(num_queries):
+        low, high = bounds[i], bounds[i + 1]
+        out.append(
+            f"SELECT {projection} FROM lineorder, supplier "
+            f"WHERE lineorder.suppkey = supplier.suppkey "
+            f"AND lineorder.orderkey >= {low} AND lineorder.orderkey < {high}"
+        )
+    return out
+
+
+def mixed_workload(
+    num_queries: int,
+    num_orderkeys: int,
+    seed: int = 9,
+) -> list[str]:
+    """Fig. 12's mix: SP and SPJ queries with random selectivities."""
+    rng = random.Random(seed)
+    sp = random_selectivity_queries(
+        "lineorder", "orderkey", num_orderkeys, num_queries, seed=seed
+    )
+    out = []
+    for i, query in enumerate(sp[:num_queries]):
+        if rng.random() < 0.4:
+            where = query.split("WHERE", 1)[1]
+            out.append(
+                "SELECT lineorder.orderkey, lineorder.suppkey, supplier.address "
+                "FROM lineorder, supplier "
+                "WHERE lineorder.suppkey = supplier.suppkey AND" + where
+            )
+        else:
+            out.append(query)
+    return out
+
+
+def ssb_q1(low: int, high: int) -> str:
+    """Fig. 13 Q1: lineorder ⋈ supplier with a suppkey range filter."""
+    return (
+        "SELECT lineorder.orderkey, lineorder.suppkey, supplier.name "
+        "FROM lineorder, supplier "
+        "WHERE lineorder.suppkey = supplier.suppkey "
+        f"AND lineorder.suppkey >= {low} AND lineorder.suppkey < {high}"
+    )
+
+
+def ssb_q2(low: int, high: int) -> str:
+    """Fig. 13 Q2: Q1 plus part and date joins, grouped by year and brand."""
+    return (
+        "SELECT date.year, part.brand, SUM(lineorder.revenue) AS revenue "
+        "FROM lineorder, supplier, part, date "
+        "WHERE lineorder.suppkey = supplier.suppkey "
+        "AND lineorder.partkey = part.partkey "
+        "AND lineorder.orderdate = date.datekey "
+        f"AND lineorder.suppkey >= {low} AND lineorder.suppkey < {high} "
+        "GROUP BY date.year, part.brand"
+    )
+
+
+def ssb_q3(low: int, high: int) -> str:
+    """Fig. 13 Q3: Q2 plus the customer join."""
+    return (
+        "SELECT date.year, customer.cnation, SUM(lineorder.revenue) AS revenue "
+        "FROM lineorder, supplier, part, date, customer "
+        "WHERE lineorder.suppkey = supplier.suppkey "
+        "AND lineorder.partkey = part.partkey "
+        "AND lineorder.orderdate = date.datekey "
+        "AND lineorder.custkey = customer.custkey "
+        f"AND lineorder.suppkey >= {low} AND lineorder.suppkey < {high} "
+        "GROUP BY date.year, customer.cnation"
+    )
+
+
+def ssb_complex_workload(
+    variant: str, num_queries: int, num_suppkeys: int
+) -> list[str]:
+    """A Fig. 13 workload of one query shape (q1 / q2 / q3)."""
+    builders = {"q1": ssb_q1, "q2": ssb_q2, "q3": ssb_q3}
+    try:
+        build = builders[variant]
+    except KeyError:
+        raise ValueError(f"variant must be one of {sorted(builders)}") from None
+    bounds = [round(i * num_suppkeys / num_queries) for i in range(num_queries + 1)]
+    return [build(bounds[i], bounds[i + 1]) for i in range(num_queries)]

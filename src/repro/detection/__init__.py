@@ -1,0 +1,29 @@
+"""Violation detection: FD group-by detection, DC theta-join, estimation."""
+
+from repro.detection.fd_detector import (
+    FdViolationReport,
+    ViolatingGroup,
+    detect_fd_violations,
+    violating_lhs_keys,
+)
+from repro.detection.thetajoin import BoundingBox, ThetaJoinMatrix, ViolationPair
+from repro.detection.estimator import (
+    CleaningDecision,
+    RangeErrorEstimate,
+    decide_cleaning,
+    estimate_errors,
+)
+
+__all__ = [
+    "FdViolationReport",
+    "ViolatingGroup",
+    "detect_fd_violations",
+    "violating_lhs_keys",
+    "ThetaJoinMatrix",
+    "ViolationPair",
+    "BoundingBox",
+    "estimate_errors",
+    "decide_cleaning",
+    "CleaningDecision",
+    "RangeErrorEstimate",
+]

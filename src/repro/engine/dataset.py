@@ -1,0 +1,220 @@
+"""A partitioned, lazily-evaluated dataset — the Spark RDD stand-in.
+
+:class:`PartitionedDataset` offers the bulk operators Daisy's algorithms are
+written against (map / filter / group-by / join / union / distinct) over an
+explicit list of partitions.  Execution is eager per operator but partition-
+at-a-time, and every operator charges work units to a
+:class:`~repro.engine.stats.WorkCounter`.
+
+The simulated cluster has ``num_workers`` parallel workers: the dataset also
+tracks the *critical path* cost (max over partitions of per-partition work)
+so the harness can report "parallel time" = critical-path work, matching how
+a Spark stage's latency is governed by its slowest task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Hashable, Iterable, Iterator, Optional, TypeVar
+
+from repro.engine.partition import HashPartitioner
+from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K", bound=Hashable)
+
+
+class PartitionedDataset(Generic[T]):
+    """An immutable list of partitions with Spark-like bulk operators."""
+
+    def __init__(
+        self,
+        partitions: Iterable[Iterable[T]],
+        counter: Optional[WorkCounter] = None,
+        num_workers: int = 4,
+    ):
+        self._partitions: list[list[T]] = [list(p) for p in partitions]
+        if not self._partitions:
+            self._partitions = [[]]
+        self.counter = counter if counter is not None else GLOBAL_COUNTER
+        self.num_workers = max(1, num_workers)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Iterable[T],
+        num_partitions: int = 4,
+        counter: Optional[WorkCounter] = None,
+        num_workers: int = 4,
+    ) -> "PartitionedDataset[T]":
+        """Round-robin distribute ``items`` into ``num_partitions`` partitions."""
+        parts: list[list[T]] = [[] for _ in range(max(1, num_partitions))]
+        for i, item in enumerate(items):
+            parts[i % len(parts)].append(item)
+        return cls(parts, counter=counter, num_workers=num_workers)
+
+    def _derive(self, partitions: Iterable[Iterable[T]]) -> "PartitionedDataset[Any]":
+        return PartitionedDataset(
+            partitions, counter=self.counter, num_workers=self.num_workers
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def partitions(self) -> list[list[T]]:
+        return self._partitions
+
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def count(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def collect(self) -> list[T]:
+        """Materialize all items (partition order, then intra-partition order)."""
+        out: list[T] = []
+        for part in self._partitions:
+            out.extend(part)
+        return out
+
+    def __iter__(self) -> Iterator[T]:
+        for part in self._partitions:
+            yield from part
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def critical_path_size(self) -> int:
+        """Size of the largest partition (proxy for slowest-task latency)."""
+        return max((len(p) for p in self._partitions), default=0)
+
+    # -- bulk operators ------------------------------------------------------------
+
+    def map(self, fn: Callable[[T], U]) -> "PartitionedDataset[U]":
+        self.counter.charge_scan(self.count())
+        return self._derive([[fn(x) for x in part] for part in self._partitions])
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "PartitionedDataset[U]":
+        self.counter.charge_scan(self.count())
+        return self._derive(
+            [[y for x in part for y in fn(x)] for part in self._partitions]
+        )
+
+    def filter(self, fn: Callable[[T], bool]) -> "PartitionedDataset[T]":
+        self.counter.charge_scan(self.count())
+        return self._derive([[x for x in part if fn(x)] for part in self._partitions])
+
+    def map_partitions(
+        self, fn: Callable[[list[T]], Iterable[U]]
+    ) -> "PartitionedDataset[U]":
+        self.counter.charge_scan(self.count())
+        return self._derive([list(fn(part)) for part in self._partitions])
+
+    def union(self, other: "PartitionedDataset[T]") -> "PartitionedDataset[T]":
+        return self._derive(self._partitions + other._partitions)
+
+    def distinct(self) -> "PartitionedDataset[T]":
+        """Global distinct (requires a shuffle: items are re-hashed)."""
+        self.counter.charge_scan(self.count())
+        seen: set[T] = set()
+        out: list[T] = []
+        for item in self:
+            if item not in seen:
+                seen.add(item)
+                out.append(item)
+        return PartitionedDataset.from_items(
+            out,
+            num_partitions=self.num_partitions(),
+            counter=self.counter,
+            num_workers=self.num_workers,
+        )
+
+    def group_by_key(
+        self: "PartitionedDataset[tuple[K, U]]",
+    ) -> "PartitionedDataset[tuple[K, list[U]]]":
+        """Group (key, value) pairs by key — the shuffle primitive.
+
+        A hash shuffle moves every item once (charged as a scan), then each
+        output partition holds whole groups.
+        """
+        self.counter.charge_scan(self.count())
+        partitioner: HashPartitioner[tuple[K, U]] = HashPartitioner(
+            max(1, self.num_partitions()), key=lambda kv: kv[0]
+        )
+        shuffled = partitioner.split(self.collect())
+        out_parts: list[list[tuple[K, list[U]]]] = []
+        for part in shuffled:
+            groups: dict[K, list[U]] = {}
+            order: list[K] = []
+            for key, value in part:
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(value)
+            out_parts.append([(k, groups[k]) for k in order])
+        return self._derive(out_parts)
+
+    def reduce_by_key(
+        self: "PartitionedDataset[tuple[K, U]]", fn: Callable[[U, U], U]
+    ) -> "PartitionedDataset[tuple[K, U]]":
+        grouped = self.group_by_key()
+
+        def reduce_group(kv: tuple[K, list[U]]) -> tuple[K, U]:
+            key, values = kv
+            acc = values[0]
+            for value in values[1:]:
+                acc = fn(acc, value)
+            return (key, acc)
+
+        return grouped.map(reduce_group)
+
+    def join(
+        self: "PartitionedDataset[tuple[K, T]]",
+        other: "PartitionedDataset[tuple[K, U]]",
+    ) -> "PartitionedDataset[tuple[K, tuple[T, U]]]":
+        """Hash equi-join of two keyed datasets."""
+        self.counter.charge_scan(self.count() + other.count())
+        table: dict[K, list[U]] = {}
+        for key, value in other:
+            table.setdefault(key, []).append(value)
+        out: list[tuple[K, tuple[T, U]]] = []
+        for key, value in self:
+            self.counter.charge_join_probe()
+            for match in table.get(key, ()):
+                out.append((key, (value, match)))
+        return PartitionedDataset.from_items(
+            out,
+            num_partitions=self.num_partitions(),
+            counter=self.counter,
+            num_workers=self.num_workers,
+        )
+
+    def cartesian_pairs_within_partitions(
+        self, predicate: Callable[[T, T], bool]
+    ) -> "PartitionedDataset[tuple[T, T]]":
+        """All intra-partition pairs (i<j) matching ``predicate``.
+
+        This is the building block the theta-join matrix uses for checking
+        one matrix cell; each evaluated pair is charged as a comparison.
+        """
+        out_parts: list[list[tuple[T, T]]] = []
+        for part in self._partitions:
+            hits: list[tuple[T, T]] = []
+            for i in range(len(part)):
+                for j in range(i + 1, len(part)):
+                    self.counter.charge_comparisons()
+                    if predicate(part[i], part[j]):
+                        hits.append((part[i], part[j]))
+            out_parts.append(hits)
+        return self._derive(out_parts)
+
+    def repartition(self, num_partitions: int) -> "PartitionedDataset[T]":
+        self.counter.charge_scan(self.count())
+        return PartitionedDataset.from_items(
+            self.collect(),
+            num_partitions=num_partitions,
+            counter=self.counter,
+            num_workers=self.num_workers,
+        )

@@ -1,0 +1,135 @@
+"""Partitioners for the dataflow engine.
+
+Spark distributes an RDD across partitions; our stand-in does the same with
+explicit partition lists so that (a) per-partition work can be accounted and
+(b) the theta-join matrix partitioning of Section 4.2 has a first-class
+substrate to build on.
+
+Two partitioners are provided:
+
+* :class:`HashPartitioner` — hash of a key function modulo partition count
+  (what Spark uses for shuffles/group-bys).
+* :class:`RangePartitioner` — contiguous value ranges over a numeric
+  attribute (what the Okcan–Riedewald matrix partitioning needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class HashPartitioner(Generic[T]):
+    """Assign items to ``num_partitions`` buckets by hashing a key."""
+
+    def __init__(self, num_partitions: int, key: Callable[[T], Any]):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.key = key
+
+    def partition_of(self, item: T) -> int:
+        return hash(self.key(item)) % self.num_partitions
+
+    def split(self, items: Iterable[T]) -> list[list[T]]:
+        parts: list[list[T]] = [[] for _ in range(self.num_partitions)]
+        for item in items:
+            parts[self.partition_of(item)].append(item)
+        return parts
+
+
+@dataclass(frozen=True)
+class RangeBoundary:
+    """A half-open numeric interval [low, high) assigned to one partition.
+
+    The final partition of a :class:`RangePartitioner` is closed on both ends
+    so the maximum value is not lost.
+    """
+
+    low: float
+    high: float
+    closed_high: bool = False
+
+    def contains(self, value: float) -> bool:
+        if value < self.low:
+            return False
+        if self.closed_high:
+            return value <= self.high
+        return value < self.high
+
+    def overlaps(self, low: float, high: float) -> bool:
+        """Does this boundary intersect the closed interval [low, high]?"""
+        if high < self.low:
+            return False
+        if self.closed_high:
+            return low <= self.high
+        return low < self.high
+
+
+class RangePartitioner(Generic[T]):
+    """Split items into contiguous numeric ranges of (roughly) equal count.
+
+    Boundaries are computed from the sorted key values, like Spark's
+    sample-based range partitioner but exact (we are single-process, so we
+    can afford a full sort).
+    """
+
+    def __init__(self, num_partitions: int, key: Callable[[T], float]):
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.key = key
+        self.boundaries: list[RangeBoundary] = []
+
+    def fit(self, items: Sequence[T]) -> "RangePartitioner[T]":
+        """Compute boundaries from the data.  Returns self for chaining."""
+        values = sorted(self.key(item) for item in items)
+        if not values:
+            self.boundaries = [RangeBoundary(0.0, 0.0, closed_high=True)]
+            return self
+        n = len(values)
+        p = min(self.num_partitions, n)
+        cuts: list[float] = [values[0]]
+        for i in range(1, p):
+            cuts.append(values[(i * n) // p])
+        cuts.append(values[-1])
+        bounds: list[RangeBoundary] = []
+        for i in range(p):
+            closed = i == p - 1
+            bounds.append(RangeBoundary(cuts[i], cuts[i + 1], closed_high=closed))
+        self.boundaries = bounds
+        return self
+
+    def partition_of(self, item: T) -> int:
+        value = self.key(item)
+        return self.partition_of_value(value)
+
+    def partition_of_value(self, value: float) -> int:
+        if not self.boundaries:
+            raise RuntimeError("RangePartitioner.fit() must be called first")
+        # Binary search over boundaries.
+        lo, hi = 0, len(self.boundaries) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            bound = self.boundaries[mid]
+            if value < bound.low:
+                hi = mid - 1
+            elif bound.contains(value):
+                return mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def split(self, items: Iterable[T]) -> list[list[T]]:
+        if not self.boundaries:
+            items = list(items)
+            self.fit(items)
+        parts: list[list[T]] = [[] for _ in range(len(self.boundaries))]
+        for item in items:
+            value = self.key(item)
+            idx = self.partition_of_value(value)
+            idx = max(0, min(idx, len(parts) - 1))
+            parts[idx].append(item)
+        return parts

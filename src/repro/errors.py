@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Subclasses mirror the major subsystems
+(relations, constraints, queries, cleaning) so that errors can be handled at
+the right granularity.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a relation schema is malformed or attributes are unknown."""
+
+
+class TypeMismatchError(SchemaError):
+    """Raised when a value does not match the declared column type."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a denial constraint is malformed."""
+
+
+class ConstraintParseError(ConstraintError):
+    """Raised when the textual DC notation cannot be parsed."""
+
+
+class QueryError(ReproError):
+    """Raised when a query is malformed or references unknown objects."""
+
+
+class QueryParseError(QueryError):
+    """Raised when the SQL text cannot be parsed."""
+
+
+class PlanError(QueryError):
+    """Raised when a logical plan cannot be built or executed."""
+
+
+class CleaningError(ReproError):
+    """Raised when a cleaning operator fails."""
+
+
+class ProbabilisticValueError(ReproError):
+    """Raised when a probabilistic value is malformed (e.g. bad weights)."""
+
+
+class SatError(ReproError):
+    """Raised when a CNF formula is malformed."""
+
+
+class DatasetError(ReproError):
+    """Raised by synthetic dataset generators on invalid parameters."""

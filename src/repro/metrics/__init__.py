@@ -1,0 +1,13 @@
+"""Metrics: repair accuracy and timing helpers."""
+
+from repro.metrics.accuracy import AccuracyReport, evaluate_relation, evaluate_repairs
+from repro.metrics.timing import Measurement, Stopwatch, timed
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_repairs",
+    "evaluate_relation",
+    "Stopwatch",
+    "Measurement",
+    "timed",
+]

@@ -1,0 +1,106 @@
+"""Repair-accuracy metrics: precision / recall / F1 against master data.
+
+The paper's definitions (Section 7): *precision* = correct updates / total
+updates, *recall* = correct updates / total errors.  An "update" is a cell
+whose repaired value differs from its dirty value; it is "correct" when the
+repaired value equals the master-data value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.probabilistic.value import PValue
+from repro.relation.relation import Relation
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Precision / recall / F1 plus the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    total_updates: int
+    correct_updates: int
+    total_errors: int
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+
+def _resolved(cell: Any) -> Any:
+    """A cell's repaired concrete value (most probable for PValues)."""
+    if isinstance(cell, PValue):
+        return cell.most_probable()
+    return cell
+
+
+def evaluate_repairs(
+    repairs: Mapping[tuple[int, str], Any],
+    dirty: Relation,
+    ground_truth: Mapping[tuple[int, str], Any],
+) -> AccuracyReport:
+    """Score a repair map against injected ground truth.
+
+    ``repairs`` maps (tid, attr) -> repaired value; ``ground_truth`` maps
+    the *injected-error* cells to their original correct values.  A repair
+    of a cell that was never dirty counts as an update (hurting precision)
+    unless it reproduces the cell's current value.
+    """
+    dirty_rows = dirty.tid_index()
+    total_updates = 0
+    correct_updates = 0
+    for (tid, attr), value in repairs.items():
+        row = dirty_rows.get(tid)
+        if row is None:
+            continue
+        idx = dirty.schema.index_of(attr)
+        dirty_value = _resolved(row.values[idx])
+        if value == dirty_value:
+            continue  # no-op, not an update
+        total_updates += 1
+        truth = ground_truth.get((tid, attr))
+        if truth is not None and value == truth:
+            correct_updates += 1
+    total_errors = len(ground_truth)
+    precision = correct_updates / total_updates if total_updates else 0.0
+    recall = correct_updates / total_errors if total_errors else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if (precision + recall) > 0
+        else 0.0
+    )
+    return AccuracyReport(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        total_updates=total_updates,
+        correct_updates=correct_updates,
+        total_errors=total_errors,
+    )
+
+
+def evaluate_relation(
+    repaired: Relation,
+    dirty: Relation,
+    ground_truth: Mapping[tuple[int, str], Any],
+    attrs: Optional[list[str]] = None,
+) -> AccuracyReport:
+    """Score a repaired relation (probabilistic cells resolve to most
+    probable) against ground truth, over ``attrs`` (default: all)."""
+    names = attrs if attrs is not None else list(repaired.schema.names)
+    dirty_rows = dirty.tid_index()
+    repairs: dict[tuple[int, str], Any] = {}
+    for row in repaired.rows:
+        dirty_row = dirty_rows.get(row.tid)
+        if dirty_row is None:
+            continue
+        for attr in names:
+            idx = repaired.schema.index_of(attr)
+            new_value = _resolved(row.values[idx])
+            old_value = _resolved(dirty_row.values[dirty.schema.index_of(attr)])
+            if new_value != old_value:
+                repairs[(row.tid, attr)] = new_value
+    return evaluate_repairs(repairs, dirty, ground_truth)

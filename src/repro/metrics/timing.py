@@ -1,0 +1,66 @@
+"""Response-time measurement helpers for the benchmark harness.
+
+Benchmarks report both wall-clock seconds and deterministic work units
+(:class:`~repro.engine.stats.WorkCounter` tallies); :class:`Stopwatch` and
+:func:`timed` keep the measurement code out of the benchmark bodies.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from repro.engine.stats import WorkCounter
+
+
+@dataclass
+class Measurement:
+    """One timed run: seconds + work-unit delta."""
+
+    seconds: float = 0.0
+    work: Optional[WorkCounter] = None
+    label: str = ""
+
+    def work_units(self) -> int:
+        return self.work.total() if self.work is not None else 0
+
+    def __str__(self) -> str:
+        wu = f", {self.work_units()} wu" if self.work is not None else ""
+        return f"{self.label or 'run'}: {self.seconds:.3f}s{wu}"
+
+
+class Stopwatch:
+    """Accumulates named measurements (one per experiment series point)."""
+
+    def __init__(self) -> None:
+        self.measurements: list[Measurement] = []
+
+    @contextmanager
+    def measure(
+        self, label: str, counter: Optional[WorkCounter] = None
+    ) -> Iterator[Measurement]:
+        before = counter.snapshot() if counter is not None else None
+        started = time.perf_counter()
+        measurement = Measurement(label=label)
+        try:
+            yield measurement
+        finally:
+            measurement.seconds = time.perf_counter() - started
+            if counter is not None and before is not None:
+                measurement.work = counter.delta_since(before)
+            self.measurements.append(measurement)
+
+    def by_label(self) -> dict[str, Measurement]:
+        return {m.label: m for m in self.measurements}
+
+    def report(self) -> str:
+        return "\n".join(str(m) for m in self.measurements)
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` and return (result, seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

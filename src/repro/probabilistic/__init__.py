@@ -1,0 +1,49 @@
+"""Probabilistic data model: attribute-level uncertainty, lineage, worlds.
+
+``value`` has no dependency on the relational layer; ``lineage`` and
+``worlds`` build on relations.  The latter are loaded lazily (PEP 562) so
+that ``repro.relation`` can import ``repro.probabilistic.value`` without a
+circular import.
+"""
+
+from repro.probabilistic.value import (
+    Candidate,
+    PValue,
+    ValueRange,
+    candidate_values,
+    cell_compare,
+    cells_may_equal,
+    plain,
+)
+
+_LAZY = {
+    "JoinLineage": "repro.probabilistic.lineage",
+    "JoinResult": "repro.probabilistic.lineage",
+    "join_with_lineage": "repro.probabilistic.lineage",
+    "incremental_join_update": "repro.probabilistic.lineage",
+    "World": "repro.probabilistic.worlds",
+    "enumerate_worlds": "repro.probabilistic.worlds",
+    "world_count": "repro.probabilistic.worlds",
+}
+
+__all__ = [
+    "Candidate",
+    "PValue",
+    "ValueRange",
+    "plain",
+    "candidate_values",
+    "cells_may_equal",
+    "cell_compare",
+    *_LAZY.keys(),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

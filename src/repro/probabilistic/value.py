@@ -1,0 +1,379 @@
+"""Attribute-level uncertain values.
+
+The paper represents repaired data with *attribute-level uncertainty*
+(Section 4): an erroneous cell is replaced by the set of candidate values it
+may take, each carrying a frequency-based probability, plus the identifier of
+the *possible world* (candidate pair) it belongs to.  A tuple then qualifies a
+query operator iff at least one candidate value qualifies.
+
+:class:`Candidate` is one candidate value; :class:`PValue` is the full
+probabilistic cell.  Candidates may also be *ranges* (for general DCs with
+inequality predicates, holistic repair produces fixes such as
+``salary < 2000``) — see :class:`ValueRange`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ProbabilisticValueError
+
+#: Tolerance used when checking that probabilities sum to one.
+PROB_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """An open/closed interval candidate produced by holistic DC repair.
+
+    ``low``/``high`` may be ``None`` for unbounded ends.  ``low_open`` /
+    ``high_open`` control strictness, so ``ValueRange(low=2000, low_open=True)``
+    means ``> 2000``.
+    """
+
+    low: Optional[float] = None
+    high: Optional[float] = None
+    low_open: bool = True
+    high_open: bool = True
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise ProbabilisticValueError(
+                f"empty range: low={self.low} > high={self.high}"
+            )
+
+    def contains(self, value: Any) -> bool:
+        """Return True iff a concrete ``value`` falls inside the range."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        if self.low is not None:
+            if self.low_open and value <= self.low:
+                return False
+            if not self.low_open and value < self.low:
+                return False
+        if self.high is not None:
+            if self.high_open and value >= self.high:
+                return False
+            if not self.high_open and value > self.high:
+                return False
+        return True
+
+    def overlaps(self, other: "ValueRange") -> bool:
+        """Return True iff two ranges share at least one point."""
+        lo_a = -math.inf if self.low is None else self.low
+        hi_a = math.inf if self.high is None else self.high
+        lo_b = -math.inf if other.low is None else other.low
+        hi_b = math.inf if other.high is None else other.high
+        if hi_a < lo_b or hi_b < lo_a:
+            return False
+        if hi_a == lo_b:
+            return not (self.high_open or other.low_open)
+        if hi_b == lo_a:
+            return not (other.high_open or self.low_open)
+        return True
+
+    def midpoint(self, default_width: float = 1.0) -> float:
+        """A representative concrete value inside the range (for inference)."""
+        if self.low is not None and self.high is not None:
+            return (self.low + self.high) / 2.0
+        if self.low is not None:
+            return self.low + default_width
+        if self.high is not None:
+            return self.high - default_width
+        return 0.0
+
+    def __str__(self) -> str:
+        left = "(" if self.low_open else "["
+        right = ")" if self.high_open else "]"
+        lo = "-inf" if self.low is None else f"{self.low:g}"
+        hi = "+inf" if self.high is None else f"{self.high:g}"
+        return f"{left}{lo},{hi}{right}"
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate value of a probabilistic cell.
+
+    ``world`` identifies the candidate-pair / possible world the candidate
+    belongs to (Section 4: "we store in each candidate value an identifier of
+    the possible world it belongs to").  Candidates from the same repair that
+    must co-occur share a world id.
+    """
+
+    value: Any
+    prob: float
+    world: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.prob <= 1.0 + PROB_TOLERANCE):
+            raise ProbabilisticValueError(
+                f"candidate probability must be in [0,1], got {self.prob}"
+            )
+
+    def matches(self, concrete: Any) -> bool:
+        """True iff this candidate is compatible with a concrete value."""
+        if isinstance(self.value, ValueRange):
+            return self.value.contains(concrete)
+        return self.value == concrete
+
+    def is_range(self) -> bool:
+        return isinstance(self.value, ValueRange)
+
+
+class PValue:
+    """A probabilistic (multi-candidate) cell value.
+
+    The candidate list is normalized at construction: candidates with the
+    same (value, world) are merged by summing probabilities, and the result
+    is sorted by descending probability (ties broken by stable value order)
+    so that :meth:`most_probable` is deterministic.
+    """
+
+    __slots__ = ("_candidates",)
+
+    def __init__(self, candidates: Iterable[Candidate]):
+        merged: dict[tuple[Any, int], float] = {}
+        order: list[tuple[Any, int]] = []
+        for cand in candidates:
+            key = (cand.value, cand.world)
+            if key not in merged:
+                merged[key] = 0.0
+                order.append(key)
+            merged[key] += cand.prob
+        if not merged:
+            raise ProbabilisticValueError("PValue requires at least one candidate")
+        total = sum(merged.values())
+        if total <= 0:
+            raise ProbabilisticValueError("candidate probabilities sum to zero")
+        cands = [
+            Candidate(value=key[0], prob=merged[key] / total, world=key[1])
+            for key in order
+        ]
+        cands.sort(key=lambda c: (-c.prob, str(c.value), c.world))
+        self._candidates: tuple[Candidate, ...] = tuple(cands)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_frequencies(
+        cls, counts: dict[Any, int], world_ids: Optional[dict[Any, int]] = None
+    ) -> "PValue":
+        """Build a PValue from raw frequency counts (the paper's fix weights)."""
+        total = sum(counts.values())
+        if total <= 0:
+            raise ProbabilisticValueError("frequency counts sum to zero")
+        worlds = world_ids or {}
+        return cls(
+            Candidate(value=v, prob=c / total, world=worlds.get(v, 0))
+            for v, c in counts.items()
+        )
+
+    @classmethod
+    def certain(cls, value: Any) -> "PValue":
+        """A degenerate PValue with a single certain candidate."""
+        return cls([Candidate(value=value, prob=1.0)])
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def candidates(self) -> tuple[Candidate, ...]:
+        return self._candidates
+
+    def values(self) -> tuple[Any, ...]:
+        """All candidate values (including ranges)."""
+        return tuple(c.value for c in self._candidates)
+
+    def concrete_values(self) -> tuple[Any, ...]:
+        """Only the non-range candidate values."""
+        return tuple(c.value for c in self._candidates if not c.is_range())
+
+    def worlds(self) -> tuple[int, ...]:
+        """Sorted distinct world ids present among candidates."""
+        return tuple(sorted({c.world for c in self._candidates}))
+
+    def most_probable(self) -> Any:
+        """The highest-probability candidate value (ties are deterministic)."""
+        return self._candidates[0].value
+
+    def probability_of(self, value: Any) -> float:
+        """Total probability mass compatible with ``value``."""
+        return sum(c.prob for c in self._candidates if c.matches(value))
+
+    def is_certain(self) -> bool:
+        return len(self._candidates) == 1 and not self._candidates[0].is_range()
+
+    # -- query semantics -------------------------------------------------------
+
+    def matches(self, concrete: Any) -> bool:
+        """Possible-worlds match: at least one candidate equals/contains it."""
+        return any(c.matches(concrete) for c in self._candidates)
+
+    def compare(self, op: str, concrete: Any) -> bool:
+        """Evaluate ``self <op> concrete`` under possible-worlds semantics.
+
+        Returns True iff *some* candidate satisfies the comparison.  Range
+        candidates satisfy an inequality iff some point of the range does.
+        """
+        for cand in self._candidates:
+            if cand.is_range():
+                if _range_satisfies(cand.value, op, concrete):
+                    return True
+            elif _concrete_satisfies(cand.value, op, concrete):
+                return True
+        return False
+
+    def overlap_values(self, other: "PValue") -> set[Any]:
+        """Concrete candidate values shared by two PValues (for prob. joins)."""
+        mine = set(self.concrete_values())
+        theirs = set(other.concrete_values())
+        return mine & theirs
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PValue):
+            return self._candidates == other._candidates
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._candidates)
+
+    def __iter__(self) -> Iterator[Candidate]:
+        return iter(self._candidates)
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{c.value}@{c.prob:.2f}/w{c.world}" for c in self._candidates
+        )
+        return f"PValue({inner})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{c.value} {c.prob:.0%}" for c in self._candidates)
+        return "{" + inner + "}"
+
+
+def _concrete_satisfies(left: Any, op: str, right: Any) -> bool:
+    """Evaluate a comparison between two concrete values, NULL-safe."""
+    if left is None or right is None:
+        return False
+    if op == "=":
+        return left == right
+    if op in ("!=", "<>"):
+        return left != right
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise ProbabilisticValueError(f"unknown comparison operator {op!r}")
+
+
+def _range_satisfies(rng: ValueRange, op: str, concrete: Any) -> bool:
+    """Can *some* point of ``rng`` satisfy ``point <op> concrete``?"""
+    if concrete is None or not isinstance(concrete, (int, float)):
+        return False
+    lo = -math.inf if rng.low is None else rng.low
+    hi = math.inf if rng.high is None else rng.high
+    if op == "=":
+        return rng.contains(concrete)
+    if op in ("!=", "<>"):
+        return True  # any non-degenerate range has a point != concrete
+    if op == "<":
+        return lo < concrete or (lo == concrete and not rng.low_open and lo < concrete)
+    if op == "<=":
+        return lo <= concrete
+    if op == ">":
+        return hi > concrete
+    if op == ">=":
+        return hi >= concrete
+    raise ProbabilisticValueError(f"unknown comparison operator {op!r}")
+
+
+def plain(value: Any) -> Any:
+    """Collapse ``value`` to a concrete value if probabilistic (most probable)."""
+    if isinstance(value, PValue):
+        picked = value.most_probable()
+        if isinstance(picked, ValueRange):
+            return picked.midpoint()
+        return picked
+    return value
+
+
+def candidate_values(value: Any) -> Sequence[Any]:
+    """All values a cell may take: a singleton for concrete cells."""
+    if isinstance(value, PValue):
+        return value.values()
+    return (value,)
+
+
+def cells_may_equal(a: Any, b: Any) -> bool:
+    """True iff two cells (probabilistic or concrete) may be equal.
+
+    This implements the paper's probabilistic-join semantics: a pair joins
+    iff the candidate sets of the join keys overlap.
+    """
+    if isinstance(a, PValue) and isinstance(b, PValue):
+        if a.overlap_values(b):
+            return True
+        # A range candidate may contain one of the other's concrete values.
+        return any(
+            ca.is_range() and ca.value.contains(v)
+            for ca in a.candidates
+            for v in b.concrete_values()
+        ) or any(
+            cb.is_range() and cb.value.contains(v)
+            for cb in b.candidates
+            for v in a.concrete_values()
+        )
+    if isinstance(a, PValue):
+        return a.matches(b)
+    if isinstance(b, PValue):
+        return b.matches(a)
+    return a == b
+
+
+def cell_compare(a: Any, op: str, b: Any) -> bool:
+    """Possible-worlds comparison between two cells.
+
+    Each side may be concrete or probabilistic; the comparison holds iff some
+    combination of candidates satisfies it.
+    """
+    if isinstance(a, PValue) and isinstance(b, PValue):
+        return any(
+            _pair_satisfies(ca, op, cb) for ca in a.candidates for cb in b.candidates
+        )
+    if isinstance(a, PValue):
+        return a.compare(op, b)
+    if isinstance(b, PValue):
+        return b.compare(_flip(op), a)
+    return _concrete_satisfies(a, op, b)
+
+
+def _pair_satisfies(ca: Candidate, op: str, cb: Candidate) -> bool:
+    if ca.is_range() and cb.is_range():
+        if op == "=":
+            return ca.value.overlaps(cb.value)
+        # For inequalities two ranges almost always admit a satisfying pair;
+        # be conservative (possible-worlds = may-satisfy).
+        return True
+    if ca.is_range():
+        return _range_satisfies(ca.value, op, cb.value)
+    if cb.is_range():
+        return _range_satisfies(cb.value, _flip(op), ca.value)
+    return _concrete_satisfies(ca.value, op, cb.value)
+
+
+def _flip(op: str) -> str:
+    """Mirror a comparison operator (a op b  <=>  b flip(op) a)."""
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!=", "<>": "<>"}[op]

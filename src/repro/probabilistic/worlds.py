@@ -1,0 +1,151 @@
+"""Possible-world enumeration over probabilistic relations.
+
+Attribute-level uncertainty compactly encodes a set of *possible worlds*:
+every way of picking one candidate per probabilistic cell (respecting world
+ids — candidates of one repair that share a world id must be picked
+together).  Enumeration is exponential, so it is only meant for small
+relations; it exists to let tests and users verify possible-worlds semantics
+(e.g. that a tuple appears in a query result iff it qualifies in at least one
+world).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.probabilistic.value import PValue, ValueRange
+from repro.relation.relation import Relation, Row
+
+
+@dataclass(frozen=True)
+class World:
+    """One fully-concrete instantiation of a probabilistic relation."""
+
+    relation: Relation
+    probability: float
+
+
+def _row_choices(row: Row) -> Iterator[tuple[tuple[Any, ...], float]]:
+    """Yield (concrete values, probability) for every instantiation of a row.
+
+    Candidates sharing a world id across different cells of the same row are
+    chosen jointly: a row instantiation is valid only if all probabilistic
+    cells that carry world ids agree on the chosen world (cells whose
+    candidates all have world id 0 are treated as independent).
+    """
+    prob_cells = [
+        (i, v) for i, v in enumerate(row.values) if isinstance(v, PValue)
+    ]
+    if not prob_cells:
+        yield tuple(row.values), 1.0
+        return
+
+    # Partition probabilistic cells into world-linked (non-zero world ids)
+    # and independent (all candidates in world 0).
+    linked = [(i, v) for i, v in prob_cells if any(w != 0 for w in v.worlds())]
+    independent = [(i, v) for i, v in prob_cells if (i, v) not in linked]
+
+    linked_worlds: list[int] = sorted(
+        set(w for _, v in linked for w in v.worlds())
+    ) or [0]
+
+    def instantiations_for_world(world: int) -> Iterator[tuple[dict[int, Any], float]]:
+        per_cell: list[list[tuple[int, Any, float]]] = []
+        for idx, pv in linked:
+            cands = [c for c in pv.candidates if c.world == world]
+            if not cands:
+                cands = list(pv.candidates)  # cell not constrained by world
+            per_cell.append([(idx, c.value, c.prob) for c in cands])
+        for combo in itertools.product(*per_cell) if per_cell else [()]:
+            assignment = {idx: val for idx, val, _p in combo}
+            prob = 1.0
+            for _idx, _val, p in combo:
+                prob *= p
+            yield assignment, prob
+
+    world_weight = 1.0 / len(linked_worlds)
+    base_choices: list[tuple[dict[int, Any], float]] = []
+    if linked:
+        for world in linked_worlds:
+            for assignment, prob in instantiations_for_world(world):
+                base_choices.append((assignment, prob * world_weight))
+    else:
+        base_choices.append(({}, 1.0))
+
+    indep_per_cell = [
+        [(idx, c.value, c.prob) for c in pv.candidates] for idx, pv in independent
+    ]
+    for base_assignment, base_prob in base_choices:
+        for combo in itertools.product(*indep_per_cell) if indep_per_cell else [()]:
+            assignment = dict(base_assignment)
+            prob = base_prob
+            for idx, val, p in combo:
+                assignment[idx] = val
+                prob *= p
+            values = tuple(
+                assignment.get(i, v) for i, v in enumerate(row.values)
+            )
+            yield values, prob
+
+
+def enumerate_worlds(relation: Relation, limit: int = 10000) -> list[World]:
+    """Enumerate concrete worlds of ``relation`` (up to ``limit``).
+
+    Range candidates are concretised with their midpoint.  World
+    probabilities are products of per-row instantiation probabilities
+    (rows are independent).
+    """
+    per_row: list[list[tuple[tuple[Any, ...], float]]] = []
+    total = 1
+    for row in relation.rows:
+        choices = list(_row_choices(row))
+        total *= max(1, len(choices))
+        if total > limit:
+            raise ValueError(
+                f"world count exceeds limit={limit}; relation too uncertain to enumerate"
+            )
+        per_row.append(choices)
+
+    worlds: list[World] = []
+    for combo in itertools.product(*per_row) if per_row else [()]:
+        rows = []
+        prob = 1.0
+        for tid, (values, p) in enumerate(combo):
+            concrete = tuple(
+                v.midpoint() if isinstance(v, ValueRange) else v for v in values
+            )
+            rows.append(Row(relation.rows[tid].tid, concrete))
+            prob *= p
+        worlds.append(World(Relation(relation.schema, rows), prob))
+    return worlds
+
+
+def world_count(relation: Relation) -> int:
+    """Number of possible worlds without materializing them."""
+    total = 1
+    for row in relation.rows:
+        n = sum(1 for _ in _row_choices(row))
+        total *= max(1, n)
+    return total
+
+
+def tuple_appears_in_some_world(
+    relation: Relation, attr: str, op: str, value: Any, tid: int
+) -> bool:
+    """Check, by enumeration, whether row ``tid`` satisfies the filter in
+    at least one possible world — the ground truth for possible-worlds
+    filter semantics."""
+    idx = relation.schema.index_of(attr)
+    row = relation.tid_index()[tid]
+    from repro.probabilistic.value import cell_compare
+
+    for values, _prob in _row_choices(row):
+        cell = values[idx]
+        if isinstance(cell, ValueRange):
+            if cell_compare(PValue.certain(cell.midpoint()), op, value):
+                return True
+        elif cell_compare(cell, op, value):
+            return True
+    return False

@@ -1,0 +1,51 @@
+"""Query engine: AST, SQL parsing, cleaning-aware planning, execution."""
+
+from repro.query.ast import (
+    Aggregate,
+    ColumnRef,
+    Condition,
+    Connector,
+    JoinCondition,
+    Query,
+)
+from repro.query.sql import parse_sql
+from repro.query.logical import (
+    CleanJoinNode,
+    CleanSigmaNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    collect_nodes,
+    plan_contains,
+)
+from repro.query.planner import PlannerCatalog, build_plan, explain, resolve_query
+from repro.query.executor import Executor, QueryResult
+
+__all__ = [
+    "Query",
+    "ColumnRef",
+    "Condition",
+    "JoinCondition",
+    "Aggregate",
+    "Connector",
+    "parse_sql",
+    "PlanNode",
+    "ScanNode",
+    "FilterNode",
+    "CleanSigmaNode",
+    "JoinNode",
+    "CleanJoinNode",
+    "GroupByNode",
+    "ProjectNode",
+    "plan_contains",
+    "collect_nodes",
+    "PlannerCatalog",
+    "build_plan",
+    "resolve_query",
+    "explain",
+    "Executor",
+    "QueryResult",
+]

@@ -1,0 +1,149 @@
+"""Query AST for the supported SQL template (Section 5).
+
+The template::
+
+    SELECT <SELECTLIST>
+    FROM <table> [, <table>...]
+    [WHERE <col><op><val> [(AND|OR <col><op><val>)...]]
+    [GROUP BY <cols>]
+
+Select-list items are plain columns or aggregates (COUNT/SUM/AVG/MIN/MAX).
+Where-clause conditions compare a column with a constant or — for equi-joins
+— with another column.  Column names may be table-qualified
+(``lineorder.suppkey``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import QueryError
+
+
+class Connector(enum.Enum):
+    """How where-clause conditions combine."""
+
+    AND = "AND"
+    OR = "OR"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    name: str
+    table: Optional[str] = None
+
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def __str__(self) -> str:
+        return self.qualified()
+
+    @classmethod
+    def parse(cls, text: str) -> "ColumnRef":
+        if "." in text:
+            table, _, name = text.partition(".")
+            return cls(name=name, table=table)
+        return cls(name=text)
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``col <op> constant`` — a filter condition."""
+
+    column: ColumnRef
+    op: str
+    value: Any
+
+    def __str__(self) -> str:
+        return f"{self.column}{self.op}{self.value!r}"
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``colA = colB`` — an equi-join condition between two tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __str__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate select-list item, e.g. ``AVG(co) AS avg_co``."""
+
+    func: str  # count / sum / avg / min / max
+    column: ColumnRef  # ColumnRef("*") for COUNT(*)
+    alias: str
+
+    def __str__(self) -> str:
+        return f"{self.func.upper()}({self.column}) AS {self.alias}"
+
+
+@dataclass
+class Query:
+    """A parsed query of the supported template."""
+
+    tables: list[str]
+    projection: list[ColumnRef] = field(default_factory=list)
+    aggregates: list[Aggregate] = field(default_factory=list)
+    conditions: list[Condition] = field(default_factory=list)
+    join_conditions: list[JoinCondition] = field(default_factory=list)
+    connector: Connector = Connector.AND
+    group_by: list[ColumnRef] = field(default_factory=list)
+    select_star: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError("query must reference at least one table")
+        if len(self.tables) > 1 and len(self.join_conditions) < len(self.tables) - 1:
+            raise QueryError(
+                f"{len(self.tables)} tables need at least {len(self.tables) - 1} "
+                f"join conditions, got {len(self.join_conditions)}"
+            )
+        if self.group_by and not self.aggregates:
+            raise QueryError("GROUP BY requires at least one aggregate")
+
+    # -- attribute accessors used by the planner's overlap analysis ------------------
+
+    def where_attrs(self, table: Optional[str] = None) -> set[str]:
+        """Unqualified where-clause attribute names (optionally one table's)."""
+        out = set()
+        for cond in self.conditions:
+            if table is None or cond.column.table in (None, table):
+                out.add(cond.column.name)
+        return out
+
+    def projection_attrs(self, table: Optional[str] = None) -> set[str]:
+        out = set()
+        for ref in self.projection:
+            if table is None or ref.table in (None, table):
+                out.add(ref.name)
+        for agg in self.aggregates:
+            if agg.column.name != "*" and (
+                table is None or agg.column.table in (None, table)
+            ):
+                out.add(agg.column.name)
+        for ref in self.group_by:
+            if table is None or ref.table in (None, table):
+                out.add(ref.name)
+        return out
+
+    def conditions_for_table(self, table: str) -> list[Condition]:
+        """Filter conditions attributable to one table.
+
+        Unqualified columns are attributed to a table by the executor (which
+        knows the schemas); here only explicitly qualified ones are matched.
+        """
+        return [c for c in self.conditions if c.column.table == table]
+
+    def is_join_query(self) -> bool:
+        return len(self.tables) > 1
+
+    def has_aggregation(self) -> bool:
+        return bool(self.aggregates)

@@ -1,0 +1,168 @@
+"""Logical plan nodes for cleaning-aware query plans (Section 5.1).
+
+The planner translates a :class:`~repro.query.ast.Query` plus the registered
+rules into a tree of these nodes.  Cleaning operators (:class:`CleanSigmaNode`,
+:class:`CleanJoinNode`) are injected next to the query operators whose
+attributes overlap a rule, pushed down as close to the data as possible so
+errors do not propagate up the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.dc import Rule
+from repro.query.ast import Aggregate, ColumnRef, Condition, Connector
+
+
+@dataclass
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        """Render the plan subtree as an indented outline."""
+        lines = [" " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Full scan of a registered table."""
+
+    table: str
+
+    def label(self) -> str:
+        return f"Scan({self.table})"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Apply filter conditions (possible-worlds semantics)."""
+
+    child: PlanNode
+    conditions: list[Condition]
+    connector: Connector = Connector.AND
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        sep = f" {self.connector.value} "
+        return f"Filter({sep.join(str(c) for c in self.conditions)})"
+
+
+@dataclass
+class CleanSigmaNode(PlanNode):
+    """The cleanσ operator attached to a select (or a bare scan)."""
+
+    child: PlanNode
+    table: str
+    rules: list[Rule]
+    where_attrs: set[str] = field(default_factory=set)
+    projection_attrs: set[str] = field(default_factory=set)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        names = ", ".join(r.name or str(r) for r in self.rules)
+        return f"CleanSigma({self.table}; rules=[{names}])"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Equi-join of two subplans."""
+
+    left: PlanNode
+    right: PlanNode
+    left_table: str
+    right_table: str
+    left_attr: str
+    right_attr: str
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return (
+            f"Join({self.left_table}.{self.left_attr}="
+            f"{self.right_table}.{self.right_attr})"
+        )
+
+
+@dataclass
+class CleanJoinNode(PlanNode):
+    """The clean⋈ operator attached to a join whose key overlaps a rule."""
+
+    child: JoinNode
+    left_rules: list[Rule]
+    right_rules: list[Rule]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        names = ", ".join(
+            r.name or str(r) for r in (self.left_rules + self.right_rules)
+        )
+        return f"CleanJoin(rules=[{names}])"
+
+
+@dataclass
+class GroupByNode(PlanNode):
+    """Group-by with aggregates (cleaning is always pushed below it)."""
+
+    child: PlanNode
+    keys: list[ColumnRef]
+    aggregates: list[Aggregate]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        keys = ", ".join(str(k) for k in self.keys)
+        aggs = ", ".join(str(a) for a in self.aggregates)
+        return f"GroupBy([{keys}]; [{aggs}])"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Final projection."""
+
+    child: PlanNode
+    columns: list[ColumnRef]
+    star: bool = False
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        if self.star:
+            return "Project(*)"
+        return f"Project({', '.join(str(c) for c in self.columns)})"
+
+
+def plan_contains(node: PlanNode, node_type: type) -> bool:
+    """Does the plan tree contain a node of the given type?"""
+    if isinstance(node, node_type):
+        return True
+    return any(plan_contains(child, node_type) for child in node.children())
+
+
+def collect_nodes(node: PlanNode, node_type: type) -> list[PlanNode]:
+    """All nodes of one type, in depth-first order."""
+    out: list[PlanNode] = []
+    if isinstance(node, node_type):
+        out.append(node)
+    for child in node.children():
+        out.extend(collect_nodes(child, node_type))
+    return out

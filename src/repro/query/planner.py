@@ -1,0 +1,237 @@
+"""The cleaning-aware logical planner (Section 5.1).
+
+Builds a logical plan from a parsed query, the table schemas, and the
+registered rules.  Cleaning operators are injected where query-operator
+attributes overlap rule attributes, and pushed down:
+
+* ``cleanσ`` sits directly above the select (filter) of each table whose
+  accessed attributes overlap a rule — or above the bare scan when the rule
+  overlaps only the projection;
+* ``clean⋈`` wraps the lowest join whose key participates in a rule of
+  either input;
+* group-by always sits above all cleaning operators (cleaning is pushed
+  below the aggregation to avoid grouping recomputation).
+
+The planner also resolves unqualified column references against the table
+schemas and rejects ambiguous ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.analysis import relevant_rules
+from repro.constraints.dc import Rule
+from repro.errors import PlanError
+from repro.query.ast import ColumnRef, Condition, JoinCondition, Query
+from repro.query.logical import (
+    CleanJoinNode,
+    CleanSigmaNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+)
+from repro.relation.schema import Schema
+
+
+@dataclass
+class PlannerCatalog:
+    """What the planner knows: schemas and rules per table."""
+
+    schemas: dict[str, Schema] = field(default_factory=dict)
+    rules: dict[str, list[Rule]] = field(default_factory=dict)
+
+    def add_table(self, name: str, schema: Schema) -> None:
+        self.schemas[name] = schema
+        self.rules.setdefault(name, [])
+
+    def add_rule(self, table: str, rule: Rule) -> None:
+        if table not in self.schemas:
+            raise PlanError(f"unknown table {table!r}")
+        self.rules.setdefault(table, []).append(rule)
+
+    def resolve(self, ref: ColumnRef, tables: list[str]) -> ColumnRef:
+        """Attach a table to an unqualified column reference."""
+        if ref.table is not None:
+            if ref.table not in self.schemas:
+                raise PlanError(f"unknown table {ref.table!r} in {ref}")
+            if ref.name not in self.schemas[ref.table]:
+                raise PlanError(f"unknown column {ref} (schema of {ref.table})")
+            return ref
+        owners = [t for t in tables if ref.name in self.schemas.get(t, ())]
+        if not owners:
+            raise PlanError(f"column {ref.name!r} not found in tables {tables}")
+        if len(owners) > 1:
+            raise PlanError(
+                f"ambiguous column {ref.name!r}: present in {owners}; qualify it"
+            )
+        return ColumnRef(name=ref.name, table=owners[0])
+
+
+@dataclass
+class ResolvedQuery:
+    """A query with every column reference bound to its table."""
+
+    query: Query
+    conditions: list[Condition]
+    join_conditions: list[JoinCondition]
+    projection: list[ColumnRef]
+    group_by: list[ColumnRef]
+
+    def conditions_of(self, table: str) -> list[Condition]:
+        return [c for c in self.conditions if c.column.table == table]
+
+    def where_attrs_of(self, table: str) -> set[str]:
+        return {c.column.name for c in self.conditions if c.column.table == table}
+
+    def projection_attrs_of(self, table: str) -> set[str]:
+        out = {p.name for p in self.projection if p.table == table}
+        out |= {g.name for g in self.group_by if g.table == table}
+        for agg in self.query.aggregates:
+            if agg.column.name != "*" and agg.column.table == table:
+                out.add(agg.column.name)
+        return out
+
+    def join_attrs_of(self, table: str) -> set[str]:
+        out = set()
+        for jc in self.join_conditions:
+            if jc.left.table == table:
+                out.add(jc.left.name)
+            if jc.right.table == table:
+                out.add(jc.right.name)
+        return out
+
+
+def resolve_query(query: Query, catalog: PlannerCatalog) -> ResolvedQuery:
+    """Bind all column references of ``query`` to tables."""
+    for table in query.tables:
+        if table not in catalog.schemas:
+            raise PlanError(f"unknown table {table!r}")
+    tables = query.tables
+    conditions = [
+        Condition(catalog.resolve(c.column, tables), c.op, c.value)
+        for c in query.conditions
+    ]
+    join_conditions = [
+        JoinCondition(
+            catalog.resolve(jc.left, tables), catalog.resolve(jc.right, tables)
+        )
+        for jc in query.join_conditions
+    ]
+    projection = [catalog.resolve(p, tables) for p in query.projection]
+    group_by = [catalog.resolve(g, tables) for g in query.group_by]
+    agg_resolved = [
+        agg if agg.column.name == "*" else type(agg)(
+            func=agg.func, column=catalog.resolve(agg.column, tables), alias=agg.alias
+        )
+        for agg in query.aggregates
+    ]
+    query.aggregates = agg_resolved
+    return ResolvedQuery(
+        query=query,
+        conditions=conditions,
+        join_conditions=join_conditions,
+        projection=projection,
+        group_by=group_by,
+    )
+
+
+def build_plan(query: Query, catalog: PlannerCatalog) -> PlanNode:
+    """Build the cleaning-aware logical plan for ``query``."""
+    resolved = resolve_query(query, catalog)
+    per_table: dict[str, PlanNode] = {}
+
+    for table in query.tables:
+        node: PlanNode = ScanNode(table)
+        conditions = resolved.conditions_of(table)
+        if conditions:
+            node = FilterNode(node, conditions, query.connector)
+        where_attrs = resolved.where_attrs_of(table)
+        accessed = (
+            where_attrs
+            | resolved.projection_attrs_of(table)
+            | resolved.join_attrs_of(table)
+        )
+        table_rules = relevant_rules(accessed, where_attrs, catalog.rules.get(table, []))
+        if table_rules:
+            node = CleanSigmaNode(
+                child=node,
+                table=table,
+                rules=table_rules,
+                where_attrs=where_attrs,
+                projection_attrs=resolved.projection_attrs_of(table),
+            )
+        per_table[table] = node
+
+    plan = per_table[query.tables[0]]
+    joined = {query.tables[0]}
+    remaining_joins = list(resolved.join_conditions)
+    clean_join_done = False
+
+    while len(joined) < len(query.tables):
+        # Find a join condition connecting the joined set to a new table.
+        pick: Optional[JoinCondition] = None
+        for jc in remaining_joins:
+            lt, rt = jc.left.table, jc.right.table
+            if (lt in joined) != (rt in joined):
+                pick = jc
+                break
+        if pick is None:
+            raise PlanError(
+                "join graph is disconnected: remaining joins "
+                f"{[str(j) for j in remaining_joins]}, joined {sorted(joined)}"
+            )
+        remaining_joins.remove(pick)
+        if pick.left.table in joined:
+            left_ref, right_ref = pick.left, pick.right
+        else:
+            left_ref, right_ref = pick.right, pick.left
+        new_table = right_ref.table
+        assert new_table is not None
+        join = JoinNode(
+            left=plan,
+            right=per_table[new_table],
+            left_table=left_ref.table or query.tables[0],
+            right_table=new_table,
+            left_attr=left_ref.name,
+            right_attr=right_ref.name,
+        )
+        plan = join
+        joined.add(new_table)
+
+        if not clean_join_done:
+            left_rules = [
+                r
+                for r in catalog.rules.get(join.left_table, [])
+                if join.left_attr in _rule_attrs(r)
+            ]
+            right_rules = [
+                r
+                for r in catalog.rules.get(join.right_table, [])
+                if join.right_attr in _rule_attrs(r)
+            ]
+            if left_rules or right_rules:
+                plan = CleanJoinNode(
+                    child=join, left_rules=left_rules, right_rules=right_rules
+                )
+                clean_join_done = True
+
+    if query.aggregates:
+        plan = GroupByNode(plan, keys=resolved.group_by, aggregates=query.aggregates)
+    plan = ProjectNode(plan, columns=resolved.projection, star=query.select_star)
+    return plan
+
+
+def _rule_attrs(rule: Rule) -> set[str]:
+    from repro.constraints.analysis import rule_attributes
+
+    return rule_attributes(rule)
+
+
+def explain(query: Query, catalog: PlannerCatalog) -> str:
+    """A human-readable plan outline (for debugging and the examples)."""
+    return build_plan(query, catalog).pretty()

@@ -1,0 +1,240 @@
+"""A small SQL parser for the supported query template.
+
+Handles exactly the grammar of Section 5 (SELECT / FROM / WHERE with AND-or-
+OR-connected comparisons / GROUP BY), with table-qualified columns, numeric
+and quoted-string constants, and aggregate select items.  Case-insensitive
+keywords; identifiers keep their case.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import QueryParseError
+from repro.query.ast import (
+    Aggregate,
+    ColumnRef,
+    Condition,
+    Connector,
+    JoinCondition,
+    Query,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '[^']*' | "[^"]*" |                    # string literals
+        -?\d+\.\d+ | -?\d+ |                   # numbers
+        [A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)? |  # identifiers
+        <> | != | <= | >= | = | < | > |
+        \( | \) | , | \*
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "or", "as",
+    "count", "sum", "avg", "min", "max",
+}
+
+_AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
+
+_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    text = sql.strip().rstrip(";")
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match:
+            raise QueryParseError(
+                f"unexpected character at {pos}: {text[pos:pos + 20]!r}"
+            )
+        tokens.append(match.group(1))
+        pos = match.end()
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+    return tokens
+
+
+class _Stream:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def peek_kw(self) -> str | None:
+        token = self.peek()
+        return token.lower() if token is not None else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise QueryParseError("unexpected end of query")
+        self.pos += 1
+        return token
+
+    def expect_kw(self, keyword: str) -> None:
+        token = self.next()
+        if token.lower() != keyword:
+            raise QueryParseError(f"expected {keyword.upper()}, got {token!r}")
+
+    def accept_kw(self, keyword: str) -> bool:
+        if self.peek_kw() == keyword:
+            self.next()
+            return True
+        return False
+
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _is_identifier(token: str) -> bool:
+    return (
+        bool(re.match(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)?$", token))
+        and token.lower() not in _KEYWORDS
+    )
+
+
+def _parse_value(token: str) -> Any:
+    if token.startswith(("'", '"')):
+        return token[1:-1]
+    try:
+        if "." in token:
+            return float(token)
+        return int(token)
+    except ValueError:
+        raise QueryParseError(f"invalid literal {token!r}") from None
+
+
+def _parse_select_list(stream: _Stream) -> tuple[list[ColumnRef], list[Aggregate], bool]:
+    projection: list[ColumnRef] = []
+    aggregates: list[Aggregate] = []
+    star = False
+    while True:
+        token = stream.next()
+        lowered = token.lower()
+        if token == "*":
+            star = True
+        elif lowered in _AGG_FUNCS:
+            stream.expect_kw("(")
+            inner = stream.next()
+            column = ColumnRef(name="*") if inner == "*" else ColumnRef.parse(inner)
+            stream.expect_kw(")")
+            alias = f"{lowered}_{column.name if column.name != '*' else 'all'}"
+            if stream.accept_kw("as"):
+                alias = stream.next()
+            aggregates.append(Aggregate(func=lowered, column=column, alias=alias))
+        elif _is_identifier(token):
+            projection.append(ColumnRef.parse(token))
+        else:
+            raise QueryParseError(f"bad select item {token!r}")
+        if stream.peek() == ",":
+            stream.next()
+            continue
+        break
+    return projection, aggregates, star
+
+
+def _parse_where(stream: _Stream) -> tuple[list[Condition], list[JoinCondition], Connector]:
+    conditions: list[Condition] = []
+    joins: list[JoinCondition] = []
+    connector = Connector.AND
+    saw_or = False
+    saw_and = False
+    while True:
+        left_token = stream.next()
+        if not _is_identifier(left_token):
+            raise QueryParseError(f"expected column in WHERE, got {left_token!r}")
+        op = stream.next()
+        if op not in _OPS:
+            raise QueryParseError(f"expected comparison operator, got {op!r}")
+        if op == "<>":
+            op = "!="
+        right_token = stream.next()
+        if _is_identifier(right_token):
+            if op != "=":
+                raise QueryParseError(
+                    f"column-to-column comparison must be an equi-join: "
+                    f"{left_token} {op} {right_token}"
+                )
+            joins.append(
+                JoinCondition(
+                    left=ColumnRef.parse(left_token),
+                    right=ColumnRef.parse(right_token),
+                )
+            )
+        else:
+            conditions.append(
+                Condition(
+                    column=ColumnRef.parse(left_token),
+                    op=op,
+                    value=_parse_value(right_token),
+                )
+            )
+        if stream.accept_kw("and"):
+            saw_and = True
+            continue
+        if stream.accept_kw("or"):
+            saw_or = True
+            continue
+        break
+    if saw_or and saw_and:
+        raise QueryParseError("mixing AND and OR in one WHERE clause is not supported")
+    if saw_or:
+        connector = Connector.OR
+        if joins:
+            raise QueryParseError("OR-connected join conditions are not supported")
+    return conditions, joins, connector
+
+
+def parse_sql(sql: str) -> Query:
+    """Parse a SQL string of the supported template into a :class:`Query`."""
+    stream = _Stream(_tokenize(sql))
+    stream.expect_kw("select")
+    projection, aggregates, star = _parse_select_list(stream)
+
+    stream.expect_kw("from")
+    tables = [stream.next()]
+    if not _is_identifier(tables[0]):
+        raise QueryParseError(f"bad table name {tables[0]!r}")
+    while stream.peek() == ",":
+        stream.next()
+        table = stream.next()
+        if not _is_identifier(table):
+            raise QueryParseError(f"bad table name {table!r}")
+        tables.append(table)
+
+    conditions: list[Condition] = []
+    joins: list[JoinCondition] = []
+    connector = Connector.AND
+    if stream.accept_kw("where"):
+        conditions, joins, connector = _parse_where(stream)
+
+    group_by: list[ColumnRef] = []
+    if stream.accept_kw("group"):
+        stream.expect_kw("by")
+        group_by.append(ColumnRef.parse(stream.next()))
+        while stream.peek() == ",":
+            stream.next()
+            group_by.append(ColumnRef.parse(stream.next()))
+
+    if not stream.exhausted():
+        raise QueryParseError(f"trailing tokens: {stream.peek()!r}")
+
+    return Query(
+        tables=tables,
+        projection=projection,
+        aggregates=aggregates,
+        conditions=conditions,
+        join_conditions=joins,
+        connector=connector,
+        group_by=group_by,
+        select_star=star,
+    )

@@ -1,0 +1,20 @@
+"""Relational substrate: schemas, row-store relations, indexes, CSV i/o."""
+
+from repro.relation.schema import Column, ColumnType, Schema
+from repro.relation.relation import Relation, Row
+from repro.relation.index import GroupIndex, HashIndex
+from repro.relation.io import from_csv_string, read_csv, to_csv_string, write_csv
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Relation",
+    "Row",
+    "GroupIndex",
+    "HashIndex",
+    "read_csv",
+    "write_csv",
+    "to_csv_string",
+    "from_csv_string",
+]

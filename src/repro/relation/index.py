@@ -1,0 +1,95 @@
+"""Secondary indexes over relations.
+
+Two index kinds are used throughout the cleaning pipeline:
+
+* :class:`HashIndex` — value -> tids for one attribute, used by relaxation to
+  find correlated tuples without rescanning the dataset.
+* :class:`GroupIndex` — lhs-tuple -> rows, the group-by index used for FD
+  violation detection (BigDansing's optimization: group instead of self-join)
+  and for the precomputed statistics Daisy uses for pruning.
+
+Probabilistic cells are indexed under every concrete candidate value, so
+index lookups respect possible-worlds semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.probabilistic.value import PValue
+from repro.relation.relation import Relation, Row
+
+
+def _index_keys(cell: Any) -> Iterable[Any]:
+    """The key values a cell contributes to an index."""
+    if isinstance(cell, PValue):
+        return cell.concrete_values()
+    return (cell,)
+
+
+class HashIndex:
+    """value -> set of tids, over one attribute of a relation."""
+
+    def __init__(self, relation: Relation, attr: str):
+        self.attr = attr
+        self._map: dict[Any, set[int]] = {}
+        idx = relation.schema.index_of(attr)
+        for row in relation.rows:
+            for key in _index_keys(row.values[idx]):
+                self._map.setdefault(key, set()).add(row.tid)
+
+    def lookup(self, value: Any) -> set[int]:
+        return self._map.get(value, set())
+
+    def lookup_many(self, values: Iterable[Any]) -> set[int]:
+        out: set[int] = set()
+        for value in values:
+            out |= self._map.get(value, set())
+        return out
+
+    def keys(self) -> set[Any]:
+        return set(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._map
+
+
+class GroupIndex:
+    """Group rows by a key attribute tuple.
+
+    ``group_key(row)`` collapses probabilistic cells to their most probable
+    candidate so that group statistics remain well-defined on partially
+    cleaned data.
+    """
+
+    def __init__(self, relation: Relation, attrs: Sequence[str]):
+        self.attrs = tuple(attrs)
+        self._idx = [relation.schema.index_of(a) for a in attrs]
+        self._groups: dict[tuple[Any, ...], list[Row]] = {}
+        for row in relation.rows:
+            self._groups.setdefault(self.key_of(row), []).append(row)
+
+    def key_of(self, row: Row) -> tuple[Any, ...]:
+        key: list[Any] = []
+        for i in self._idx:
+            cell = row.values[i]
+            if isinstance(cell, PValue):
+                key.append(cell.most_probable())
+            else:
+                key.append(cell)
+        return tuple(key)
+
+    def groups(self) -> dict[tuple[Any, ...], list[Row]]:
+        return self._groups
+
+    def group(self, key: tuple[Any, ...]) -> list[Row]:
+        return self._groups.get(key, [])
+
+    def group_sizes(self) -> dict[tuple[Any, ...], int]:
+        return {k: len(v) for k, v in self._groups.items()}
+
+    def __len__(self) -> int:
+        return len(self._groups)

@@ -1,0 +1,151 @@
+"""CSV input/output for relations.
+
+The serialization is deliberately simple: a header row with ``name:type``
+column specs, then data rows.  Probabilistic cells round-trip through a
+compact textual encoding ``value@prob@world|value@prob@world|...`` so that a
+gradually cleaned (probabilistic) dataset can be saved and reloaded —
+mirroring how Daisy persists the probabilistic dataset between sessions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import SchemaError
+from repro.probabilistic.value import Candidate, PValue, ValueRange
+from repro.relation.schema import Column, ColumnType, Schema
+from repro.relation.relation import Relation
+
+_PROB_MARK = "\x01P\x01"  # sentinel prefix marking an encoded PValue cell
+_NULL_MARK = "\x01N\x01"  # sentinel for SQL NULL (distinct from empty string)
+_RANGE_MARK = "R:"
+
+
+def _encode_scalar(value: Any) -> str:
+    if value is None:
+        return _NULL_MARK
+    if isinstance(value, ValueRange):
+        lo = "" if value.low is None else repr(value.low)
+        hi = "" if value.high is None else repr(value.high)
+        return f"{_RANGE_MARK}{lo};{hi};{int(value.low_open)};{int(value.high_open)}"
+    return str(value)
+
+
+def _decode_scalar(token: str, ctype: ColumnType) -> Any:
+    if token == _NULL_MARK:
+        return None
+    if token.startswith(_RANGE_MARK):
+        lo_s, hi_s, lo_open, hi_open = token[len(_RANGE_MARK):].split(";")
+        return ValueRange(
+            low=None if lo_s == "" else float(lo_s),
+            high=None if hi_s == "" else float(hi_s),
+            low_open=bool(int(lo_open)),
+            high_open=bool(int(hi_open)),
+        )
+    return ctype.coerce(token)
+
+
+def encode_cell(value: Any) -> str:
+    """Encode one cell (concrete or probabilistic) as a CSV token."""
+    if isinstance(value, PValue):
+        parts = [
+            f"{_encode_scalar(c.value)}@{c.prob!r}@{c.world}" for c in value.candidates
+        ]
+        return _PROB_MARK + "|".join(parts)
+    return _encode_scalar(value)
+
+
+def decode_cell(token: str, ctype: ColumnType) -> Any:
+    """Decode one CSV token back into a cell value."""
+    if not token.startswith(_PROB_MARK):
+        return _decode_scalar(token, ctype)
+    body = token[len(_PROB_MARK):]
+    candidates = []
+    for part in body.split("|"):
+        value_s, prob_s, world_s = part.rsplit("@", 2)
+        candidates.append(
+            Candidate(
+                value=_decode_scalar(value_s, ctype),
+                prob=float(prob_s),
+                world=int(world_s),
+            )
+        )
+    return PValue(candidates)
+
+
+def write_csv(relation: Relation, target: Path | str | TextIO) -> None:
+    """Write a relation (possibly probabilistic) to CSV."""
+    close = False
+    if isinstance(target, (str, Path)):
+        handle: TextIO = open(target, "w", newline="")
+        close = True
+    else:
+        handle = target
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [f"{c.name}:{c.ctype.value}" for c in relation.schema.columns]
+        )
+        for row in relation.rows:
+            writer.writerow([encode_cell(v) for v in row.values])
+    finally:
+        if close:
+            handle.close()
+
+
+def read_csv(source: Path | str | TextIO, name: str = "") -> Relation:
+    """Read a relation written by :func:`write_csv`."""
+    close = False
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source, newline="")
+        close = True
+    else:
+        handle = source
+    try:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError("empty CSV: no header row") from None
+        columns = []
+        for spec in header:
+            if ":" not in spec:
+                raise SchemaError(f"header entry {spec!r} is not 'name:type'")
+            cname, _, tname = spec.rpartition(":")
+            try:
+                ctype = ColumnType(tname)
+            except ValueError:
+                raise SchemaError(f"unknown column type {tname!r} in header") from None
+            columns.append(Column(cname, ctype))
+        schema = Schema(columns)
+        raw_rows = []
+        for record in reader:
+            if len(record) != len(columns):
+                raise SchemaError(
+                    f"row arity {len(record)} does not match header arity {len(columns)}"
+                )
+            raw_rows.append(
+                tuple(
+                    decode_cell(token, col.ctype)
+                    for token, col in zip(record, columns)
+                )
+            )
+        return Relation.from_rows(schema, raw_rows, name=name, validate=False)
+    finally:
+        if close:
+            handle.close()
+
+
+def to_csv_string(relation: Relation) -> str:
+    """Serialize a relation to a CSV string (round-trips via read_csv)."""
+    buffer = io.StringIO()
+    write_csv(relation, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_string(text: str, name: str = "") -> Relation:
+    """Parse a relation from a CSV string produced by :func:`to_csv_string`."""
+    return read_csv(io.StringIO(text), name=name)

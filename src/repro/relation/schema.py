@@ -1,0 +1,192 @@
+"""Relation schemas: named, typed columns.
+
+The substrate is a small relational model: a :class:`Schema` is an ordered
+collection of :class:`Column` definitions.  Columns are typed with a small
+set of logical types (:class:`ColumnType`) that is sufficient for the paper's
+workloads (integer keys, floating-point measures, strings).
+
+Values stored in a relation may also be *probabilistic*
+(:class:`repro.probabilistic.value.PValue`); the schema type then describes
+the type of each candidate value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the relational substrate."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    def python_types(self) -> tuple[type, ...]:
+        """Return the Python types that are valid for this column type."""
+        if self is ColumnType.INT:
+            return (int,)
+        if self is ColumnType.FLOAT:
+            # Integers are acceptable wherever floats are.
+            return (float, int)
+        if self is ColumnType.BOOL:
+            return (bool,)
+        return (str,)
+
+    def coerce(self, raw: str) -> Any:
+        """Parse ``raw`` (a CSV token) into a value of this type."""
+        if self is ColumnType.INT:
+            return int(raw)
+        if self is ColumnType.FLOAT:
+            return float(raw)
+        if self is ColumnType.BOOL:
+            return raw.strip().lower() in ("1", "true", "t", "yes")
+        return raw
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column of a relation."""
+
+    name: str
+    ctype: ColumnType = ColumnType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TypeMismatchError` if ``value`` is not valid here.
+
+        ``None`` is always allowed (SQL NULL).  Probabilistic values validate
+        each of their candidates.
+        """
+        if value is None:
+            return
+        # Deferred import: probabilistic depends on nothing, but relation
+        # must not import it at module load time to keep layering one-way
+        # for plain (non-probabilistic) use.
+        from repro.probabilistic.value import PValue
+
+        if isinstance(value, PValue):
+            for candidate in value.candidates:
+                self.validate(candidate.value)
+            return
+        if isinstance(value, bool) and self.ctype is not ColumnType.BOOL:
+            raise TypeMismatchError(
+                f"column {self.name!r} of type {self.ctype.value} got boolean {value!r}"
+            )
+        if not isinstance(value, self.ctype.python_types()):
+            raise TypeMismatchError(
+                f"column {self.name!r} of type {self.ctype.value} got {value!r}"
+            )
+
+
+class Schema:
+    """An ordered, named collection of columns.
+
+    Supports lookup by name and by position, projection, renaming, and
+    concatenation (for joins).
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[Column | tuple[str, ColumnType] | str]):
+        cols: list[Column] = []
+        for spec in columns:
+            if isinstance(spec, Column):
+                cols.append(spec)
+            elif isinstance(spec, tuple):
+                name, ctype = spec
+                cols.append(Column(name, ctype))
+            elif isinstance(spec, str):
+                cols.append(Column(spec, ColumnType.STRING))
+            else:
+                raise SchemaError(f"invalid column spec {spec!r}")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {dupes}")
+        self._columns: tuple[Column, ...] = tuple(cols)
+        self._index: dict[str, int] = {c.name: i for i, c in enumerate(cols)}
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{c.name}:{c.ctype.value}" for c in self._columns)
+        return f"Schema({inner})"
+
+    def index_of(self, name: str) -> int:
+        """Return the position of column ``name``.
+
+        Raises :class:`SchemaError` for unknown names, listing the schema so
+        the error is actionable.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self._columns[self.index_of(name)]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema with only ``names``, in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed per ``mapping``."""
+        return Schema(
+            [Column(mapping.get(c.name, c.name), c.ctype) for c in self._columns]
+        )
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """Return a schema with every column name prefixed (``prefix.name``).
+
+        Used when joining two relations so that same-named columns from
+        different inputs stay distinguishable.
+        """
+        return Schema([Column(f"{prefix}.{c.name}", c.ctype) for c in self._columns])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas (e.g. for a join output)."""
+        return Schema(list(self._columns) + list(other._columns))
+
+    def validate_row(self, row: Sequence[Any]) -> None:
+        """Validate arity and types of ``row`` against this schema."""
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity {len(self._columns)}"
+            )
+        for column, value in zip(self._columns, row):
+            column.validate(value)

@@ -1,0 +1,29 @@
+"""Repair: probabilistic candidate fixes, provenance, multi-rule merging."""
+
+from repro.repair.fixes import CandidateFix, CellFix, RepairDelta
+from repro.repair.provenance import CellProvenance, ProvenanceStore
+from repro.repair.fd_repair import apply_fd_delta, compute_fd_fixes
+from repro.repair.dc_repair import apply_dc_delta, compute_dc_fixes, inversion_sets
+from repro.repair.merge import (
+    deltas_equivalent,
+    merge_commutes,
+    merge_deltas,
+    normalize_fix,
+)
+
+__all__ = [
+    "CandidateFix",
+    "CellFix",
+    "RepairDelta",
+    "ProvenanceStore",
+    "CellProvenance",
+    "compute_fd_fixes",
+    "apply_fd_delta",
+    "compute_dc_fixes",
+    "apply_dc_delta",
+    "inversion_sets",
+    "merge_deltas",
+    "deltas_equivalent",
+    "merge_commutes",
+    "normalize_fix",
+]

@@ -1,0 +1,246 @@
+"""Probabilistic repair of FD violations (Section 4.1).
+
+Given a scope of tuples (a relaxed query result — relaxation guarantees the
+scope contains every correlated tuple needed), the repair:
+
+1. groups the scope by the FD's lhs and rhs (using original values for
+   already-repaired cells, via the provenance store);
+2. flags groups with more than one distinct rhs as violating;
+3. for every member t of a violating group builds the two candidate
+   families of the paper:
+
+   * RHS — candidate rhs values = rhs of tuples t' with t'.lhs = t.lhs,
+     weighted by frequency: P(rhs | lhs);
+   * LHS — candidate lhs values = lhs of tuples t' with t'.rhs = t.rhs,
+     weighted by frequency: P(lhs | rhs).
+
+   When both families are non-trivial the tuple has two instances (possible
+   worlds): world 1 fixes the rhs (lhs keeps its original value), world 2
+   fixes the lhs (rhs keeps its original value); candidates carry the world
+   id, reproducing Table 2b.
+
+Support sets (the conflicting-tuple sets Ti of Lemma 4) are carried on every
+candidate so multi-rule merges re-weight probabilities by union of supports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.constraints.dc import FunctionalDependency
+from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
+from repro.probabilistic.value import PValue
+from repro.relation.relation import Relation, Row
+from repro.repair.fixes import CandidateFix, CellFix, RepairDelta
+from repro.repair.provenance import ProvenanceStore
+
+#: World ids for the two tuple instances of an FD repair.
+WORLD_FIX_RHS = 1
+WORLD_FIX_LHS = 2
+
+
+def _original_cell(
+    row: Row,
+    idx: int,
+    attr: str,
+    provenance: Optional[ProvenanceStore],
+) -> Any:
+    """A cell's original (pre-repair) value for grouping purposes."""
+    if provenance is not None:
+        original = provenance.original(row.tid, attr)
+        if original is not None:
+            return original
+    cell = row.values[idx]
+    if isinstance(cell, PValue):
+        return cell.most_probable()
+    return cell
+
+
+def compute_fd_fixes(
+    relation: Relation,
+    fd: FunctionalDependency,
+    scope_tids: Iterable[int],
+    provenance: Optional[ProvenanceStore] = None,
+    counter: Optional[WorkCounter] = None,
+    skip_group_keys: Optional[set[tuple[Any, ...]]] = None,
+    consult_tids: Optional[Iterable[int]] = None,
+) -> tuple[RepairDelta, set[tuple[Any, ...]]]:
+    """Compute probabilistic fixes for FD violations inside ``scope_tids``.
+
+    ``consult_tids`` are additional tuples whose values feed the candidate
+    maps (they contribute lhs-candidate support via shared rhs values, per
+    Example 2 / Table 2b) but are never repaired themselves.
+
+    Returns the delta and the set of violating lhs group keys that were
+    repaired (so callers can mark them checked in the provenance store).
+    ``skip_group_keys`` suppresses groups already repaired by this rule.
+    """
+    counter = counter if counter is not None else GLOBAL_COUNTER
+    skip = skip_group_keys or set()
+    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
+    rhs_idx = relation.schema.index_of(fd.rhs)
+    scope = set(scope_tids)
+    consult = set(consult_tids) if consult_tids is not None else set()
+    consult -= scope
+
+    # One pass over scope ∪ consult: group by lhs and by rhs simultaneously.
+    # Only scope tuples enter the lhs groups (repair eligibility); consult
+    # tuples only feed the rhs map (candidate support).
+    by_lhs: dict[tuple[Any, ...], list[tuple[int, Any]]] = {}
+    by_rhs: dict[Any, list[tuple[int, tuple[Any, ...]]]] = {}
+    for row in relation.rows:
+        in_scope = row.tid in scope
+        if not in_scope and row.tid not in consult:
+            continue
+        counter.charge_scan()
+        lhs_key = tuple(
+            _original_cell(row, i, a, provenance) for i, a in zip(lhs_idx, fd.lhs)
+        )
+        rhs_val = _original_cell(row, rhs_idx, fd.rhs, provenance)
+        if in_scope:
+            by_lhs.setdefault(lhs_key, []).append((row.tid, rhs_val))
+        by_rhs.setdefault(rhs_val, []).append((row.tid, lhs_key))
+
+    delta = RepairDelta()
+    repaired_groups: set[tuple[Any, ...]] = set()
+    single_lhs = len(fd.lhs) == 1
+
+    for lhs_key, members in by_lhs.items():
+        distinct_rhs = {rhs for _tid, rhs in members}
+        counter.charge_comparisons(len(members))
+        if len(distinct_rhs) <= 1 or lhs_key in skip:
+            continue
+        repaired_groups.add(lhs_key)
+
+        # Frequency of each rhs value within this lhs group: P(rhs | lhs).
+        rhs_support: dict[Any, set[int]] = {}
+        for tid, rhs in members:
+            rhs_support.setdefault(rhs, set()).add(tid)
+
+        for tid, rhs_val in members:
+            lhs_members = by_rhs.get(rhs_val, [])
+            counter.charge_comparisons(len(lhs_members))
+            # Frequency of each lhs value among tuples sharing this rhs:
+            # P(lhs | rhs).
+            lhs_support: dict[tuple[Any, ...], set[int]] = {}
+            for other_tid, other_lhs in lhs_members:
+                lhs_support.setdefault(other_lhs, set()).add(other_tid)
+            lhs_ambiguous = len(lhs_support) > 1
+
+            # --- RHS fix (world 1) -------------------------------------------
+            rhs_fix = CellFix(
+                tid=tid, attr=fd.rhs, original=rhs_val, rules={fd.name or str(fd)}
+            )
+            rhs_world = WORLD_FIX_RHS if lhs_ambiguous else 0
+            for value, support in rhs_support.items():
+                rhs_fix.add(
+                    CandidateFix(
+                        value=value, support=frozenset(support), world=rhs_world
+                    )
+                )
+
+            if not lhs_ambiguous:
+                # Only the rhs family exists; the lhs cell stays concrete
+                # (the Table 2b tuple-1 case).
+                if not rhs_fix.is_trivial():
+                    delta.add_fix(rhs_fix)
+                continue
+
+            # --- two-instance repair (worlds 1 and 2) --------------------------
+            # World 2 keeps the original rhs.
+            rhs_fix.add(
+                CandidateFix(
+                    value=rhs_val,
+                    support=frozenset(lhs_support.get(lhs_key, {tid})),
+                    world=WORLD_FIX_LHS,
+                )
+            )
+            delta.add_fix(rhs_fix)
+
+            if single_lhs:
+                lhs_attr = fd.lhs[0]
+                lhs_fix = CellFix(
+                    tid=tid,
+                    attr=lhs_attr,
+                    original=lhs_key[0],
+                    rules={fd.name or str(fd)},
+                )
+                # World 1 keeps the original lhs.
+                lhs_fix.add(
+                    CandidateFix(
+                        value=lhs_key[0],
+                        support=frozenset(rhs_support.get(rhs_val, {tid})),
+                        world=WORLD_FIX_RHS,
+                    )
+                )
+                for value, support in lhs_support.items():
+                    lhs_fix.add(
+                        CandidateFix(
+                            value=value[0],
+                            support=frozenset(support),
+                            world=WORLD_FIX_LHS,
+                        )
+                    )
+                delta.add_fix(lhs_fix)
+            else:
+                # Composite lhs: emit one fix per lhs attribute, each carrying
+                # that attribute's candidate values.
+                for pos, lhs_attr in enumerate(fd.lhs):
+                    values = {v[pos] for v in lhs_support}
+                    if len(values) <= 1:
+                        continue
+                    lhs_fix = CellFix(
+                        tid=tid,
+                        attr=lhs_attr,
+                        original=lhs_key[pos],
+                        rules={fd.name or str(fd)},
+                    )
+                    lhs_fix.add(
+                        CandidateFix(
+                            value=lhs_key[pos],
+                            support=frozenset(rhs_support.get(rhs_val, {tid})),
+                            world=WORLD_FIX_RHS,
+                        )
+                    )
+                    for value, support in lhs_support.items():
+                        lhs_fix.add(
+                            CandidateFix(
+                                value=value[pos],
+                                support=frozenset(support),
+                                world=WORLD_FIX_LHS,
+                            )
+                        )
+                    delta.add_fix(lhs_fix)
+
+    return delta, repaired_groups
+
+
+def apply_fd_delta(
+    relation: Relation,
+    delta: RepairDelta,
+    provenance: Optional[ProvenanceStore] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Apply a repair delta in place of the original cells.
+
+    Records originals in the provenance store before overwriting and charges
+    update work per fixed cell.
+    """
+    counter = counter if counter is not None else GLOBAL_COUNTER
+    updates = delta.cell_updates()
+    if provenance is not None:
+        tid_rows = relation.tid_index()
+        for fix in delta.nontrivial_fixes():
+            row = tid_rows.get(fix.tid)
+            if row is None:
+                continue
+            idx = relation.schema.index_of(fix.attr)
+            current = row.values[idx]
+            if not isinstance(current, PValue):
+                for rule in fix.rules or {"?"}:
+                    provenance.record_original(fix.tid, fix.attr, current, rule)
+            else:
+                for rule in fix.rules or {"?"}:
+                    provenance.record_original(fix.tid, fix.attr, fix.original, rule)
+    counter.charge_update(len(updates))
+    return relation.update_cells(updates)

@@ -1,0 +1,119 @@
+"""Fix representations shared by the FD and DC repair paths.
+
+A :class:`CandidateFix` is one candidate value for one cell, together with
+the *supporting tids* — the set Ti of conflicting/correlated tuples that
+justify the candidate (Lemma 4's (ai, Ti) pairs).  A :class:`CellFix`
+collects a cell's candidates across worlds; probabilities are derived from
+support sizes, so merging fixes from multiple rules (union of supports)
+automatically re-weights them, exactly as Section 4.3 prescribes
+(P(X | Y ∪ Z)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.probabilistic.value import Candidate, PValue
+
+
+@dataclass(frozen=True)
+class CandidateFix:
+    """One candidate value with its justification set and world id."""
+
+    value: Any
+    support: frozenset[int]
+    world: int = 0
+
+    def weight(self) -> int:
+        return max(1, len(self.support))
+
+
+@dataclass
+class CellFix:
+    """All candidate fixes for one cell (tid, attr)."""
+
+    tid: int
+    attr: str
+    original: Any
+    candidates: list[CandidateFix] = field(default_factory=list)
+    rules: set[str] = field(default_factory=set)
+
+    def add(self, candidate: CandidateFix) -> None:
+        """Add a candidate, merging supports for an existing (value, world)."""
+        for i, existing in enumerate(self.candidates):
+            if existing.value == candidate.value and existing.world == candidate.world:
+                self.candidates[i] = CandidateFix(
+                    value=existing.value,
+                    support=existing.support | candidate.support,
+                    world=existing.world,
+                )
+                return
+        self.candidates.append(candidate)
+
+    def to_pvalue(self) -> PValue:
+        """Materialize as a probabilistic cell.
+
+        Within each world, weights are support sizes; worlds are weighted by
+        their total support so the PValue's global normalization preserves
+        frequency-based semantics.
+        """
+        total = sum(c.weight() for c in self.candidates)
+        return PValue(
+            Candidate(value=c.value, prob=c.weight() / total, world=c.world)
+            for c in self.candidates
+        )
+
+    def values(self) -> list[Any]:
+        return [c.value for c in self.candidates]
+
+    def world_ids(self) -> set[int]:
+        return {c.world for c in self.candidates}
+
+    def is_trivial(self) -> bool:
+        """True when the only candidate is the original value itself."""
+        return len(self.candidates) == 1 and self.candidates[0].value == self.original
+
+
+@dataclass
+class RepairDelta:
+    """A batch of cell fixes produced by one cleaning step.
+
+    ``fixes`` is keyed by (tid, attr).  Applying the delta to a relation
+    replaces each fixed cell with the PValue of its CellFix; trivial fixes
+    are skipped.
+    """
+
+    fixes: dict[tuple[int, str], CellFix] = field(default_factory=dict)
+
+    def add_fix(self, fix: CellFix) -> None:
+        key = (fix.tid, fix.attr)
+        existing = self.fixes.get(key)
+        if existing is None:
+            self.fixes[key] = fix
+            return
+        existing.rules |= fix.rules
+        for candidate in fix.candidates:
+            existing.add(candidate)
+
+    def merge(self, other: "RepairDelta") -> None:
+        for fix in other.fixes.values():
+            self.add_fix(fix)
+
+    def nontrivial_fixes(self) -> list[CellFix]:
+        return [f for f in self.fixes.values() if not f.is_trivial()]
+
+    def cell_updates(self) -> dict[tuple[int, str], PValue]:
+        """The (tid, attr) -> PValue map ready for Relation.update_cells."""
+        return {
+            (f.tid, f.attr): f.to_pvalue() for f in self.nontrivial_fixes()
+        }
+
+    def touched_tids(self) -> set[int]:
+        return {f.tid for f in self.nontrivial_fixes()}
+
+    def __len__(self) -> int:
+        return len(self.fixes)
+
+    def __bool__(self) -> bool:
+        return bool(self.fixes)

@@ -1,0 +1,83 @@
+"""Provenance for repaired cells.
+
+Section 4: "We also maintain provenance to the original values in case new
+rules appear."  The :class:`ProvenanceStore` remembers, per (tid, attribute):
+
+* the original concrete value before the first probabilistic repair, and
+* which rules have contributed fixes to the cell.
+
+It also records, per rule, the lhs groups / tid pairs already checked, so
+Daisy can (a) skip re-checking (Section 4.3 "Daisy maintains information
+about the already checked tuples by each rule") and (b) run a *new* rule
+over the original data and merge with existing fixes instead of recleaning
+from scratch (the Table 7 experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+
+@dataclass
+class CellProvenance:
+    """Original value + contributing rules for one repaired cell."""
+
+    original: Any
+    rules: set[str] = field(default_factory=set)
+
+
+class ProvenanceStore:
+    """Provenance for one relation's repaired cells and per-rule progress."""
+
+    def __init__(self) -> None:
+        self._cells: dict[tuple[int, str], CellProvenance] = {}
+        #: rule name -> set of group keys (FDs) or cell ids already checked.
+        self._checked_groups: dict[str, set[Hashable]] = {}
+
+    # -- cell originals ----------------------------------------------------------
+
+    def record_original(self, tid: int, attr: str, value: Any, rule: str) -> None:
+        """Record the pre-repair value of a cell (first writer wins)."""
+        key = (tid, attr)
+        if key not in self._cells:
+            self._cells[key] = CellProvenance(original=value)
+        self._cells[key].rules.add(rule)
+
+    def original(self, tid: int, attr: str) -> Optional[Any]:
+        """The original value of a repaired cell, or None if never repaired."""
+        prov = self._cells.get((tid, attr))
+        return prov.original if prov is not None else None
+
+    def originals_map(self) -> dict[tuple[int, str], Any]:
+        """(tid, attr) -> original value, for all repaired cells."""
+        return {key: prov.original for key, prov in self._cells.items()}
+
+    def rules_of(self, tid: int, attr: str) -> set[str]:
+        prov = self._cells.get((tid, attr))
+        return set(prov.rules) if prov is not None else set()
+
+    def repaired_cells(self) -> set[tuple[int, str]]:
+        return set(self._cells)
+
+    def is_repaired(self, tid: int, attr: str) -> bool:
+        return (tid, attr) in self._cells
+
+    # -- per-rule progress ---------------------------------------------------------
+
+    def mark_checked(self, rule: str, keys: set[Hashable]) -> None:
+        """Record that ``keys`` (groups, cells, or stripe ids) were checked."""
+        self._checked_groups.setdefault(rule, set()).update(keys)
+
+    def checked(self, rule: str) -> set[Hashable]:
+        return self._checked_groups.get(rule, set())
+
+    def is_checked(self, rule: str, key: Hashable) -> bool:
+        return key in self._checked_groups.get(rule, set())
+
+    def reset_rule(self, rule: str) -> None:
+        """Forget a rule's progress (e.g. after the data changed externally)."""
+        self._checked_groups.pop(rule, None)
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,15 @@
+"""SAT substrate: CNF formulas + DPLL solver (used by holistic DC repair)."""
+
+from repro.sat.cnf import Clause, CnfFormula, FormulaBuilder, Literal
+from repro.sat.solver import is_satisfiable, minimal_true_models, solve, solve_all
+
+__all__ = [
+    "CnfFormula",
+    "FormulaBuilder",
+    "Clause",
+    "Literal",
+    "solve",
+    "solve_all",
+    "is_satisfiable",
+    "minimal_true_models",
+]

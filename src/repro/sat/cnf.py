@@ -1,0 +1,127 @@
+"""CNF formulas: variables, literals, clauses.
+
+The holistic DC repair (Section 4.2) maps the "which atoms must invert their
+condition" question to satisfiability: each atom of a violated DC becomes a
+Boolean variable (true = the atom's condition still holds after repair), the
+DC itself contributes the clause ¬(p1 ∧ … ∧ pm) = (¬p1 ∨ … ∨ ¬pm), and side
+constraints (e.g. an atom that cannot be changed) contribute unit clauses.
+A model of the formula is a choice of atom subsets to invert.
+
+Literals are non-zero integers in DIMACS style: variable ``v`` is the
+positive literal ``v`` and its negation ``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import SatError
+
+Literal = int
+Clause = tuple[Literal, ...]
+
+
+def check_literal(lit: int) -> None:
+    if not isinstance(lit, int) or lit == 0:
+        raise SatError(f"literal must be a non-zero integer, got {lit!r}")
+
+
+class CnfFormula:
+    """A conjunction of disjunctive clauses over integer variables."""
+
+    def __init__(self, clauses: Optional[Iterable[Iterable[Literal]]] = None):
+        self._clauses: list[Clause] = []
+        self._num_vars = 0
+        if clauses:
+            for clause in clauses:
+                self.add_clause(clause)
+
+    @property
+    def clauses(self) -> list[Clause]:
+        return self._clauses
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[Literal]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise SatError("empty clause makes the formula trivially unsatisfiable; "
+                           "add it explicitly via add_empty_clause if intended")
+        for lit in clause:
+            check_literal(lit)
+            self._num_vars = max(self._num_vars, abs(lit))
+        self._clauses.append(clause)
+
+    def add_empty_clause(self) -> None:
+        """Explicitly make the formula unsatisfiable."""
+        self._clauses.append(())
+
+    def add_unit(self, literal: Literal) -> None:
+        self.add_clause([literal])
+
+    def variables(self) -> set[int]:
+        return {abs(lit) for clause in self._clauses for lit in clause}
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a (total) assignment."""
+        for clause in self._clauses:
+            satisfied = False
+            for lit in clause:
+                var = abs(lit)
+                if var not in assignment:
+                    raise SatError(f"assignment missing variable {var}")
+                if assignment[var] == (lit > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"CnfFormula({len(self._clauses)} clauses, {self._num_vars} vars)"
+
+
+@dataclass
+class FormulaBuilder:
+    """Incrementally assign variables to named atoms and build a CNF.
+
+    Used by the repair module: atoms of a DC get stable names
+    (``pred_0``, ``pred_1``, …) and the builder maps them to variable ids.
+    """
+
+    _names: dict[str, int] = field(default_factory=dict)
+    formula: CnfFormula = field(default_factory=CnfFormula)
+
+    def var(self, name: str) -> int:
+        """The variable id for ``name`` (allocating if new)."""
+        if name not in self._names:
+            self._names[name] = len(self._names) + 1
+        return self._names[name]
+
+    def literal(self, name: str, positive: bool = True) -> Literal:
+        v = self.var(name)
+        return v if positive else -v
+
+    def add_clause_names(self, literals: Iterable[tuple[str, bool]]) -> None:
+        self.formula.add_clause(
+            self.literal(name, positive) for name, positive in literals
+        )
+
+    def name_of(self, var: int) -> str:
+        for name, v in self._names.items():
+            if v == var:
+                return name
+        raise SatError(f"unknown variable {var}")
+
+    def decode(self, assignment: dict[int, bool]) -> dict[str, bool]:
+        """Translate a variable assignment back to atom names."""
+        return {name: assignment[v] for name, v in self._names.items() if v in assignment}

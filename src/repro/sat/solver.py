@@ -1,0 +1,170 @@
+"""A DPLL SAT solver with unit propagation and pure-literal elimination.
+
+Complete (always terminates with SAT+model or UNSAT) and deliberately simple:
+the formulas produced by holistic DC repair have one variable per DC atom, so
+they are tiny.  The solver still implements the classic optimizations so it
+behaves well if users feed it larger formulas:
+
+* unit propagation to fixpoint,
+* pure-literal elimination,
+* most-frequent-variable branching.
+
+``solve_all`` enumerates every model (used to enumerate all candidate
+atom-inversion subsets); ``minimal_true_models`` filters to subset-minimal
+sets of *false* atoms, matching the repair-minimality principle.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.sat.cnf import Clause, CnfFormula, Literal
+
+
+def _simplify(clauses: list[Clause], literal: Literal) -> Optional[list[Clause]]:
+    """Assign ``literal`` true: drop satisfied clauses, shrink the rest.
+
+    Returns None if an empty clause arises (conflict).
+    """
+    out: list[Clause] = []
+    neg = -literal
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if neg in clause:
+            shrunk = tuple(l for l in clause if l != neg)
+            if not shrunk:
+                return None
+            out.append(shrunk)
+        else:
+            out.append(clause)
+    return out
+
+
+def _unit_propagate(
+    clauses: list[Clause], assignment: dict[int, bool]
+) -> Optional[list[Clause]]:
+    """Propagate unit clauses to fixpoint, updating ``assignment`` in place."""
+    while True:
+        unit = next((c[0] for c in clauses if len(c) == 1), None)
+        if unit is None:
+            return clauses
+        assignment[abs(unit)] = unit > 0
+        simplified = _simplify(clauses, unit)
+        if simplified is None:
+            return None
+        clauses = simplified
+
+
+def _pure_literals(clauses: list[Clause]) -> list[Literal]:
+    polarity: dict[int, set[bool]] = {}
+    for clause in clauses:
+        for lit in clause:
+            polarity.setdefault(abs(lit), set()).add(lit > 0)
+    return [
+        (var if True in pols else -var)
+        for var, pols in polarity.items()
+        if len(pols) == 1
+    ]
+
+
+def _choose_branch_variable(clauses: list[Clause]) -> int:
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+    return max(counts, key=lambda v: (counts[v], -v))
+
+
+def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> Optional[dict[int, bool]]:
+    clauses_or_none = _unit_propagate(clauses, assignment)
+    if clauses_or_none is None:
+        return None
+    clauses = clauses_or_none
+    for lit in _pure_literals(clauses):
+        assignment[abs(lit)] = lit > 0
+        simplified = _simplify(clauses, lit)
+        if simplified is None:
+            return None
+        clauses = simplified
+    if not clauses:
+        return assignment
+    var = _choose_branch_variable(clauses)
+    for value in (True, False):
+        lit = var if value else -var
+        trial = dict(assignment)
+        trial[var] = value
+        simplified = _simplify(clauses, lit)
+        if simplified is None:
+            continue
+        result = _dpll(simplified, trial)
+        if result is not None:
+            return result
+    return None
+
+
+def solve(formula: CnfFormula) -> Optional[dict[int, bool]]:
+    """Return a satisfying total assignment, or None if unsatisfiable.
+
+    Variables not constrained by any clause are assigned True.
+    """
+    if any(len(c) == 0 for c in formula.clauses):
+        return None
+    assignment = _dpll(list(formula.clauses), {})
+    if assignment is None:
+        return None
+    for var in range(1, formula.num_vars + 1):
+        assignment.setdefault(var, True)
+    return assignment
+
+
+def is_satisfiable(formula: CnfFormula) -> bool:
+    return solve(formula) is not None
+
+
+def solve_all(formula: CnfFormula, limit: int = 100000) -> Iterator[dict[int, bool]]:
+    """Enumerate all models by iteratively blocking found models.
+
+    Complete but exponential — meant for the small atom-level formulas of DC
+    repair.  Raises RuntimeError if more than ``limit`` models are produced.
+    """
+    if any(len(c) == 0 for c in formula.clauses):
+        return
+    blocking = CnfFormula(list(formula.clauses))
+    produced = 0
+    variables = sorted(formula.variables()) or list(range(1, formula.num_vars + 1))
+    while True:
+        model = solve(blocking)
+        if model is None:
+            return
+        # Project to the original variables for a canonical model.
+        canonical = {v: model.get(v, True) for v in variables}
+        yield canonical
+        produced += 1
+        if produced > limit:
+            raise RuntimeError(f"model enumeration exceeded limit={limit}")
+        if not variables:
+            return
+        blocking.add_clause(
+            (-v if canonical[v] else v) for v in variables
+        )
+
+
+def minimal_true_models(
+    formula: CnfFormula, limit: int = 100000
+) -> list[dict[int, bool]]:
+    """Models whose set of FALSE variables is subset-minimal.
+
+    In the repair encoding, a false variable means "invert this atom's
+    condition" (i.e. change data).  Minimal-false models correspond to
+    repairs that change as few atoms as possible — the minimality principle
+    the paper inherits from holistic data cleaning.
+    """
+    models = list(solve_all(formula, limit=limit))
+    false_sets = [frozenset(v for v, val in m.items() if not val) for m in models]
+    minimal: list[dict[int, bool]] = []
+    for i, fs in enumerate(false_sets):
+        if any(other < fs for other in false_sets):
+            continue
+        minimal.append(models[i])
+    return minimal

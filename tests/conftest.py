@@ -1,0 +1,58 @@
+"""Shared fixtures: the paper's running examples and small synthetic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.relation import ColumnType, Relation
+
+
+@pytest.fixture
+def cities_relation() -> Relation:
+    """Table 2a — the dirty Cities dataset of the paper's running example."""
+    return Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (9001, "Los Angeles"),
+            (9001, "San Francisco"),
+            (9001, "Los Angeles"),
+            (10001, "San Francisco"),
+            (10001, "New York"),
+        ],
+        name="cities",
+    )
+
+
+@pytest.fixture
+def zip_city_fd() -> FunctionalDependency:
+    return FunctionalDependency("zip", "city", name="phi")
+
+
+@pytest.fixture
+def employees_relation() -> Relation:
+    """Table 1 — the employees dataset of the introduction."""
+    return Relation.from_rows(
+        [("name", ColumnType.STRING), ("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            ("Jon", 9001, "Los Angeles"),
+            ("Jim", 9001, "San Francisco"),
+            ("Mary", 10001, "New York"),
+            ("Jane", 10002, "New York"),
+        ],
+        name="employees",
+    )
+
+
+@pytest.fixture
+def salary_tax_relation() -> Relation:
+    """Example 5's salary/tax/age dataset."""
+    return Relation.from_rows(
+        [("salary", ColumnType.INT), ("tax", ColumnType.FLOAT), ("age", ColumnType.INT)],
+        [
+            (1000, 0.1, 31),
+            (3000, 0.2, 32),
+            (2000, 0.3, 43),
+        ],
+        name="salaries",
+    )

@@ -1,0 +1,189 @@
+"""Tests for the offline and HoloClean-like baselines."""
+
+import pytest
+
+from repro.baselines import (
+    HoloCleanLike,
+    OfflineCleaner,
+    domains_from_daisy,
+    most_probable_repairs,
+    offline_then_query,
+)
+from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.probabilistic import PValue
+from repro.relation import ColumnType, Relation
+
+
+def cities_rel():
+    return Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (9001, "Los Angeles"),
+            (9001, "San Francisco"),
+            (9001, "Los Angeles"),
+            (10001, "San Francisco"),
+            (10001, "New York"),
+        ],
+        name="cities",
+    )
+
+
+class TestOfflineCleaner:
+    def test_repairs_all_groups(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        cleaned, report = OfflineCleaner().clean(cities_rel(), [fd])
+        assert report.groups_repaired == 2
+        assert isinstance(cleaned.row_by_tid(0).values[1], PValue)
+        assert isinstance(cleaned.row_by_tid(4).values[1], PValue)
+
+    def test_same_candidates_as_daisy_full_clean(self):
+        from repro import Daisy
+
+        fd = FunctionalDependency("zip", "city", name="phi")
+        cleaned, _ = OfflineCleaner().clean(cities_rel(), [fd])
+
+        d = Daisy()
+        d.register_table("cities", cities_rel())
+        d.add_rule("cities", fd)
+        d.clean_table("cities")
+        daisy_rel = d.table("cities")
+
+        for tid in range(5):
+            o = cleaned.row_by_tid(tid).values[1]
+            m = daisy_rel.row_by_tid(tid).values[1]
+            o_vals = set(o.concrete_values()) if isinstance(o, PValue) else {o}
+            m_vals = set(m.concrete_values()) if isinstance(m, PValue) else {m}
+            assert o_vals == m_vals
+
+    def test_dc_cleaning(self, salary_tax_relation):
+        dc = DenialConstraint(
+            [
+                Predicate(0, "salary", "<", 1, "salary"),
+                Predicate(0, "tax", ">", 1, "tax"),
+            ],
+            name="dc",
+        )
+        cleaned, report = OfflineCleaner().clean(salary_tax_relation, [dc])
+        assert report.violations_found == 1
+        assert cleaned.probabilistic_cell_count() > 0
+
+    def test_work_charged_per_group_scan(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        _, report = OfflineCleaner().clean(cities_rel(), [fd])
+        # Detection (n) + 2 group scans (2n) + update (n): at least 4n scans.
+        assert report.work.tuples_scanned >= 4 * 5
+
+    def test_offline_then_query(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        cleaned, report, total = offline_then_query(
+            cities_rel(),
+            [fd],
+            ["SELECT zip FROM data WHERE city = 'Los Angeles'"],
+        )
+        assert total >= report.elapsed_seconds
+        assert cleaned.probabilistic_cell_count() > 0
+
+    def test_clean_relation_noop(self):
+        fd = FunctionalDependency("zip", "city")
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [(1, "A"), (2, "B")],
+        )
+        cleaned, report = OfflineCleaner().clean(rel, [fd])
+        assert report.groups_repaired == 0
+        assert cleaned.probabilistic_cell_count() == 0
+
+
+class TestHoloCleanLike:
+    def test_dirty_cells_detected(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        hc = HoloCleanLike()
+        cells = hc.dirty_cells(cities_rel(), [fd])
+        assert (0, "city") in cells and (1, "city") in cells
+
+    def test_domains_contain_plausible_values(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        hc = HoloCleanLike()
+        rel = cities_rel()
+        cells = hc.dirty_cells(rel, [fd])
+        domains = hc.generate_domains(rel, cells)
+        assert "Los Angeles" in domains[(1, "city")]
+
+    def test_repair_end_to_end(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        hc = HoloCleanLike()
+        repaired, repairs, report = hc.repair(cities_rel(), [fd])
+        assert report.dirty_cells > 0
+        # Majority voting should fix SF -> LA for tuple 1.
+        assert repairs[(1, "city")] == "Los Angeles"
+
+    def test_domain_pruning_limits_size(self):
+        fd = FunctionalDependency("zip", "city", name="phi")
+        hc = HoloCleanLike(domain_prune_k=1)
+        rel = cities_rel()
+        cells = hc.dirty_cells(rel, [fd])
+        domains = hc.generate_domains(rel, cells)
+        assert all(len(d) <= 2 for d in domains.values())  # k + current value
+
+    def test_external_domains_daisyh(self):
+        """DaisyH: HoloClean inference over Daisy's candidate domains."""
+        from repro import Daisy
+
+        fd = FunctionalDependency("zip", "city", name="phi")
+        d = Daisy()
+        d.register_table("cities", cities_rel())
+        d.add_rule("cities", fd)
+        d.clean_table("cities")
+        domains = domains_from_daisy(d.table("cities"))
+        assert domains  # probabilistic cells produced domains
+
+        hc = HoloCleanLike()
+        repaired, repairs, _ = hc.repair(
+            cities_rel(), [fd], external_domains=domains
+        )
+        assert repairs[(1, "city")] == "Los Angeles"
+
+    def test_most_probable_repairs(self):
+        from repro import Daisy
+
+        d = Daisy()
+        d.register_table("cities", cities_rel())
+        d.add_rule("cities", "zip -> city", name="phi")
+        d.clean_table("cities")
+        repairs = most_probable_repairs(d.table("cities"))
+        assert repairs  # every probabilistic cell contributes
+        assert repairs[(0, "city")] == "Los Angeles"
+
+
+class TestAccuracyMetrics:
+    def test_precision_recall(self):
+        from repro.metrics import evaluate_repairs
+
+        dirty = cities_rel()
+        ground_truth = {(1, "city"): "Los Angeles", (3, "city"): "New York"}
+        repairs = {
+            (1, "city"): "Los Angeles",  # correct
+            (3, "city"): "San Diego",    # wrong value
+            (4, "city"): "New York",     # no-op (already NY) — not an update
+        }
+        report = evaluate_repairs(repairs, dirty, ground_truth)
+        assert report.total_updates == 2
+        assert report.correct_updates == 1
+        assert report.precision == 0.5
+        assert report.recall == 0.5
+
+    def test_evaluate_relation(self):
+        from repro.metrics import evaluate_relation
+
+        dirty = cities_rel()
+        repaired = dirty.update_cells({(1, "city"): "Los Angeles"})
+        report = evaluate_relation(
+            repaired, dirty, {(1, "city"): "Los Angeles"}, attrs=["city"]
+        )
+        assert report.precision == 1.0 and report.recall == 1.0 and report.f1 == 1.0
+
+    def test_f1_zero_when_no_updates(self):
+        from repro.metrics import evaluate_repairs
+
+        report = evaluate_repairs({}, cities_rel(), {(0, "city"): "X"})
+        assert report.f1 == 0.0

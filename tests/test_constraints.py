@@ -1,0 +1,226 @@
+"""Tests for predicates, denial constraints, FDs, and the parser."""
+
+import pytest
+
+from repro.constraints import (
+    DenialConstraint,
+    FilterSide,
+    FunctionalDependency,
+    Predicate,
+    analyze_rule_overlap,
+    as_dc,
+    as_fd,
+    decompose_fd,
+    eq,
+    filter_side,
+    neq,
+    parse_dc,
+    parse_fd,
+    parse_rule,
+    query_accesses_rule,
+    relevant_rules,
+    split_rules,
+)
+from repro.errors import ConstraintError, ConstraintParseError
+
+
+class TestPredicate:
+    def test_constant_predicate(self):
+        p = Predicate(0, "age", ">=", constant=18)
+        assert p.is_constant()
+        assert p.is_single_tuple()
+
+    def test_two_tuple_predicate(self):
+        p = eq("zip")
+        assert not p.is_constant()
+        assert p.tuple_variables() == {0, 1}
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ConstraintError):
+            Predicate(0, "a", "~", 1, "a")
+
+    def test_half_specified_right_rejected(self):
+        with pytest.raises(ConstraintError):
+            Predicate(0, "a", "=", right_tuple=1)
+
+    def test_negated(self):
+        assert eq("zip").negated().op == "!="
+        assert Predicate(0, "a", "<", 1, "a").negated().op == ">="
+
+    def test_flipped(self):
+        p = Predicate(0, "salary", "<", 1, "tax").flipped()
+        assert p.op == ">"
+        assert p.left_attr == "tax"
+
+    def test_flip_constant_rejected(self):
+        with pytest.raises(ConstraintError):
+            Predicate(0, "a", "=", constant=1).flipped()
+
+    def test_str(self):
+        assert str(eq("zip")) == "t1.zip=t2.zip"
+
+
+class TestDenialConstraint:
+    def test_fd_shaped(self):
+        dc = DenialConstraint([eq("zip"), neq("city")])
+        assert dc.is_fd_shaped()
+        fd = dc.to_fd()
+        assert fd.lhs == ("zip",)
+        assert fd.rhs == "city"
+
+    def test_inequality_dc_not_fd_shaped(self):
+        dc = DenialConstraint(
+            [Predicate(0, "s", "<", 1, "s"), Predicate(0, "t", ">", 1, "t")]
+        )
+        assert not dc.is_fd_shaped()
+        with pytest.raises(ConstraintError):
+            dc.to_fd()
+
+    def test_arity(self):
+        assert DenialConstraint([eq("a")]).arity == 2
+        assert DenialConstraint([Predicate(0, "a", ">", constant=1)]).arity == 1
+
+    def test_attributes(self):
+        dc = DenialConstraint([eq("zip"), neq("city")])
+        assert dc.attributes() == {"zip", "city"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint([])
+
+    def test_find_violations_fd(self, cities_relation):
+        dc = DenialConstraint([eq("zip"), neq("city")])
+        pairs = dc.find_violations(cities_relation)
+        assert (0, 1) in pairs and (3, 4) in pairs
+        assert (0, 2) not in pairs  # same city, no violation
+
+    def test_find_violations_inequality(self, salary_tax_relation):
+        dc = DenialConstraint(
+            [Predicate(0, "salary", "<", 1, "salary"), Predicate(0, "tax", ">", 1, "tax")]
+        )
+        pairs = dc.find_violations(salary_tax_relation)
+        assert pairs == [(2, 1)]  # (2000, 0.3) vs (3000, 0.2)
+
+    def test_violates_checks_arity(self, cities_relation):
+        dc = DenialConstraint([eq("zip"), neq("city")])
+        with pytest.raises(ConstraintError):
+            dc.violates(cities_relation.rows[:1], cities_relation)
+
+
+class TestFunctionalDependency:
+    def test_roundtrip_via_dc(self):
+        fd = FunctionalDependency(("a", "b"), "c", name="f")
+        assert fd.to_dc().to_fd() == fd
+
+    def test_rhs_in_lhs_rejected(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("a", "a")
+
+    def test_decompose(self):
+        fds = decompose_fd("zip", ["city", "state"], name="f")
+        assert [f.rhs for f in fds] == ["city", "state"]
+        assert all(f.lhs == ("zip",) for f in fds)
+
+    def test_as_helpers(self):
+        fd = FunctionalDependency("a", "b")
+        assert as_fd(fd) is fd
+        assert as_dc(fd).is_fd_shaped()
+        dc = DenialConstraint([Predicate(0, "s", "<", 1, "s")])
+        assert as_fd(dc) is None
+        assert as_dc(dc) is dc
+
+
+class TestParser:
+    def test_parse_fd_simple(self):
+        (fd,) = parse_fd("zip -> city")
+        assert fd.lhs == ("zip",) and fd.rhs == "city"
+
+    def test_parse_fd_composite_lhs(self):
+        (fd,) = parse_fd("county_code, state_code -> county_name")
+        assert fd.lhs == ("county_code", "state_code")
+
+    def test_parse_fd_multi_rhs_decomposes(self):
+        fds = parse_fd("zip -> city, state")
+        assert len(fds) == 2
+
+    def test_parse_fd_missing_arrow(self):
+        with pytest.raises(ConstraintParseError):
+            parse_fd("zip city")
+
+    def test_parse_dc_fd_shaped(self):
+        dc = parse_dc("not(t1.zip = t2.zip & t1.city != t2.city)")
+        assert dc.is_fd_shaped()
+
+    def test_parse_dc_with_quantifier(self):
+        dc = parse_dc("forall t1,t2: not(t1.salary < t2.salary & t1.tax > t2.tax)")
+        assert len(dc.predicates) == 2
+        assert dc.predicates[0].op == "<"
+
+    def test_parse_dc_unicode(self):
+        dc = parse_dc("∀t1,t2:¬(t1.zip=t2.zip ∧ t1.city≠t2.city)")
+        assert dc.is_fd_shaped()
+
+    def test_parse_dc_constant(self):
+        dc = parse_dc("not(t1.age < 18)")
+        assert dc.predicates[0].constant == 18
+
+    def test_parse_dc_string_constant(self):
+        dc = parse_dc("not(t1.city = 'LA' & t1.zip != 9001)")
+        assert dc.predicates[0].constant == "LA"
+
+    def test_parse_dc_flips_constant_on_left(self):
+        dc = parse_dc("not(18 > t1.age)")
+        pred = dc.predicates[0]
+        assert pred.left_attr == "age" and pred.op == "<"
+
+    def test_parse_rule_dispatches(self):
+        assert isinstance(parse_rule("a -> b")[0], FunctionalDependency)
+        assert isinstance(
+            parse_rule("not(t1.a < t2.a & t1.b > t2.b)")[0], DenialConstraint
+        )
+        # FD-shaped DC comes back as an FD
+        assert isinstance(
+            parse_rule("not(t1.a = t2.a & t1.b != t2.b)")[0], FunctionalDependency
+        )
+
+    def test_parse_dc_trailing_garbage(self):
+        with pytest.raises(ConstraintParseError):
+            parse_dc("not(t1.a = t2.a) extra")
+
+    def test_parse_dc_two_constants_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_dc("not(1 = 2)")
+
+
+class TestAnalysis:
+    def test_query_accesses_rule(self):
+        fd = FunctionalDependency("zip", "city")
+        assert query_accesses_rule(["zip"], [], fd)
+        assert query_accesses_rule([], ["city"], fd)
+        assert not query_accesses_rule(["name"], ["phone"], fd)
+
+    def test_relevant_rules(self):
+        fd1 = FunctionalDependency("zip", "city")
+        fd2 = FunctionalDependency("phone", "zip")
+        assert relevant_rules(["city"], [], [fd1, fd2]) == [fd1]
+
+    def test_filter_side(self):
+        fd = FunctionalDependency("zip", "city")
+        assert filter_side(["zip"], fd) is FilterSide.LHS
+        assert filter_side(["city"], fd) is FilterSide.RHS
+        assert filter_side(["zip", "city"], fd) is FilterSide.BOTH
+        assert filter_side(["name"], fd) is FilterSide.NONE
+
+    def test_analyze_rule_overlap(self):
+        fd1 = FunctionalDependency("orderkey", "suppkey")
+        fd2 = FunctionalDependency("address", "suppkey")
+        overlap = analyze_rule_overlap([fd1, fd2])
+        assert "suppkey" in overlap.shared_attributes
+        assert overlap.rule_pairs == ((0, 1),)
+
+    def test_split_rules(self):
+        fd = FunctionalDependency("a", "b")
+        dc = DenialConstraint([Predicate(0, "s", "<", 1, "s")])
+        fd_shaped = DenialConstraint([eq("x"), neq("y")])
+        fds, dcs = split_rules([fd, dc, fd_shaped])
+        assert len(fds) == 2 and len(dcs) == 1

@@ -1,0 +1,153 @@
+"""Tests for the Section 5.2 cost model and precomputed statistics."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.core import (
+    CostModel,
+    CostModelConfig,
+    QueryObservation,
+    build_fd_statistics,
+    incremental_query_cost,
+    offline_cost,
+)
+from repro.relation import ColumnType, Relation
+
+
+class TestCostFormulas:
+    def test_offline_cost_fd_linear_detection(self):
+        cost = offline_cost(n=1000, errors=10, candidates_per_error=2, num_queries=5)
+        # q·n + n + ε·n + n + ε·p
+        assert cost == 5 * 1000 + 1000 + 10 * 1000 + 1000 + 20
+
+    def test_offline_cost_dc_quadratic_detection(self):
+        fd = offline_cost(100, 0, 1, 0, is_dc=False)
+        dc = offline_cost(100, 0, 1, 0, is_dc=True)
+        assert dc > fd
+
+    def test_incremental_first_query_scans_everything(self):
+        cost = incremental_query_cost(
+            n=1000, seen_tuples=0, result_size=20, extra_tuples=5,
+            errors=2, prior_prob_values=0, candidates_per_error=2,
+        )
+        assert cost >= 1000  # relaxation over the unknown remainder
+
+    def test_incremental_relaxation_shrinks_with_seen(self):
+        kwargs = dict(
+            result_size=20, extra_tuples=5, errors=2,
+            prior_prob_values=0, candidates_per_error=2,
+        )
+        first = incremental_query_cost(n=1000, seen_tuples=0, **kwargs)
+        later = incremental_query_cost(n=1000, seen_tuples=900, **kwargs)
+        assert later < first
+
+    def test_dc_detection_cost_higher(self):
+        fd = incremental_query_cost(
+            n=1000, seen_tuples=0, result_size=100, extra_tuples=0,
+            errors=0, prior_prob_values=0, candidates_per_error=1, is_dc=False,
+        )
+        dc = incremental_query_cost(
+            n=1000, seen_tuples=0, result_size=100, extra_tuples=0,
+            errors=0, prior_prob_values=0, candidates_per_error=1, is_dc=True,
+        )
+        assert dc > fd
+
+
+class TestCostModelDecision:
+    def make_model(self, errors=100, p=2.0, expected=50):
+        return CostModel(
+            dataset_size=1000,
+            estimated_errors=errors,
+            candidates_per_error=p,
+            config=CostModelConfig(expected_queries=expected),
+        )
+
+    def test_no_switch_with_no_queries_left(self):
+        model = self.make_model(expected=1)
+        model.observe(QueryObservation(20, 5, 2, 25.0))
+        assert not model.should_switch_to_full()
+
+    def test_switch_when_update_cost_dominates(self):
+        # The Fig. 7 scenario: many candidate values per error (large p), a
+        # long workload, and most errors already turned probabilistic — the
+        # per-query probabilistic update cost dominates, so finishing with a
+        # full clean of the remainder is cheaper.
+        model = CostModel(
+            dataset_size=1000,
+            estimated_errors=900,
+            candidates_per_error=20.0,
+            config=CostModelConfig(expected_queries=100),
+        )
+        model.observe(
+            QueryObservation(
+                result_size=100, extra_tuples=700, errors=800, detection_cost=800.0
+            )
+        )
+        assert model.should_switch_to_full()
+
+    def test_no_switch_on_clean_data(self):
+        model = CostModel(
+            dataset_size=1000,
+            estimated_errors=0,
+            candidates_per_error=1.0,
+            config=CostModelConfig(expected_queries=100),
+        )
+        model.observe(QueryObservation(10, 0, 0, 10.0))
+        # With no errors, full cleaning buys nothing; projections still pay
+        # relaxation, so allow either decision but require consistency.
+        first = model.should_switch_to_full()
+        assert first == model.should_switch_to_full()
+
+    def test_observations_accumulate(self):
+        model = self.make_model()
+        model.observe(QueryObservation(10, 5, 3, 15.0))
+        model.observe(QueryObservation(20, 5, 3, 25.0))
+        assert model.errors_cleaned == 6
+        assert model.tuples_seen == 40
+        assert len(model.observations) == 2
+
+    def test_remaining_errors_floor_zero(self):
+        model = self.make_model(errors=5)
+        model.observe(QueryObservation(10, 0, 10, 10.0))
+        assert model.remaining_errors() == 0
+
+
+class TestFdStatistics:
+    def make_rel(self):
+        return Relation.from_rows(
+            [("k", ColumnType.INT), ("v", ColumnType.STRING)],
+            [(1, "a"), (1, "a"), (2, "b"), (2, "c"), (3, "d")],
+        )
+
+    def test_dirty_groups_found(self):
+        stats = build_fd_statistics(self.make_rel(), FunctionalDependency("k", "v"))
+        assert stats.dirty_groups == {(2,)}
+        assert stats.dirty_group_count() == 1
+
+    def test_group_sizes(self):
+        stats = build_fd_statistics(self.make_rel(), FunctionalDependency("k", "v"))
+        assert stats.group_sizes == {(1,): 2, (2,): 2, (3,): 1}
+
+    def test_erroneous_entities(self):
+        stats = build_fd_statistics(self.make_rel(), FunctionalDependency("k", "v"))
+        assert stats.erroneous_entities() == 2
+
+    def test_candidate_estimate_on_clean_data(self):
+        rel = Relation.from_rows(
+            [("k", ColumnType.INT), ("v", ColumnType.STRING)], [(1, "a"), (2, "b")]
+        )
+        stats = build_fd_statistics(rel, FunctionalDependency("k", "v"))
+        assert stats.candidate_count_estimate() == 1.0
+
+    def test_is_dirty_key(self):
+        stats = build_fd_statistics(self.make_rel(), FunctionalDependency("k", "v"))
+        assert stats.is_dirty_key((2,))
+        assert not stats.is_dirty_key((1,))
+
+    def test_rhs_fanout(self):
+        rel = Relation.from_rows(
+            [("k", ColumnType.INT), ("v", ColumnType.STRING)],
+            [(1, "a"), (2, "a"), (3, "b")],
+        )
+        stats = build_fd_statistics(rel, FunctionalDependency("k", "v"))
+        assert stats.rhs_fanout == {"a": 2, "b": 1}

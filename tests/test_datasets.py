@@ -1,0 +1,204 @@
+"""Tests for the synthetic dataset generators and workload builders."""
+
+import pytest
+
+from repro.constraints import FunctionalDependency
+from repro.datasets import (
+    airquality,
+    hospital,
+    inject_fd_errors,
+    inject_numeric_errors,
+    nestle,
+    ssb,
+    workloads,
+)
+from repro.detection import detect_fd_violations
+from repro.errors import DatasetError
+from repro.query import parse_sql
+from repro.relation import ColumnType, Relation
+
+
+class TestErrorInjection:
+    def make_rel(self):
+        return Relation.from_rows(
+            [("k", ColumnType.INT), ("v", ColumnType.INT)],
+            [(i % 10, i % 10) for i in range(100)],
+        )
+
+    def test_injects_detectable_violations(self):
+        rel = self.make_rel()
+        fd = FunctionalDependency("k", "v")
+        dirty, report = inject_fd_errors(rel, fd, group_fraction=0.5, seed=1)
+        assert report.edited_cells > 0
+        detection = detect_fd_violations(dirty, fd)
+        assert detection.group_count() == report.affected_groups
+
+    def test_ground_truth_restores_clean(self):
+        rel = self.make_rel()
+        fd = FunctionalDependency("k", "v")
+        dirty, report = inject_fd_errors(rel, fd, group_fraction=1.0, seed=2)
+        restored = dirty.update_cells(dict(report.ground_truth))
+        assert not detect_fd_violations(restored, fd)
+
+    def test_group_fraction_controls_scale(self):
+        rel = self.make_rel()
+        fd = FunctionalDependency("k", "v")
+        _, low = inject_fd_errors(rel, fd, group_fraction=0.2, seed=3)
+        _, high = inject_fd_errors(rel, fd, group_fraction=1.0, seed=3)
+        assert low.affected_groups < high.affected_groups
+
+    def test_deterministic_by_seed(self):
+        rel = self.make_rel()
+        fd = FunctionalDependency("k", "v")
+        _, a = inject_fd_errors(rel, fd, seed=5)
+        _, b = inject_fd_errors(rel, fd, seed=5)
+        assert a.ground_truth == b.ground_truth
+
+    def test_invalid_fraction_rejected(self):
+        rel = self.make_rel()
+        fd = FunctionalDependency("k", "v")
+        with pytest.raises(DatasetError):
+            inject_fd_errors(rel, fd, group_fraction=2.0)
+
+    def test_numeric_errors(self):
+        rel = Relation.from_rows(
+            [("x", ColumnType.FLOAT)], [(float(i),) for i in range(1, 51)]
+        )
+        dirty, report = inject_numeric_errors(rel, "x", cell_fraction=0.2, seed=4)
+        assert report.edited_cells == 10
+        for (tid, attr), original in report.ground_truth.items():
+            assert dirty.row_by_tid(tid).values[0] != original
+
+
+class TestSsb:
+    def test_clean_lineorder_satisfies_fd(self):
+        rel = ssb.clean_lineorder(500, 50, 10, seed=1)
+        fd = FunctionalDependency("orderkey", "suppkey")
+        assert not detect_fd_violations(rel, fd)
+
+    def test_dirty_lineorder_violates(self):
+        rel, fd, report = ssb.dirty_lineorder(500, 50, 10, seed=1)
+        assert detect_fd_violations(rel, fd)
+        assert report.edited_cells > 0
+
+    def test_cardinalities(self):
+        rel = ssb.clean_lineorder(1000, 100, 20, seed=1)
+        assert len(rel.distinct_values("orderkey")) == 100
+        assert len(rel.distinct_values("suppkey")) <= 20
+
+    def test_error_group_fraction(self):
+        _, fd, r20 = ssb.dirty_lineorder(
+            1000, 100, 20, error_group_fraction=0.2, seed=1
+        )
+        _, _, r80 = ssb.dirty_lineorder(
+            1000, 100, 20, error_group_fraction=0.8, seed=1
+        )
+        assert r20.affected_groups < r80.affected_groups
+
+    def test_full_instance(self):
+        inst = ssb.generate_instance(num_rows=300, num_orderkeys=30, num_suppkeys=10)
+        assert len(inst.supplier) == 20  # 10 suppliers × 2 duplicate entries
+        assert len(inst.part) == 200
+        assert inst.lineorder.schema.names[0] == "orderkey"
+
+    def test_supplier_fd(self):
+        rel, fd, report = ssb.dirty_supplier(50, error_fraction=0.2, seed=2)
+        assert fd.lhs == ("address",)
+        assert detect_fd_violations(rel, fd)
+
+
+class TestHospital:
+    def test_clean_satisfies_all_rules(self):
+        rel = hospital.clean_hospital(300, seed=1)
+        for fd in hospital.hospital_rules():
+            assert not detect_fd_violations(rel, fd), str(fd)
+
+    def test_instance_has_violations_per_rule(self):
+        inst = hospital.generate_instance(num_rows=300, seed=1)
+        assert inst.ground_truth
+        violated = [
+            fd.name for fd in inst.rules if detect_fd_violations(inst.dirty, fd)
+        ]
+        assert "phi1" in violated
+
+    def test_master_matches_ground_truth(self):
+        inst = hospital.generate_instance(num_rows=300, seed=1)
+        for (tid, attr), value in inst.ground_truth.items():
+            idx = inst.master.schema.index_of(attr)
+            assert inst.master.row_by_tid(tid).values[idx] == value
+
+
+class TestNestle:
+    def test_clean_satisfies_fd(self):
+        rel = nestle.clean_products(400, 40, seed=1)
+        fd = FunctionalDependency("material", "category")
+        assert not detect_fd_violations(rel, fd)
+
+    def test_dirty_has_high_conflict_rate(self):
+        inst = nestle.generate_instance(400, 40, conflict_fraction=0.95, seed=1)
+        detection = detect_fd_violations(inst.dirty, inst.fd)
+        assert detection.group_count() >= 0.9 * 40
+
+    def test_coffee_queries_parse(self):
+        for sql in nestle.coffee_queries(10):
+            query = parse_sql(sql)
+            assert query.tables == ["nestle"]
+
+
+class TestAirQuality:
+    def test_clean_satisfies_composite_fd(self):
+        rel = airquality.clean_measurements(500, num_states=10, seed=1)
+        assert not detect_fd_violations(rel, airquality.airquality_fd())
+
+    def test_violation_levels(self):
+        low = airquality.generate_instance(500, num_states=10, violation_level="low", seed=1)
+        high = airquality.generate_instance(500, num_states=10, violation_level="high", seed=1)
+        low_groups = detect_fd_violations(low.dirty, low.fd).group_count()
+        high_groups = detect_fd_violations(high.dirty, high.fd).group_count()
+        assert low_groups < high_groups
+
+    def test_queries_parse_and_groupby(self):
+        for sql in airquality.state_co_queries(5):
+            query = parse_sql(sql)
+            assert query.group_by and query.aggregates
+
+
+class TestWorkloads:
+    def test_range_queries_cover_domain(self):
+        queries = workloads.range_queries("t", "k", 100, 10)
+        assert len(queries) == 10
+        parsed = [parse_sql(q) for q in queries]
+        lows = [q.conditions[0].value for q in parsed]
+        highs = [q.conditions[1].value for q in parsed]
+        assert lows[0] == 0 and highs[-1] == 100
+        # non-overlapping and contiguous
+        assert all(highs[i] == lows[i + 1] for i in range(9))
+
+    def test_random_selectivity_non_overlapping(self):
+        queries = workloads.random_selectivity_queries("t", "k", 50, 8, seed=1)
+        assert len(queries) == 8
+        for q in queries:
+            parse_sql(q)
+
+    def test_join_queries_parse(self):
+        for sql in workloads.join_queries(5, 100):
+            q = parse_sql(sql)
+            assert q.is_join_query()
+
+    def test_mixed_workload_contains_joins(self):
+        queries = workloads.mixed_workload(20, 100, seed=1)
+        parsed = [parse_sql(q) for q in queries]
+        assert any(q.is_join_query() for q in parsed)
+        assert any(not q.is_join_query() for q in parsed)
+
+    def test_ssb_complex_variants(self):
+        q1 = parse_sql(workloads.ssb_q1(0, 10))
+        assert len(q1.tables) == 2
+        q2 = parse_sql(workloads.ssb_q2(0, 10))
+        assert len(q2.tables) == 4 and q2.group_by
+        q3 = parse_sql(workloads.ssb_q3(0, 10))
+        assert len(q3.tables) == 5
+
+    def test_ssb_complex_workload_bad_variant(self):
+        with pytest.raises(ValueError):
+            workloads.ssb_complex_workload("q9", 5, 100)

@@ -1,0 +1,229 @@
+"""Tests for clean_sigma / clean_join / clean_full_table (paper Examples 2/3/6)."""
+
+import pytest
+
+from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.core import TableState, clean_full_table, clean_join, clean_sigma
+from repro.probabilistic import PValue, join_with_lineage
+from repro.relation import ColumnType, Relation
+
+
+def make_cities():
+    return Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (9001, "Los Angeles"),
+            (9001, "San Francisco"),
+            (9001, "Los Angeles"),
+            (10001, "San Francisco"),
+            (10001, "New York"),
+        ],
+        name="cities",
+    )
+
+
+def make_state(relation=None, rules=()):
+    state = TableState(relation=relation if relation is not None else make_cities())
+    for rule in rules:
+        state.add_rule(rule)
+    return state
+
+
+@pytest.fixture
+def fd():
+    return FunctionalDependency("zip", "city", name="phi")
+
+
+class TestCleanSigmaFd:
+    def test_example2_rhs_query(self, fd):
+        state = make_state(rules=[fd])
+        report = clean_sigma(state, {0, 2}, where_attrs=["city"], projection=["zip"])
+        rel = state.relation
+        # Rows 3 and 4 must stay concrete (Table 2b).
+        assert not isinstance(rel.row_by_tid(3).values[1], PValue)
+        assert not isinstance(rel.row_by_tid(4).values[1], PValue)
+        # Row 1's zip has candidates {9001, 10001}.
+        zip_cell = rel.row_by_tid(1).values[0]
+        assert isinstance(zip_cell, PValue)
+        assert set(zip_cell.concrete_values()) == {9001, 10001}
+        assert report.errors_fixed > 0
+
+    def test_example3_lhs_query_repairs_cluster(self, fd):
+        state = make_state(rules=[fd])
+        clean_sigma(state, {0, 1, 2}, where_attrs=["zip"], projection=["city"])
+        rel = state.relation
+        # Both groups repaired (Table 3).
+        assert isinstance(rel.row_by_tid(4).values[1], PValue)
+        # Result of zip=9001 now includes tid 3 through its zip candidates.
+        assert {r.tid for r in rel.where("zip", "=", 9001)} == {0, 1, 2, 3}
+
+    def test_irrelevant_rule_skipped(self, fd):
+        state = make_state(rules=[fd])
+        report = clean_sigma(state, {0}, where_attrs=["name"], projection=["name"])
+        assert report.errors_fixed == 0
+        assert state.relation.probabilistic_cell_count() == 0
+
+    def test_second_query_skips_checked_groups(self, fd):
+        state = make_state(rules=[fd])
+        clean_sigma(state, {0, 2}, where_attrs=["city"], projection=["zip"])
+        first_fixes = state.relation.probabilistic_cell_count()
+        report2 = clean_sigma(state, {0, 2}, where_attrs=["city"], projection=["zip"])
+        assert report2.errors_fixed == 0
+        assert state.relation.probabilistic_cell_count() == first_fixes
+
+    def test_statistics_pruning_skips_clean_answers(self, fd):
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [(1, "A"), (1, "A"), (2, "B"), (2, "C")],
+        )
+        state = make_state(rel, rules=[fd])
+        before = state.counter.tuples_scanned
+        # Query touching only the clean group (zip=1): pruning must avoid
+        # any relaxation scan.
+        report = clean_sigma(state, {0, 1}, where_attrs=["zip"], projection=["city"])
+        assert report.extra_tuples == 0
+        assert report.errors_fixed == 0
+
+    def test_fully_cleaned_rule_skipped(self, fd):
+        state = make_state(rules=[fd])
+        state.mark_fully_cleaned(fd)
+        report = clean_sigma(state, {0, 2}, where_attrs=["city"], projection=["zip"])
+        assert report.errors_fixed == 0
+
+
+class TestCleanSigmaDc:
+    def dc(self):
+        return DenialConstraint(
+            [
+                Predicate(0, "salary", "<", 1, "salary"),
+                Predicate(0, "tax", ">", 1, "tax"),
+            ],
+            name="dc",
+        )
+
+    def test_dc_repair_produces_ranges(self, salary_tax_relation):
+        state = make_state(salary_tax_relation, rules=[self.dc()])
+        report = clean_sigma(
+            state, {0, 1, 2}, where_attrs=["salary"], projection=["tax"],
+            dc_error_threshold=0.99,
+        )
+        assert report.errors_fixed > 0
+        assert state.relation.probabilistic_cell_count() > 0
+
+    def test_dc_full_cleaning_on_low_threshold(self):
+        # Shuffled tax values: the Algorithm 2 estimator must predict a high
+        # error rate and escalate to a full matrix check.
+        import random
+
+        rng = random.Random(4)
+        rows = [(float(i), rng.uniform(0, 1)) for i in range(100)]
+        rel = Relation.from_rows(
+            [("salary", ColumnType.FLOAT), ("tax", ColumnType.FLOAT)], rows
+        )
+        state = make_state(rel, rules=[self.dc()])
+        report = clean_sigma(
+            state, set(range(10)), where_attrs=["salary"], projection=["tax"],
+            dc_error_threshold=0.0001,
+        )
+        assert report.used_full_matrix
+        assert state.is_fully_cleaned(self.dc())
+
+
+class TestCleanFullTable:
+    def test_marks_rules_cleaned(self, fd):
+        state = make_state(rules=[fd])
+        report = clean_full_table(state)
+        assert state.is_fully_cleaned(fd)
+        assert report.errors_fixed > 0
+        # Both violating groups repaired.
+        assert isinstance(state.relation.row_by_tid(4).values[1], PValue)
+
+    def test_equivalent_to_offline_violation_coverage(self, fd):
+        from repro.detection import detect_fd_violations
+
+        state = make_state(rules=[fd])
+        clean_full_table(state)
+        # After full cleaning every original violating tid is probabilistic
+        # in the rhs.
+        report = detect_fd_violations(make_cities(), fd)
+        for tid in report.violating_tids():
+            assert isinstance(state.relation.row_by_tid(tid).values[1], PValue)
+
+
+class TestCleanJoin:
+    def test_example6_join(self):
+        """Tables 4a/4b → Table 4e."""
+        cities = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [(9001, "Los Angeles"), (9001, "San Francisco"), (10001, "San Francisco")],
+            name="C",
+        )
+        employee = Relation.from_rows(
+            [("zip", ColumnType.INT), ("name", ColumnType.STRING), ("phone", ColumnType.INT)],
+            [(9001, "Peter", 23456), (10001, "Mary", 12345), (10002, "Jon", 12345)],
+            name="E",
+        )
+        phi1 = FunctionalDependency("zip", "city", name="phi1")
+        phi2 = FunctionalDependency("phone", "zip", name="phi2")
+        c_state = make_state(cities, rules=[phi1])
+        e_state = make_state(employee, rules=[phi2])
+
+        # Query: filter cities on LA, then clean the filtered part (cleanσ).
+        answer = {r.tid for r in cities.where("city", "=", "Los Angeles")}
+        clean_sigma(c_state, answer, where_attrs=["city"], projection=["zip"])
+
+        # Join qualifying cities part with employees.
+        qualifying = {
+            r.tid
+            for r in c_state.relation.rows
+            if r.tid in answer
+            or (isinstance(r.values[1], PValue) and r.values[1].matches("Los Angeles"))
+        }
+        left = c_state.relation.restrict_tids(qualifying)
+        jr = join_with_lineage(left, e_state.relation, "zip", "zip", "C", "E")
+
+        def is_la(row):
+            cell = row.values[1]
+            if isinstance(cell, PValue):
+                return cell.matches("Los Angeles")
+            return cell == "Los Angeles"
+
+        updated, report = clean_join(c_state, e_state, jr, left_filter=is_la)
+
+        # Table 4e: Peter matches twice (via 9001 and candidate 9001),
+        # Mary and Jon match the probabilistic zips.
+        names = sorted(
+            row.values[updated.relation.schema.index_of("E.name")]
+            for row in updated.relation.rows
+        )
+        assert names == ["Jon", "Mary", "Peter", "Peter"]
+        # Employee zips got repaired by phi2 (Mary/Jon share phone 12345).
+        assert e_state.relation.probabilistic_cell_count() > 0
+
+    def test_clean_join_no_rules_is_noop(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(1,), (2,)], name="L")
+        right = Relation.from_rows([("k", ColumnType.INT)], [(1,), (3,)], name="R")
+        l_state = make_state(left)
+        r_state = make_state(right)
+        jr = join_with_lineage(left, right, "k", "k")
+        updated, report = clean_join(l_state, r_state, jr)
+        assert len(updated.relation) == 1
+        assert report.errors_fixed == 0
+
+    def test_lemma5_no_new_violations_after_update(self):
+        """The updated join result needs no further checks: re-cleaning is
+        a no-op."""
+        cities = make_cities()
+        phi = FunctionalDependency("zip", "city", name="phi")
+        c_state = make_state(cities, rules=[phi])
+        other = Relation.from_rows(
+            [("zip", ColumnType.INT), ("x", ColumnType.INT)],
+            [(9001, 1), (10001, 2)],
+            name="O",
+        )
+        o_state = make_state(other)
+        jr = join_with_lineage(c_state.relation, o_state.relation, "zip", "zip")
+        updated, first = clean_join(c_state, o_state, jr)
+        again, second = clean_join(c_state, o_state, updated)
+        assert second.errors_fixed == 0
+        assert len(again.relation) == len(updated.relation)

@@ -1,0 +1,167 @@
+"""Tests for the cleaning-aware planner (Section 5.1 injection rules)."""
+
+import pytest
+
+from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.errors import PlanError
+from repro.query import (
+    CleanJoinNode,
+    CleanSigmaNode,
+    FilterNode,
+    GroupByNode,
+    JoinNode,
+    PlannerCatalog,
+    ProjectNode,
+    ScanNode,
+    build_plan,
+    collect_nodes,
+    parse_sql,
+    plan_contains,
+)
+from repro.relation.schema import ColumnType, Schema
+
+
+@pytest.fixture
+def catalog():
+    cat = PlannerCatalog()
+    cat.add_table(
+        "lineorder",
+        Schema(
+            [
+                ("orderkey", ColumnType.INT),
+                ("suppkey", ColumnType.INT),
+                ("revenue", ColumnType.FLOAT),
+            ]
+        ),
+    )
+    cat.add_table(
+        "supplier",
+        Schema([("suppkey", ColumnType.INT), ("address", ColumnType.STRING)]),
+    )
+    cat.add_rule("lineorder", FunctionalDependency("orderkey", "suppkey", name="phi"))
+    cat.add_rule("supplier", FunctionalDependency("address", "suppkey", name="psi"))
+    return cat
+
+
+class TestCleanSigmaInjection:
+    def test_injected_when_filter_overlaps_rule(self, catalog):
+        plan = build_plan(
+            parse_sql("SELECT revenue FROM lineorder WHERE orderkey = 5"), catalog
+        )
+        assert plan_contains(plan, CleanSigmaNode)
+
+    def test_injected_when_projection_overlaps_rule(self, catalog):
+        plan = build_plan(
+            parse_sql("SELECT suppkey FROM lineorder WHERE revenue > 100"), catalog
+        )
+        assert plan_contains(plan, CleanSigmaNode)
+
+    def test_not_injected_without_overlap(self, catalog):
+        plan = build_plan(
+            parse_sql("SELECT revenue FROM lineorder WHERE revenue > 100"), catalog
+        )
+        assert not plan_contains(plan, CleanSigmaNode)
+
+    def test_sits_above_filter(self, catalog):
+        plan = build_plan(
+            parse_sql("SELECT suppkey FROM lineorder WHERE orderkey = 5"), catalog
+        )
+        nodes = collect_nodes(plan, CleanSigmaNode)
+        assert isinstance(nodes[0].child, FilterNode)
+
+    def test_above_bare_scan_without_filter(self, catalog):
+        plan = build_plan(parse_sql("SELECT suppkey FROM lineorder"), catalog)
+        nodes = collect_nodes(plan, CleanSigmaNode)
+        assert isinstance(nodes[0].child, ScanNode)
+
+
+class TestCleanJoinInjection:
+    def test_injected_on_rule_join_key(self, catalog):
+        plan = build_plan(
+            parse_sql(
+                "SELECT lineorder.orderkey FROM lineorder, supplier "
+                "WHERE lineorder.suppkey = supplier.suppkey"
+            ),
+            catalog,
+        )
+        assert plan_contains(plan, CleanJoinNode)
+        node = collect_nodes(plan, CleanJoinNode)[0]
+        assert [r.name for r in node.left_rules] == ["phi"]
+        assert [r.name for r in node.right_rules] == ["psi"]
+
+    def test_not_injected_on_clean_join_key(self):
+        cat = PlannerCatalog()
+        cat.add_table("a", Schema([("k", ColumnType.INT), ("x", ColumnType.INT)]))
+        cat.add_table("b", Schema([("k", ColumnType.INT), ("y", ColumnType.INT)]))
+        cat.add_rule("a", FunctionalDependency("x", "k", name="r"))
+        plan = build_plan(
+            parse_sql("SELECT a.x FROM a, b WHERE a.k = b.k"), cat
+        )
+        # the join key k participates in rule r (rhs) — injected
+        assert plan_contains(plan, CleanJoinNode)
+        cat2 = PlannerCatalog()
+        cat2.add_table("a", Schema([("k", ColumnType.INT), ("x", ColumnType.INT)]))
+        cat2.add_table("b", Schema([("k", ColumnType.INT), ("y", ColumnType.INT)]))
+        plan2 = build_plan(
+            parse_sql("SELECT a.x FROM a, b WHERE a.k = b.k"), cat2
+        )
+        assert not plan_contains(plan2, CleanJoinNode)
+
+    def test_group_by_sits_above_cleaning(self, catalog):
+        plan = build_plan(
+            parse_sql(
+                "SELECT lineorder.orderkey, SUM(lineorder.revenue) AS r "
+                "FROM lineorder, supplier "
+                "WHERE lineorder.suppkey = supplier.suppkey "
+                "GROUP BY lineorder.orderkey"
+            ),
+            catalog,
+        )
+        assert isinstance(plan, ProjectNode)
+        assert isinstance(plan.child, GroupByNode)
+        assert plan_contains(plan.child, CleanJoinNode)
+
+
+class TestResolution:
+    def test_unqualified_column_resolved(self, catalog):
+        plan = build_plan(
+            parse_sql("SELECT revenue FROM lineorder WHERE orderkey = 1"), catalog
+        )
+        assert plan_contains(plan, FilterNode)
+
+    def test_ambiguous_column_rejected(self, catalog):
+        with pytest.raises(PlanError, match="ambiguous"):
+            build_plan(
+                parse_sql(
+                    "SELECT suppkey FROM lineorder, supplier "
+                    "WHERE lineorder.suppkey = supplier.suppkey"
+                ),
+                catalog,
+            )
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            build_plan(parse_sql("SELECT a FROM nope"), catalog)
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            build_plan(parse_sql("SELECT zzz FROM lineorder"), catalog)
+
+    def test_disconnected_join_rejected(self, catalog):
+        cat = PlannerCatalog()
+        for name in ("a", "b", "c"):
+            cat.add_table(name, Schema([(f"{name}k", ColumnType.INT)]))
+        with pytest.raises(PlanError, match="disconnected"):
+            build_plan(
+                parse_sql(
+                    "SELECT a.ak FROM a, b, c WHERE a.ak = b.bk AND a.ak = b.bk"
+                ),
+                cat,
+            )
+
+    def test_pretty_output(self, catalog):
+        plan = build_plan(
+            parse_sql("SELECT suppkey FROM lineorder WHERE orderkey = 1"), catalog
+        )
+        text = plan.pretty()
+        assert "CleanSigma" in text and "Scan(lineorder)" in text

@@ -1,0 +1,209 @@
+"""Unit + property tests for the probabilistic value model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ProbabilisticValueError
+from repro.probabilistic import (
+    Candidate,
+    PValue,
+    ValueRange,
+    cell_compare,
+    cells_may_equal,
+    plain,
+)
+
+
+class TestCandidate:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ProbabilisticValueError):
+            Candidate("x", 1.5)
+
+    def test_matches_value(self):
+        assert Candidate("x", 0.5).matches("x")
+        assert not Candidate("x", 0.5).matches("y")
+
+    def test_matches_range(self):
+        c = Candidate(ValueRange(low=10.0), 0.5)
+        assert c.matches(11)
+        assert not c.matches(10)  # low is open by default
+
+
+class TestValueRange:
+    def test_contains_open_closed(self):
+        r = ValueRange(low=1.0, high=2.0, low_open=False, high_open=True)
+        assert r.contains(1.0)
+        assert r.contains(1.5)
+        assert not r.contains(2.0)
+
+    def test_unbounded(self):
+        assert ValueRange(low=5.0).contains(1e9)
+        assert ValueRange(high=5.0).contains(-1e9)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ProbabilisticValueError):
+            ValueRange(low=2.0, high=1.0)
+
+    def test_overlaps(self):
+        assert ValueRange(low=1.0, high=3.0).overlaps(ValueRange(low=2.0, high=4.0))
+        assert not ValueRange(high=1.0).overlaps(ValueRange(low=2.0))
+
+    def test_touching_open_bounds_do_not_overlap(self):
+        a = ValueRange(low=0.0, high=1.0, high_open=True)
+        b = ValueRange(low=1.0, high=2.0, low_open=True)
+        assert not a.overlaps(b)
+
+    def test_midpoint(self):
+        assert ValueRange(low=1.0, high=3.0).midpoint() == 2.0
+        assert ValueRange(low=5.0).midpoint() == 6.0
+
+    def test_contains_rejects_non_numeric(self):
+        assert not ValueRange(low=0.0).contains("abc")
+
+    def test_str(self):
+        assert str(ValueRange(low=1.0, high=2.0)) == "(1,2)"
+
+
+class TestPValue:
+    def test_requires_candidates(self):
+        with pytest.raises(ProbabilisticValueError):
+            PValue([])
+
+    def test_normalizes_probabilities(self):
+        pv = PValue([Candidate("a", 0.5), Candidate("b", 0.25)])
+        assert math.isclose(sum(c.prob for c in pv.candidates), 1.0)
+
+    def test_merges_same_value_same_world(self):
+        pv = PValue([Candidate("a", 0.3), Candidate("a", 0.3), Candidate("b", 0.4)])
+        assert len(pv) == 2
+        assert math.isclose(pv.probability_of("a"), 0.6)
+
+    def test_same_value_different_world_not_merged(self):
+        pv = PValue([Candidate("a", 0.5, world=1), Candidate("a", 0.5, world=2)])
+        assert len(pv) == 2
+
+    def test_most_probable_deterministic_tiebreak(self):
+        pv = PValue([Candidate("b", 0.5), Candidate("a", 0.5)])
+        assert pv.most_probable() == "a"  # sorted by value string on tie
+
+    def test_from_frequencies(self):
+        pv = PValue.from_frequencies({"x": 2, "y": 1})
+        assert math.isclose(pv.probability_of("x"), 2 / 3)
+
+    def test_certain(self):
+        pv = PValue.certain(5)
+        assert pv.is_certain()
+        assert pv.most_probable() == 5
+
+    def test_matches(self):
+        pv = PValue([Candidate(1, 0.9), Candidate(2, 0.1)])
+        assert pv.matches(2)
+        assert not pv.matches(3)
+
+    def test_compare_inequality(self):
+        pv = PValue([Candidate(1, 0.5), Candidate(10, 0.5)])
+        assert pv.compare("<", 5)
+        assert pv.compare(">", 5)
+        assert not pv.compare(">", 100)
+
+    def test_compare_with_range_candidate(self):
+        pv = PValue([Candidate(ValueRange(low=100.0), 1.0)])
+        assert pv.compare(">", 50)
+        assert not pv.compare("<", 100)
+
+    def test_worlds(self):
+        pv = PValue([Candidate("a", 0.5, world=2), Candidate("b", 0.5, world=1)])
+        assert pv.worlds() == (1, 2)
+
+    def test_overlap_values(self):
+        a = PValue([Candidate(1, 0.5), Candidate(2, 0.5)])
+        b = PValue([Candidate(2, 0.5), Candidate(3, 0.5)])
+        assert a.overlap_values(b) == {2}
+
+
+class TestCellHelpers:
+    def test_plain_concrete(self):
+        assert plain(5) == 5
+
+    def test_plain_pvalue(self):
+        assert plain(PValue([Candidate("a", 0.9), Candidate("b", 0.1)])) == "a"
+
+    def test_plain_range_midpoint(self):
+        pv = PValue([Candidate(ValueRange(low=1.0, high=3.0), 1.0)])
+        assert plain(pv) == 2.0
+
+    def test_cells_may_equal_concrete(self):
+        assert cells_may_equal(1, 1)
+        assert not cells_may_equal(1, 2)
+
+    def test_cells_may_equal_pvalue_concrete(self):
+        pv = PValue([Candidate(1, 0.5), Candidate(2, 0.5)])
+        assert cells_may_equal(pv, 2)
+        assert cells_may_equal(2, pv)
+
+    def test_cells_may_equal_two_pvalues(self):
+        a = PValue([Candidate(1, 0.5), Candidate(2, 0.5)])
+        b = PValue([Candidate(2, 0.5), Candidate(3, 0.5)])
+        assert cells_may_equal(a, b)
+
+    def test_cells_may_equal_range_bridges(self):
+        a = PValue([Candidate(ValueRange(low=0.0, high=10.0), 1.0)])
+        assert cells_may_equal(a, PValue([Candidate(5, 1.0)]))
+
+    def test_cell_compare_null_safe(self):
+        assert not cell_compare(None, "=", 1)
+        assert not cell_compare(1, "<", None)
+
+    def test_cell_compare_mixed_types_safe(self):
+        assert not cell_compare("abc", "<", 1)
+
+    def test_cell_compare_flip(self):
+        pv = PValue([Candidate(10, 1.0)])
+        assert cell_compare(5, "<", pv)
+        assert not cell_compare(5, ">", pv)
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+values = st.one_of(st.integers(-100, 100), st.text(max_size=4))
+weights = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+
+
+@given(st.lists(st.tuples(values, weights), min_size=1, max_size=6))
+def test_pvalue_probabilities_always_sum_to_one(pairs):
+    pv = PValue([Candidate(v, p) for v, p in pairs])
+    assert math.isclose(sum(c.prob for c in pv.candidates), 1.0, abs_tol=1e-9)
+
+
+@given(st.lists(st.tuples(values, weights), min_size=1, max_size=6))
+def test_pvalue_most_probable_is_a_candidate(pairs):
+    pv = PValue([Candidate(v, p) for v, p in pairs])
+    assert pv.most_probable() in pv.values()
+
+
+@given(st.dictionaries(values, st.integers(1, 50), min_size=1, max_size=6))
+def test_from_frequencies_preserves_ratios(counts):
+    pv = PValue.from_frequencies(counts)
+    total = sum(counts.values())
+    for value, count in counts.items():
+        assert math.isclose(pv.probability_of(value), count / total, abs_tol=1e-9)
+
+
+@given(
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+    st.floats(min_value=0.1, max_value=100, allow_nan=False),
+    st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+)
+def test_range_contains_iff_between_bounds(low, width, probe):
+    r = ValueRange(low=low, high=low + width)
+    assert r.contains(probe) == (low < probe < low + width)
+
+
+@given(st.lists(st.tuples(values, weights), min_size=1, max_size=5), values)
+def test_matches_agrees_with_candidate_scan(pairs, probe):
+    pv = PValue([Candidate(v, p) for v, p in pairs])
+    assert pv.matches(probe) == any(c.matches(probe) for c in pv.candidates)

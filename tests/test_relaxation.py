@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1 (query-result relaxation) and Lemmas 1-3."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import FilterSide, FunctionalDependency
+from repro.core.relaxation import (
+    estimate_relaxed_size,
+    extra_iteration_probability,
+    frequency_distribution,
+    iterations_needed_rhs_filter,
+    relax_fd,
+    relaxed_size_upper_bound,
+)
+from repro.engine import WorkCounter
+from repro.relation import ColumnType, Relation
+
+
+class TestRhsFilterRelaxation:
+    """Lemma 1 / Example 2 behaviour."""
+
+    def test_single_iteration(self, cities_relation, zip_city_fd):
+        answer = {0, 2}  # city = Los Angeles
+        result = relax_fd(cities_relation, answer, zip_city_fd, FilterSide.RHS)
+        assert result.iterations == 1
+
+    def test_extra_is_same_lhs_tuples(self, cities_relation, zip_city_fd):
+        result = relax_fd(cities_relation, {0, 2}, zip_city_fd, FilterSide.RHS)
+        assert result.extra_tids == {1}  # (9001, San Francisco)
+
+    def test_consult_is_same_rhs_tuples(self, cities_relation, zip_city_fd):
+        result = relax_fd(cities_relation, {0, 2}, zip_city_fd, FilterSide.RHS)
+        # (10001, San Francisco) shares SF with the extended scope
+        assert result.consult_tids == {3}
+
+    def test_clean_answer_adds_nothing_new(self, zip_city_fd):
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [(1, "A"), (2, "B")],
+        )
+        result = relax_fd(rel, {0}, zip_city_fd, FilterSide.RHS)
+        assert result.extra_tids == set()
+
+
+class TestLhsFilterRelaxation:
+    """Lemma 2 / Example 3 behaviour (transitive closure)."""
+
+    def test_closure_pulls_whole_cluster(self, cities_relation, zip_city_fd):
+        result = relax_fd(cities_relation, {0, 1, 2}, zip_city_fd, FilterSide.LHS)
+        assert result.extra_tids == {3, 4}
+
+    def test_multiple_iterations_needed(self, cities_relation, zip_city_fd):
+        result = relax_fd(cities_relation, {0, 1, 2}, zip_city_fd, FilterSide.LHS)
+        assert result.iterations >= 2
+
+    def test_max_iterations_caps(self, cities_relation, zip_city_fd):
+        result = relax_fd(
+            cities_relation, {0, 1, 2}, zip_city_fd, FilterSide.LHS, max_iterations=1
+        )
+        assert result.iterations == 1
+        assert result.extra_tids == {3}  # only the first hop
+
+    def test_disconnected_component_not_pulled(self, zip_city_fd):
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [(1, "A"), (1, "B"), (2, "C"), (2, "D")],
+        )
+        result = relax_fd(rel, {0, 1}, zip_city_fd, FilterSide.LHS)
+        assert result.extra_tids == set()
+
+    def test_closure_equals_connected_component(self, zip_city_fd):
+        # Chain: (1,A) (1,B) (2,B) (2,C) (3,C) — one connected component via
+        # shared values; query on zip=1 must pull everything.
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [(1, "A"), (1, "B"), (2, "B"), (2, "C"), (3, "C")],
+        )
+        result = relax_fd(rel, {0, 1}, zip_city_fd, FilterSide.LHS)
+        assert result.relaxed_tids({0, 1}) == {0, 1, 2, 3, 4}
+
+    def test_work_charged(self, cities_relation, zip_city_fd):
+        wc = WorkCounter()
+        relax_fd(cities_relation, {0, 1, 2}, zip_city_fd, FilterSide.LHS, counter=wc)
+        assert wc.tuples_scanned > 0
+
+
+class TestCompositeLhs:
+    def test_composite_lhs_relaxation(self):
+        fd = FunctionalDependency(("a", "b"), "c")
+        rel = Relation.from_rows(
+            [("a", ColumnType.INT), ("b", ColumnType.INT), ("c", ColumnType.STRING)],
+            [(1, 1, "x"), (1, 1, "y"), (2, 2, "z")],
+        )
+        result = relax_fd(rel, {0}, fd, FilterSide.LHS)
+        assert result.extra_tids == {1}
+
+
+class TestEstimators:
+    def test_lemma1_constant(self):
+        assert iterations_needed_rhs_filter() == 1
+
+    def test_hypergeometric_zero_cases(self):
+        assert extra_iteration_probability(100, 0, 10) == 0.0
+        assert extra_iteration_probability(100, 5, 0) == 0.0
+
+    def test_hypergeometric_certain(self):
+        assert extra_iteration_probability(10, 10, 1) == 1.0
+        # picking more than the clean tuples must include a violation
+        assert extra_iteration_probability(10, 5, 6) == 1.0
+
+    def test_hypergeometric_matches_direct_computation(self):
+        # n=10, #vio=2, |AR|=3: P(0) = C(8,3)/C(10,3) = 56/120
+        expected = 1.0 - 56.0 / 120.0
+        assert math.isclose(
+            extra_iteration_probability(10, 2, 3), expected, rel_tol=1e-9
+        )
+
+    def test_hypergeometric_monotone_in_result_size(self):
+        probs = [extra_iteration_probability(1000, 50, m) for m in (1, 10, 100, 500)]
+        assert probs == sorted(probs)
+
+    def test_lemma3_upper_bound_simple(self):
+        dataset = {"a": {"x": 5, "y": 3}}
+        result = {"a": {"x": 2}}
+        # dataset mass of result values = 5; result mass = 2 → bound 3
+        assert relaxed_size_upper_bound(dataset, result) == 3
+
+    def test_lemma3_dominates_actual(self, cities_relation, zip_city_fd):
+        answer = {0, 2}
+        bound = estimate_relaxed_size(cities_relation, answer, zip_city_fd)
+        actual = len(
+            relax_fd(cities_relation, answer, zip_city_fd, FilterSide.RHS).extra_tids
+        )
+        assert bound >= actual
+
+    def test_frequency_distribution(self, cities_relation):
+        freq = frequency_distribution(cities_relation, "zip")
+        assert freq == {9001: 3, 10001: 2}
+
+    def test_frequency_distribution_subset(self, cities_relation):
+        freq = frequency_distribution(cities_relation, "zip", tids={0, 3})
+        assert freq == {9001: 1, 10001: 1}
+
+
+# ---------------------------------------------------------------------------
+# Property: closure relaxation computes the connected component of the
+# bipartite value graph containing the answer.
+# ---------------------------------------------------------------------------
+
+
+def connected_component_tids(rows, answer_tids):
+    """Reference implementation via union-find over shared lhs/rhs values."""
+    parent = {}
+
+    def find(x):
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    for tid, (lhs, rhs) in enumerate(rows):
+        union(("t", tid), ("l", lhs))
+        union(("t", tid), ("r", rhs))
+    roots = {find(("t", t)) for t in answer_tids}
+    return {t for t in range(len(rows)) if find(("t", t)) in roots}
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=15
+    ),
+    st.data(),
+)
+def test_closure_equals_connected_component_property(rows, data):
+    rel = Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.INT)], rows
+    )
+    fd = FunctionalDependency("zip", "city")
+    answer = {data.draw(st.integers(0, len(rows) - 1))}
+    result = relax_fd(rel, answer, fd, FilterSide.LHS)
+    assert result.relaxed_tids(answer) == connected_component_tids(rows, answer)

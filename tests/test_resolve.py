@@ -1,0 +1,142 @@
+"""Tests for repair resolution (committing probabilistic data)."""
+
+import math
+
+import pytest
+
+from repro import Daisy
+from repro.core import (
+    domain_coverage,
+    refine_probabilities,
+    resolve_keep_original,
+    resolve_most_probable,
+    resolve_with,
+    resolve_with_master,
+)
+from repro.probabilistic import Candidate, PValue, ValueRange
+from repro.relation import ColumnType, Relation
+
+
+def cleaned_daisy():
+    rel = Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (9001, "Los Angeles"),
+            (9001, "San Francisco"),
+            (9001, "Los Angeles"),
+            (10001, "San Francisco"),
+            (10001, "New York"),
+        ],
+        name="cities",
+    )
+    d = Daisy(use_cost_model=False)
+    d.register_table("cities", rel)
+    d.add_rule("cities", "zip -> city", name="phi")
+    d.clean_table("cities")
+    return d
+
+
+def master_relation():
+    return Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (9001, "Los Angeles"),
+            (9001, "Los Angeles"),
+            (9001, "Los Angeles"),
+            (10001, "New York"),
+            (10001, "New York"),
+        ],
+        name="master",
+    )
+
+
+class TestResolveMostProbable:
+    def test_no_probabilistic_cells_left(self):
+        d = cleaned_daisy()
+        resolved, updates = resolve_most_probable(d.table("cities"))
+        assert resolved.probabilistic_cell_count() == 0
+        assert updates  # something was resolved
+
+    def test_values_are_candidates(self):
+        d = cleaned_daisy()
+        rel = d.table("cities")
+        resolved, updates = resolve_most_probable(rel)
+        for (tid, attr), value in updates.items():
+            cell = rel.row_by_tid(tid).values[rel.schema.index_of(attr)]
+            assert value in [
+                v if not isinstance(v, ValueRange) else v.midpoint()
+                for v in cell.values()
+            ]
+
+
+class TestResolveKeepOriginal:
+    def test_undo_restores_dirty_values(self):
+        d = cleaned_daisy()
+        prov = d.provenance("cities")
+        resolved, _ = resolve_keep_original(d.table("cities"), prov)
+        # Every repaired cell reverted to its original dirty value.
+        assert resolved.row_by_tid(1).values[1] == "San Francisco"
+        assert resolved.row_by_tid(0).values[1] == "Los Angeles"
+        assert resolved.probabilistic_cell_count() == 0
+
+
+class TestResolveWithMaster:
+    def test_oracle_recovers_truth_when_in_domain(self):
+        d = cleaned_daisy()
+        resolved, updates = resolve_with_master(d.table("cities"), master_relation())
+        assert resolved.row_by_tid(1).values[1] == "Los Angeles"
+        assert resolved.row_by_tid(4).values[1] == "New York"
+
+    def test_domain_coverage_metric(self):
+        d = cleaned_daisy()
+        coverage = domain_coverage(d.table("cities"), master_relation())
+        # City domains always contain the master value on this example.
+        assert coverage > 0.5
+
+    def test_coverage_on_clean_relation_is_one(self):
+        rel = Relation.from_rows([("a", ColumnType.INT)], [(1,)])
+        assert domain_coverage(rel, rel) == 1.0
+
+
+class TestResolveWithCustomChooser:
+    def test_chooser_receives_cells(self):
+        d = cleaned_daisy()
+        seen = []
+
+        def choose(tid, attr, pv):
+            seen.append((tid, attr))
+            return pv.most_probable()
+
+        resolve_with(d.table("cities"), choose)
+        assert seen
+        assert all(isinstance(t, int) for t, _ in seen)
+
+    def test_range_candidates_concretized(self):
+        pv = PValue([Candidate(ValueRange(low=1.0, high=3.0), 1.0)])
+        rel = Relation.from_rows([("x", ColumnType.FLOAT)], [(0.0,)])
+        rel = rel.update_cells({(0, "x"): pv})
+        resolved, _ = resolve_with(rel, lambda _t, _a, p: p.most_probable())
+        assert resolved.row_by_tid(0).values[0] == 2.0
+
+
+class TestRefineProbabilities:
+    def test_evidence_boosts_candidate(self):
+        pv = PValue([Candidate("a", 0.5), Candidate("b", 0.5)])
+        refined = refine_probabilities(pv, {"a": 9, "b": 1})
+        assert refined.probability_of("a") > refined.probability_of("b")
+
+    def test_no_evidence_is_identity(self):
+        pv = PValue([Candidate("a", 0.5), Candidate("b", 0.5)])
+        assert refine_probabilities(pv, {}) is pv
+
+    def test_probabilities_stay_normalized(self):
+        pv = PValue([Candidate("a", 0.7), Candidate("b", 0.3)])
+        refined = refine_probabilities(pv, {"b": 10}, weight=2.0)
+        assert math.isclose(sum(c.prob for c in refined.candidates), 1.0)
+
+    def test_repeated_refinement_converges(self):
+        pv = PValue([Candidate("a", 0.5), Candidate("b", 0.5)])
+        for _ in range(20):
+            pv = refine_probabilities(pv, {"a": 1})
+        assert pv.most_probable() == "a"
+        assert pv.probability_of("a") > 0.9

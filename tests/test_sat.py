@@ -1,0 +1,176 @@
+"""Tests for the DPLL SAT substrate, incl. brute-force equivalence."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SatError
+from repro.sat import (
+    CnfFormula,
+    FormulaBuilder,
+    is_satisfiable,
+    minimal_true_models,
+    solve,
+    solve_all,
+)
+
+
+def brute_force_sat(formula: CnfFormula) -> bool:
+    variables = sorted(formula.variables())
+    if not variables:
+        return not any(len(c) == 0 for c in formula.clauses)
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if formula.evaluate(assignment):
+            return True
+    return False
+
+
+class TestCnfFormula:
+    def test_add_clause_tracks_vars(self):
+        f = CnfFormula([[1, -2], [3]])
+        assert f.num_vars == 3
+        assert f.variables() == {1, 2, 3}
+
+    def test_empty_clause_rejected_by_default(self):
+        f = CnfFormula()
+        with pytest.raises(SatError):
+            f.add_clause([])
+
+    def test_explicit_empty_clause_unsat(self):
+        f = CnfFormula([[1]])
+        f.add_empty_clause()
+        assert solve(f) is None
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SatError):
+            CnfFormula([[0]])
+
+    def test_evaluate(self):
+        f = CnfFormula([[1, 2], [-1]])
+        assert f.evaluate({1: False, 2: True})
+        assert not f.evaluate({1: False, 2: False})
+
+    def test_evaluate_missing_var(self):
+        f = CnfFormula([[1]])
+        with pytest.raises(SatError):
+            f.evaluate({})
+
+
+class TestSolve:
+    def test_single_unit(self):
+        model = solve(CnfFormula([[1]]))
+        assert model == {1: True}
+
+    def test_simple_unsat(self):
+        assert solve(CnfFormula([[1], [-1]])) is None
+
+    def test_satisfying_assignment_is_valid(self):
+        f = CnfFormula([[1, 2], [-1, 3], [-2, -3]])
+        model = solve(f)
+        assert model is not None
+        assert f.evaluate(model)
+
+    def test_unconstrained_vars_default_true(self):
+        f = CnfFormula([[1]])
+        f._num_vars = 3  # simulate declared-but-unused variables
+        model = solve(f)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole: p1h1, p2h1; both must be placed; not both.
+        f = CnfFormula([[1], [2], [-1, -2]])
+        assert not is_satisfiable(f)
+
+    def test_chain_implication(self):
+        # 1 -> 2 -> 3 -> 4, with 1 asserted.
+        f = CnfFormula([[1], [-1, 2], [-2, 3], [-3, 4]])
+        model = solve(f)
+        assert model is not None and all(model[v] for v in (1, 2, 3, 4))
+
+
+class TestSolveAll:
+    def test_enumerates_all_models(self):
+        f = CnfFormula([[1, 2]])
+        models = list(solve_all(f))
+        assert len(models) == 3  # TT, TF, FT
+
+    def test_models_unique(self):
+        f = CnfFormula([[1, 2], [2, 3]])
+        models = [tuple(sorted(m.items())) for m in solve_all(f)]
+        assert len(models) == len(set(models))
+
+    def test_unsat_yields_nothing(self):
+        assert list(solve_all(CnfFormula([[1], [-1]]))) == []
+
+
+class TestMinimalModels:
+    def test_dc_clause_minimal_inversions(self):
+        # not(p1 & p2 & p3): clause (-1 -2 -3); minimal-false models have
+        # exactly one variable false.
+        f = CnfFormula([[-1, -2, -3]])
+        models = minimal_true_models(f)
+        false_sets = sorted(
+            tuple(sorted(v for v, val in m.items() if not val)) for m in models
+        )
+        assert false_sets == [(1,), (2,), (3,)]
+
+    def test_frozen_atom_excluded(self):
+        f = CnfFormula([[-1, -2]])
+        f.add_unit(1)  # atom 1 must stay true
+        models = minimal_true_models(f)
+        assert len(models) == 1
+        assert models[0][1] is True and models[0][2] is False
+
+
+class TestFormulaBuilder:
+    def test_var_allocation_stable(self):
+        b = FormulaBuilder()
+        assert b.var("x") == b.var("x")
+        assert b.var("y") != b.var("x")
+
+    def test_literal_polarity(self):
+        b = FormulaBuilder()
+        assert b.literal("x", False) == -b.var("x")
+
+    def test_decode(self):
+        b = FormulaBuilder()
+        b.add_clause_names([("a", True), ("b", False)])
+        model = solve(b.formula)
+        assert model is not None
+        named = b.decode(model)
+        assert set(named) == {"a", "b"}
+
+    def test_name_of_unknown(self):
+        with pytest.raises(SatError):
+            FormulaBuilder().name_of(42)
+
+
+# ---------------------------------------------------------------------------
+# Property: DPLL agrees with brute force on random small formulas
+# ---------------------------------------------------------------------------
+
+clause_st = st.lists(
+    st.sampled_from([1, -1, 2, -2, 3, -3, 4, -4]), min_size=1, max_size=3
+)
+
+
+@given(st.lists(clause_st, min_size=1, max_size=8))
+def test_dpll_agrees_with_brute_force(clauses):
+    f = CnfFormula(clauses)
+    model = solve(f)
+    if model is None:
+        assert not brute_force_sat(f)
+    else:
+        assert f.evaluate(model)
+
+
+@given(st.lists(clause_st, min_size=1, max_size=5))
+def test_all_enumerated_models_satisfy(clauses):
+    f = CnfFormula(clauses)
+    for model in solve_all(f):
+        full = dict(model)
+        for v in f.variables():
+            full.setdefault(v, True)
+        assert f.evaluate(full)

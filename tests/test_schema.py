@@ -1,0 +1,105 @@
+"""Unit tests for repro.relation.schema."""
+
+import pytest
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.probabilistic import Candidate, PValue
+from repro.relation import Column, ColumnType, Schema
+
+
+class TestColumnType:
+    def test_int_accepts_int(self):
+        Column("a", ColumnType.INT).validate(3)
+
+    def test_int_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            Column("a", ColumnType.INT).validate("x")
+
+    def test_float_accepts_int(self):
+        Column("a", ColumnType.FLOAT).validate(3)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(TypeMismatchError):
+            Column("a", ColumnType.INT).validate(True)
+
+    def test_none_always_allowed(self):
+        Column("a", ColumnType.INT).validate(None)
+
+    def test_coerce_int(self):
+        assert ColumnType.INT.coerce("42") == 42
+
+    def test_coerce_float(self):
+        assert ColumnType.FLOAT.coerce("3.5") == 3.5
+
+    def test_coerce_bool(self):
+        assert ColumnType.BOOL.coerce("true") is True
+        assert ColumnType.BOOL.coerce("0") is False
+
+    def test_probabilistic_cell_validates_candidates(self):
+        pv = PValue([Candidate(1, 0.5), Candidate(2, 0.5)])
+        Column("a", ColumnType.INT).validate(pv)
+        with pytest.raises(TypeMismatchError):
+            Column("a", ColumnType.STRING).validate(pv)
+
+
+class TestSchema:
+    def test_from_tuples(self):
+        s = Schema([("a", ColumnType.INT), ("b", ColumnType.STRING)])
+        assert s.names == ("a", "b")
+
+    def test_from_strings_default_string_type(self):
+        s = Schema(["a", "b"])
+        assert s.column("a").ctype is ColumnType.STRING
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_index_of(self):
+        s = Schema(["a", "b", "c"])
+        assert s.index_of("b") == 1
+
+    def test_index_of_unknown_raises_with_context(self):
+        s = Schema(["a"])
+        with pytest.raises(SchemaError, match="unknown column 'z'"):
+            s.index_of("z")
+
+    def test_contains(self):
+        s = Schema(["a"])
+        assert "a" in s
+        assert "z" not in s
+
+    def test_project_preserves_order(self):
+        s = Schema(["a", "b", "c"])
+        assert s.project(["c", "a"]).names == ("c", "a")
+
+    def test_rename(self):
+        s = Schema(["a", "b"]).rename({"a": "x"})
+        assert s.names == ("x", "b")
+
+    def test_prefixed(self):
+        s = Schema(["a"]).prefixed("t")
+        assert s.names == ("t.a",)
+
+    def test_concat(self):
+        s = Schema(["a"]).concat(Schema(["b"]))
+        assert s.names == ("a", "b")
+
+    def test_concat_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_validate_row_arity(self):
+        s = Schema([("a", ColumnType.INT)])
+        with pytest.raises(SchemaError, match="arity"):
+            s.validate_row((1, 2))
+
+    def test_equality_and_hash(self):
+        a = Schema([("a", ColumnType.INT)])
+        b = Schema([("a", ColumnType.INT)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")

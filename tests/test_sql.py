@@ -1,0 +1,160 @@
+"""Tests for the SQL parser and query AST."""
+
+import pytest
+
+from repro.errors import QueryError, QueryParseError
+from repro.query import Connector, parse_sql
+from repro.query.ast import ColumnRef
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        q = parse_sql("SELECT * FROM t")
+        assert q.select_star
+        assert q.tables == ["t"]
+
+    def test_projection_list(self):
+        q = parse_sql("SELECT a, b FROM t")
+        assert [c.name for c in q.projection] == ["a", "b"]
+
+    def test_qualified_columns(self):
+        q = parse_sql("SELECT t.a FROM t")
+        assert q.projection[0] == ColumnRef(name="a", table="t")
+
+    def test_case_insensitive_keywords(self):
+        q = parse_sql("select a from t where a = 1")
+        assert q.conditions[0].value == 1
+
+    def test_trailing_semicolon(self):
+        q = parse_sql("SELECT a FROM t;")
+        assert q.tables == ["t"]
+
+
+class TestWhere:
+    def test_numeric_condition(self):
+        q = parse_sql("SELECT a FROM t WHERE a >= 10")
+        cond = q.conditions[0]
+        assert cond.op == ">=" and cond.value == 10
+
+    def test_float_condition(self):
+        q = parse_sql("SELECT a FROM t WHERE a < 1.5")
+        assert q.conditions[0].value == 1.5
+
+    def test_string_condition(self):
+        q = parse_sql("SELECT a FROM t WHERE city = 'Los Angeles'")
+        assert q.conditions[0].value == "Los Angeles"
+
+    def test_negative_number(self):
+        q = parse_sql("SELECT a FROM t WHERE a > -5")
+        assert q.conditions[0].value == -5
+
+    def test_and_conditions(self):
+        q = parse_sql("SELECT a FROM t WHERE a >= 1 AND a < 10")
+        assert len(q.conditions) == 2
+        assert q.connector is Connector.AND
+
+    def test_or_conditions(self):
+        q = parse_sql("SELECT a FROM t WHERE a = 1 OR a = 2")
+        assert q.connector is Connector.OR
+
+    def test_mixed_and_or_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT a FROM t WHERE a = 1 AND b = 2 OR c = 3")
+
+    def test_neq_alias(self):
+        q = parse_sql("SELECT a FROM t WHERE a <> 3")
+        assert q.conditions[0].op == "!="
+
+
+class TestJoins:
+    def test_join_condition_extracted(self):
+        q = parse_sql(
+            "SELECT a FROM t1, t2 WHERE t1.k = t2.k"
+        )
+        assert len(q.join_conditions) == 1
+        jc = q.join_conditions[0]
+        assert jc.left.table == "t1" and jc.right.table == "t2"
+
+    def test_join_plus_filter(self):
+        q = parse_sql(
+            "SELECT a FROM t1, t2 WHERE t1.k = t2.k AND t1.a > 5"
+        )
+        assert len(q.join_conditions) == 1
+        assert len(q.conditions) == 1
+
+    def test_missing_join_condition_rejected(self):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT a FROM t1, t2 WHERE t1.a = 1")
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT a FROM t1, t2 WHERE t1.k < t2.k")
+
+    def test_three_table_chain(self):
+        q = parse_sql(
+            "SELECT a FROM t1, t2, t3 WHERE t1.k = t2.k AND t2.j = t3.j"
+        )
+        assert len(q.join_conditions) == 2
+
+
+class TestAggregates:
+    def test_count_star(self):
+        q = parse_sql("SELECT COUNT(*) FROM t")
+        agg = q.aggregates[0]
+        assert agg.func == "count" and agg.column.name == "*"
+
+    def test_avg_with_alias(self):
+        q = parse_sql("SELECT AVG(x) AS mean_x FROM t")
+        assert q.aggregates[0].alias == "mean_x"
+
+    def test_default_alias(self):
+        q = parse_sql("SELECT SUM(x) FROM t")
+        assert q.aggregates[0].alias == "sum_x"
+
+    def test_group_by(self):
+        q = parse_sql("SELECT g, COUNT(*) FROM t GROUP BY g")
+        assert [c.name for c in q.group_by] == ["g"]
+
+    def test_group_by_multiple_keys(self):
+        q = parse_sql(
+            "SELECT a, b, SUM(x) FROM t GROUP BY a, b"
+        )
+        assert len(q.group_by) == 2
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            parse_sql("SELECT g FROM t GROUP BY g")
+
+
+class TestErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("SELEKT a FROM t")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT a FROM t LIMIT 5")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("")
+
+    def test_missing_from(self):
+        with pytest.raises(QueryParseError):
+            parse_sql("SELECT a")
+
+
+class TestQueryHelpers:
+    def test_where_attrs(self):
+        q = parse_sql("SELECT a FROM t WHERE b = 1 AND c > 2")
+        assert q.where_attrs() == {"b", "c"}
+
+    def test_projection_attrs_includes_groupby_and_aggs(self):
+        q = parse_sql("SELECT g, SUM(x) FROM t GROUP BY g")
+        assert q.projection_attrs() == {"g", "x"}
+
+    def test_is_join_query(self):
+        assert not parse_sql("SELECT a FROM t").is_join_query()
+        assert parse_sql(
+            "SELECT a FROM t1, t2 WHERE t1.k = t2.k"
+        ).is_join_query()

@@ -1,0 +1,111 @@
+"""Tests for possible-world enumeration and lineage joins."""
+
+import math
+
+import pytest
+
+from repro.probabilistic import (
+    Candidate,
+    PValue,
+    enumerate_worlds,
+    incremental_join_update,
+    join_with_lineage,
+    world_count,
+)
+from repro.relation import ColumnType, Relation
+
+
+class TestWorldEnumeration:
+    def test_concrete_relation_single_world(self):
+        rel = Relation.from_rows([("a", ColumnType.INT)], [(1,), (2,)])
+        worlds = enumerate_worlds(rel)
+        assert len(worlds) == 1
+        assert math.isclose(worlds[0].probability, 1.0)
+
+    def test_independent_candidates_multiply(self):
+        rel = Relation.from_rows([("a", ColumnType.INT)], [(1,), (2,)])
+        pv = PValue([Candidate(1, 0.5), Candidate(9, 0.5)])
+        rel = rel.update_cells({(0, "a"): pv, (1, "a"): pv})
+        worlds = enumerate_worlds(rel)
+        assert len(worlds) == 4
+        assert math.isclose(sum(w.probability for w in worlds), 1.0)
+
+    def test_world_linked_cells_chosen_jointly(self):
+        # Two cells of one row linked by world ids: world 1 fixes the rhs,
+        # world 2 the lhs — instantiations never mix worlds.
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)], [(0, "x")]
+        )
+        zip_pv = PValue([Candidate(9001, 0.5, world=1), Candidate(10001, 0.5, world=2)])
+        city_pv = PValue([Candidate("LA", 0.5, world=1), Candidate("SF", 0.5, world=2)])
+        rel = rel.update_cells({(0, "zip"): zip_pv, (0, "city"): city_pv})
+        worlds = enumerate_worlds(rel)
+        combos = {(w.relation.rows[0].values[0], w.relation.rows[0].values[1]) for w in worlds}
+        assert combos == {(9001, "LA"), (10001, "SF")}
+
+    def test_world_count_matches_enumeration(self):
+        rel = Relation.from_rows([("a", ColumnType.INT)], [(1,), (2,)])
+        pv = PValue([Candidate(1, 0.5), Candidate(9, 0.5)])
+        rel = rel.update_cells({(0, "a"): pv})
+        assert world_count(rel) == len(enumerate_worlds(rel))
+
+    def test_limit_enforced(self):
+        rel = Relation.from_rows([("a", ColumnType.INT)], [(i,) for i in range(20)])
+        pv = PValue([Candidate(1, 0.5), Candidate(2, 0.5)])
+        rel = rel.update_cells({(i, "a"): pv for i in range(20)})
+        with pytest.raises(ValueError):
+            enumerate_worlds(rel, limit=100)
+
+    def test_probabilities_sum_to_one(self):
+        rel = Relation.from_rows([("a", ColumnType.INT)], [(1,)])
+        pv = PValue([Candidate(1, 0.6), Candidate(2, 0.3), Candidate(3, 0.1)])
+        rel = rel.update_cells({(0, "a"): pv})
+        worlds = enumerate_worlds(rel)
+        assert math.isclose(sum(w.probability for w in worlds), 1.0)
+
+
+class TestLineageJoin:
+    def test_pairs_recorded(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(1,), (2,)], name="L")
+        right = Relation.from_rows([("k", ColumnType.INT)], [(2,), (2,)], name="R")
+        jr = join_with_lineage(left, right, "k", "k")
+        assert set(jr.lineage.pairs.values()) == {(1, 0), (1, 1)}
+        assert jr.lineage.left_tids() == {1}
+        assert jr.lineage.right_tids() == {0, 1}
+
+    def test_prefixed_schema(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(1,)], name="L")
+        right = Relation.from_rows([("k", ColumnType.INT)], [(1,)], name="R")
+        jr = join_with_lineage(left, right, "k", "k")
+        assert jr.relation.schema.names == ("L.k", "R.k")
+
+    def test_outputs_of(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(1,)], name="L")
+        right = Relation.from_rows([("k", ColumnType.INT)], [(1,), (1,)], name="R")
+        jr = join_with_lineage(left, right, "k", "k")
+        assert jr.lineage.outputs_of_left(0) == {0, 1}
+
+    def test_incremental_update_adds_only_new_pairs(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(1,), (2,)], name="L")
+        right = Relation.from_rows([("k", ColumnType.INT)], [(1,), (2,)], name="R")
+        jr = join_with_lineage(
+            left.restrict_tids({0}), right, "k", "k", "L", "R"
+        )
+        assert len(jr.relation) == 1
+        updated = incremental_join_update(jr, left, right, {1}, set())
+        assert set(updated.lineage.pairs.values()) == {(0, 0), (1, 1)}
+
+    def test_incremental_update_idempotent(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(1,)], name="L")
+        right = Relation.from_rows([("k", ColumnType.INT)], [(1,)], name="R")
+        jr = join_with_lineage(left, right, "k", "k", "L", "R")
+        updated = incremental_join_update(jr, left, right, {0}, {0})
+        assert len(updated.relation) == 1
+
+    def test_probabilistic_key_join(self):
+        left = Relation.from_rows([("k", ColumnType.INT)], [(5,)], name="L")
+        pv = PValue([Candidate(5, 0.5), Candidate(6, 0.5)])
+        right = Relation.from_rows([("k", ColumnType.INT)], [(0,)], name="R")
+        right = right.update_cells({(0, "k"): pv})
+        jr = join_with_lineage(left, right, "k", "k")
+        assert len(jr.relation) == 1
