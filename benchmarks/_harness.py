@@ -10,9 +10,13 @@ factor, and where strategy switches occur.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence
 
 from repro import Daisy
 from repro.baselines import OfflineCleaner
@@ -20,7 +24,87 @@ from repro.constraints.dc import Rule
 from repro.core.state import TableState
 from repro.query.executor import Executor
 from repro.query.planner import PlannerCatalog
+from repro.relation import BACKEND_COLUMNAR, BACKENDS
 from repro.relation.relation import Relation
+
+#: Where BENCH_*.json result files are written (repo root).
+RESULTS_DIR = Path(__file__).resolve().parent.parent
+
+
+def bench_scale() -> float:
+    """Global scale multiplier (``REPRO_BENCH_SCALE``, default 1.0).
+
+    CI's smoke job sets a small value so the benchmark runs in seconds;
+    the committed BENCH_*.json files are produced at scale 1.0.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """``n`` adjusted by the global benchmark scale, floored at ``minimum``."""
+    return max(minimum, int(round(n * bench_scale())))
+
+
+def record_benchmark(name: str, payload: dict) -> Path:
+    """Merge ``payload`` into ``BENCH_<name>.json`` at the repo root.
+
+    Existing top-level keys not present in ``payload`` are preserved, so
+    multiple tests of one benchmark module can contribute sections to the
+    same file.  Every write stamps scale and platform metadata.  Runs at a
+    non-default scale (CI smoke, local experiments) go to a scale-suffixed
+    file so they never clobber the committed scale-1.0 evidence.
+    """
+    scale = bench_scale()
+    suffix = "" if scale == 1.0 else f"_scale{scale:g}"
+    path = RESULTS_DIR / f"BENCH_{name}{suffix}.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+    data.update(payload)
+    data["meta"] = {
+        "scale": bench_scale(),
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_backends(
+    make_inputs: Callable[[], tuple[Relation, Sequence[Rule], Sequence[str]]],
+    table: str = "lineorder",
+    use_cost_model: bool = False,
+    repeats: int = 2,
+) -> dict:
+    """Run the same Daisy workload on every backend; report the speedup.
+
+    ``make_inputs`` must build fresh inputs per call (cleaning mutates the
+    relation in place).  Returns per-backend best-of-``repeats`` seconds and
+    work units plus the columnar-over-rowstore speedup.
+    """
+    out: dict = {}
+    for backend in BACKENDS:
+        best: Optional[RunResult] = None
+        for _ in range(max(1, repeats)):
+            relation, rules, queries = make_inputs()
+            result = run_daisy(
+                relation, rules, queries, table=table,
+                use_cost_model=use_cost_model, backend=backend,
+                label=f"Daisy[{backend}]",
+            )
+            if best is None or result.seconds < best.seconds:
+                best = result
+        assert best is not None
+        out[backend] = {"seconds": best.seconds, "work_units": best.work_units}
+    rowstore = out["rowstore"]["seconds"]
+    columnar = out[BACKEND_COLUMNAR]["seconds"]
+    out["speedup_columnar_over_rowstore"] = (
+        rowstore / columnar if columnar > 0 else float("inf")
+    )
+    return out
 
 
 @dataclass
@@ -54,12 +138,14 @@ def run_daisy(
     extra_tables: Optional[dict[str, Relation]] = None,
     extra_rules: Optional[dict[str, Sequence[Rule]]] = None,
     dc_error_threshold: float = 0.2,
+    backend: str = BACKEND_COLUMNAR,
 ) -> RunResult:
     """Execute a workload with Daisy (optionally without the cost model)."""
     daisy = Daisy(
         use_cost_model=use_cost_model,
         expected_queries=expected_queries or len(queries),
         dc_error_threshold=dc_error_threshold,
+        backend=backend,
     )
     daisy.register_table(table, relation)
     for rule in rules:
@@ -88,23 +174,24 @@ def run_offline(
     label: str = "Full cleaning + queries",
     extra_tables: Optional[dict[str, Relation]] = None,
     extra_rules: Optional[dict[str, Sequence[Rule]]] = None,
+    backend: str = BACKEND_COLUMNAR,
 ) -> RunResult:
     """Clean everything upfront (offline baseline), then run the workload."""
     started = time.perf_counter()
-    cleaner = OfflineCleaner()
+    cleaner = OfflineCleaner(backend=backend)
     work = 0
     cleaned, report = cleaner.clean(relation, list(rules))
     work += report.work.total()
     catalog = PlannerCatalog()
-    states = {table: TableState(relation=cleaned)}
+    states = {table: TableState(relation=cleaned, backend=backend)}
     catalog.add_table(table, cleaned.schema)
     for name, rel in (extra_tables or {}).items():
-        extra_cleaner = OfflineCleaner()
+        extra_cleaner = OfflineCleaner(backend=backend)
         rel_rules = list((extra_rules or {}).get(name, ()))
         if rel_rules:
             rel, rel_report = extra_cleaner.clean(rel, rel_rules)
             work += rel_report.work.total()
-        states[name] = TableState(relation=rel)
+        states[name] = TableState(relation=rel, backend=backend)
         catalog.add_table(name, rel.schema)
     executor = Executor(states, catalog, cleaning_enabled=False)
     cumulative = []

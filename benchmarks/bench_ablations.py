@@ -7,11 +7,9 @@
    per query.
 """
 
-import time
 
-import pytest
 
-from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.constraints import DenialConstraint, Predicate
 from repro.core import TableState, clean_sigma
 from repro.core.relaxation import relax_fd
 from repro.constraints.analysis import FilterSide

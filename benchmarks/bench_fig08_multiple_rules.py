@@ -15,7 +15,6 @@ import pytest
 from _harness import print_series, run_daisy, run_offline
 from repro.constraints import FunctionalDependency
 from repro.datasets import ssb, workloads
-from repro.datasets.errors import inject_fd_errors
 
 NUM_ROWS = 2000
 NUM_ORDERKEYS = 200

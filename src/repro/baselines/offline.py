@@ -31,10 +31,11 @@ from repro.detection.fd_detector import detect_fd_violations
 from repro.detection.thetajoin import ThetaJoinMatrix
 from repro.engine.stats import WorkCounter
 from repro.repair.dc_repair import compute_dc_fixes
-from repro.repair.fd_repair import apply_fd_delta, compute_fd_fixes
+from repro.repair.fd_repair import apply_fd_delta
 from repro.repair.fixes import CandidateFix, CellFix, RepairDelta
 from repro.repair.merge import merge_deltas
 from repro.repair.provenance import ProvenanceStore
+from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
 from repro.relation.relation import Relation
 
 
@@ -52,8 +53,9 @@ class OfflineReport:
 class OfflineCleaner:
     """Full-dataset probabilistic cleaner (the paper's offline comparator)."""
 
-    def __init__(self, sqrt_partitions: int = 8):
+    def __init__(self, sqrt_partitions: int = 8, backend: str = BACKEND_COLUMNAR):
         self.sqrt_partitions = sqrt_partitions
+        self.backend = validate_backend(backend)
         self.provenance = ProvenanceStore()
 
     def clean(
@@ -97,8 +99,12 @@ class OfflineCleaner:
         counter: WorkCounter,
         report: OfflineReport,
     ) -> RepairDelta:
+        view = (
+            relation.column_view() if self.backend == BACKEND_COLUMNAR else None
+        )
         detection = detect_fd_violations(
-            relation, fd, counter=counter, originals=self.provenance.originals_map()
+            relation, fd, counter=counter,
+            originals=self.provenance.originals_map(), view=view,
         )
         report.violations_found += len(detection.violation_pairs())
         delta = RepairDelta()
@@ -194,7 +200,8 @@ class OfflineCleaner:
         report: OfflineReport,
     ) -> RepairDelta:
         matrix = ThetaJoinMatrix(
-            relation, dc, sqrt_p=self.sqrt_partitions, counter=counter
+            relation, dc, sqrt_p=self.sqrt_partitions, counter=counter,
+            backend=self.backend,
         )
         violations = matrix.check_full()
         report.violations_found += len(violations)

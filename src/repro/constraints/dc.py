@@ -13,7 +13,7 @@ into one FD per rhs attribute.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import ConstraintError

@@ -16,16 +16,15 @@ added or changed (Lemma 5 guarantees no further checks are needed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.constraints.analysis import FilterSide, filter_side, relevant_rules
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, as_dc, as_fd
-from repro.core.relaxation import RelaxationResult, relax_fd
+from repro.core.relaxation import relax_fd
 from repro.core.state import TableState, rule_key
 from repro.detection.estimator import decide_cleaning
-from repro.detection.fd_detector import detect_fd_violations
 from repro.probabilistic.lineage import JoinResult, incremental_join_update
-from repro.repair.dc_repair import apply_dc_delta, compute_dc_fixes
+from repro.repair.dc_repair import compute_dc_fixes
 from repro.repair.fd_repair import apply_fd_delta, compute_fd_fixes
 from repro.repair.fixes import RepairDelta
 from repro.repair.merge import merge_deltas
@@ -124,27 +123,44 @@ def _clean_sigma_fd(
     """FD path: relaxation + group detection/repair with statistics pruning."""
     report = CleanReport()
     stats = state.statistics.get(rule_key(fd)) or state.statistics.get(fd.name or str(fd))
+    view = state.column_view()
 
     # Statistics pruning (Fig. 9): if none of the answer's lhs keys belong to
     # a dirty group, skip relaxation and repair for this rule entirely.
     if stats is not None:
-        lhs_idx = [state.relation.schema.index_of(a) for a in fd.lhs]
-        tid_rows = state.relation.tid_index()
         from repro.probabilistic.value import PValue
 
-        def key_of(tid: int) -> tuple:
-            row = tid_rows[tid]
-            out = []
-            for i, attr in zip(lhs_idx, fd.lhs):
-                original = state.provenance.original(tid, attr)
-                if original is not None:
-                    out.append(original)
-                    continue
-                cell = row.values[i]
-                out.append(cell.most_probable() if isinstance(cell, PValue) else cell)
-            return tuple(out)
+        if view is not None:
+            from repro.repair.fd_repair import fd_grouping_keys
 
-        answer_keys = {key_of(tid) for tid in answer if tid in tid_rows}
+            pos_map = view.pos_of_tid
+            lhs_keys = fd_grouping_keys(view, fd, state.provenance).lhs_keys
+
+            def key_of(tid: int) -> tuple:
+                return lhs_keys[pos_map[tid]]
+
+            present = pos_map
+        else:
+            lhs_idx = [state.relation.schema.index_of(a) for a in fd.lhs]
+            tid_rows = state.relation.tid_index()
+
+            def key_of(tid: int) -> tuple:
+                row = tid_rows[tid]
+                out = []
+                for i, attr in zip(lhs_idx, fd.lhs):
+                    original = state.provenance.original(tid, attr)
+                    if original is not None:
+                        out.append(original)
+                        continue
+                    cell = row.values[i]
+                    out.append(
+                        cell.most_probable() if isinstance(cell, PValue) else cell
+                    )
+                return tuple(out)
+
+            present = tid_rows
+
+        answer_keys = {key_of(tid) for tid in answer if tid in present}
         state.counter.charge_comparisons(len(answer_keys))
         dirty_hit = any(stats.is_dirty_key(k) for k in answer_keys)
         # rhs-filtered queries may relax into dirty groups via rhs values, so
@@ -161,7 +177,7 @@ def _clean_sigma_fd(
     seen = state.seen_for(fd)
     relaxation = relax_fd(
         state.relation, answer, fd, filter_side=side, counter=state.counter,
-        skip_tids=seen,
+        skip_tids=seen, view=view,
     )
     report.extra_tuples += len(relaxation.extra_tids)
     report.relaxation_iterations += relaxation.iterations
@@ -178,6 +194,7 @@ def _clean_sigma_fd(
         counter=state.counter,
         skip_group_keys=checked,  # type: ignore[arg-type]
         consult_tids=relaxation.consult_tids,
+        view=view,
     )
     report.detection_cost += len(scope) + len(relaxation.consult_tids)
     return report, delta, repaired
@@ -187,11 +204,26 @@ def _rhs_touches_dirty(
     state: TableState, answer: set[int], fd: FunctionalDependency, stats
 ) -> bool:
     """Do any of the answer's rhs values co-occur with a dirty lhs group?"""
-    rhs_idx = state.relation.schema.index_of(fd.rhs)
-    tid_rows = state.relation.tid_index()
     from repro.probabilistic.value import PValue
 
     dirty_rhs = stats.dirty_rhs_values
+    view = state.column_view()
+    if view is not None:
+        pos_map = view.pos_of_tid
+        rhs_col = view.columns[fd.rhs]
+        for tid in answer:
+            pos = pos_map.get(tid)
+            if pos is None:
+                continue
+            cell = rhs_col[pos]
+            values = cell.concrete_values() if isinstance(cell, PValue) else (cell,)
+            state.counter.charge_comparisons()
+            if any(v in dirty_rhs for v in values):
+                return True
+        return False
+
+    rhs_idx = state.relation.schema.index_of(fd.rhs)
+    tid_rows = state.relation.tid_index()
     for tid in answer:
         row = tid_rows.get(tid)
         if row is None:

@@ -34,6 +34,7 @@ from repro.constraints.analysis import FilterSide
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.probabilistic.value import PValue
+from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation, Row
 
 
@@ -74,6 +75,7 @@ def relax_fd(
     counter: Optional[WorkCounter] = None,
     max_iterations: Optional[int] = None,
     skip_tids: Optional[set[int]] = None,
+    view: Optional[ColumnView] = None,
 ) -> RelaxationResult:
     """Algorithm 1: SP query-result relaxation for one FD.
 
@@ -90,10 +92,14 @@ def relax_fd(
     probabilities stay identical to the offline result.
     """
     counter = counter if counter is not None else GLOBAL_COUNTER
-    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
-    rhs_idx = relation.schema.index_of(fd.rhs)
     answer = set(answer_tids)
     skip = (skip_tids or set()) - answer
+    if view is not None:
+        return _relax_fd_columnar(
+            view, answer, skip, fd, filter_side, counter, max_iterations
+        )
+    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
+    rhs_idx = relation.schema.index_of(fd.rhs)
 
     def lhs_values_of(row: Row) -> tuple[tuple[Any, ...], ...]:
         per_attr = [_cell_values(row.values[i]) for i in lhs_idx]
@@ -187,6 +193,229 @@ def relax_fd(
     # (their groups were already checked) but their values still weight the
     # lhs-candidate probabilities of newly found errors.
     support_pass(skipped_rows)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Columnar relaxation
+# ---------------------------------------------------------------------------
+
+
+class _FdCorrelationIndex:
+    """Inverted correlated-value indexes of one FD over a column view.
+
+    ``lhs_index`` maps every lhs value-combination to its row positions and
+    ``rhs_index`` every rhs candidate value to its positions, so relaxation
+    becomes index lookups over the frontier of newly discovered values
+    instead of repeated full-table passes.  Cached on the view via
+    :meth:`ColumnView.derived` and **patched positionally** when a repair
+    touches one of the FD's attributes — only the repaired rows' entries
+    are recomputed.
+    """
+
+    __slots__ = ("lhs", "rhs", "combos_of_pos", "rhs_of_pos", "lhs_index", "rhs_index")
+
+    def __init__(self, view: ColumnView, fd: FunctionalDependency):
+        self.lhs = tuple(fd.lhs)
+        self.rhs = fd.rhs
+        lhs_cols = [view.columns[a] for a in self.lhs]
+        rhs_col = view.columns[self.rhs]
+        n = len(view)
+        self.combos_of_pos: list[tuple[tuple[Any, ...], ...]] = []
+        self.rhs_of_pos: list[tuple[Any, ...]] = []
+        self.lhs_index: dict[tuple[Any, ...], set[int]] = {}
+        self.rhs_index: dict[Any, set[int]] = {}
+        for pos in range(n):
+            combos = _lhs_combos(lhs_cols, pos)
+            self.combos_of_pos.append(combos)
+            for combo in combos:
+                self.lhs_index.setdefault(combo, set()).add(pos)
+            rhs_values = _cell_values(rhs_col[pos])
+            self.rhs_of_pos.append(rhs_values)
+            for value in rhs_values:
+                self.rhs_index.setdefault(value, set()).add(pos)
+
+    def patched_for_view(
+        self, view: ColumnView, touched: dict[str, list[int]]
+    ) -> "_FdCorrelationIndex":
+        """Copy-on-write refresh of the touched positions only."""
+        clone = _FdCorrelationIndex.__new__(_FdCorrelationIndex)
+        clone.lhs = self.lhs
+        clone.rhs = self.rhs
+        clone.combos_of_pos = list(self.combos_of_pos)
+        clone.rhs_of_pos = list(self.rhs_of_pos)
+        lhs_index = dict(self.lhs_index)
+        rhs_index = dict(self.rhs_index)
+        copied_lhs: set[Any] = set()
+        copied_rhs: set[Any] = set()
+
+        def lhs_entry(combo: tuple[Any, ...]) -> set[int]:
+            if combo not in copied_lhs:
+                copied_lhs.add(combo)
+                lhs_index[combo] = set(lhs_index.get(combo, ()))
+            return lhs_index[combo]
+
+        def rhs_entry(value: Any) -> set[int]:
+            if value not in copied_rhs:
+                copied_rhs.add(value)
+                rhs_index[value] = set(rhs_index.get(value, ()))
+            return rhs_index[value]
+
+        lhs_positions: set[int] = set()
+        for attr in self.lhs:
+            lhs_positions.update(touched.get(attr, ()))
+        if lhs_positions:
+            lhs_cols = [view.columns[a] for a in self.lhs]
+            for pos in lhs_positions:
+                for combo in clone.combos_of_pos[pos]:
+                    lhs_entry(combo).discard(pos)
+                combos = _lhs_combos(lhs_cols, pos)
+                clone.combos_of_pos[pos] = combos
+                for combo in combos:
+                    lhs_entry(combo).add(pos)
+        rhs_positions = touched.get(self.rhs, ())
+        if rhs_positions:
+            rhs_col = view.columns[self.rhs]
+            for pos in rhs_positions:
+                for value in clone.rhs_of_pos[pos]:
+                    rhs_entry(value).discard(pos)
+                rhs_values = _cell_values(rhs_col[pos])
+                clone.rhs_of_pos[pos] = rhs_values
+                for value in rhs_values:
+                    rhs_entry(value).add(pos)
+        clone.lhs_index = lhs_index
+        clone.rhs_index = rhs_index
+        return clone
+
+
+def _lhs_combos(lhs_cols: list[list[Any]], pos: int) -> tuple[Any, ...]:
+    """All lhs value combinations a row contributes (candidate product).
+
+    Combination keys are opaque to the relaxation loops, so a single-attr
+    lhs — the common case — contributes its raw candidate values instead of
+    1-tuples (cheaper to build and hash).
+    """
+    if len(lhs_cols) == 1:
+        cell = lhs_cols[0][pos]
+        if isinstance(cell, PValue):
+            return cell.concrete_values()
+        return (cell,)
+    acc: list[tuple[Any, ...]] = [()]
+    for col in lhs_cols:
+        values = _cell_values(col[pos])
+        acc = [c + (v,) for c in acc for v in values]
+    return tuple(acc)
+
+
+def _relax_fd_columnar(
+    view: ColumnView,
+    answer: set[int],
+    skip: set[int],
+    fd: FunctionalDependency,
+    filter_side: FilterSide,
+    counter: WorkCounter,
+    max_iterations: Optional[int],
+) -> RelaxationResult:
+    """Index-driven Algorithm 1 — same outputs as the row-store passes.
+
+    The closure expands a *frontier* of newly discovered lhs/rhs values;
+    an older value's positions were already claimed when it entered the
+    frontier, so frontier-only lookups cover exactly what the row-store
+    full passes would find.
+    """
+    index: _FdCorrelationIndex = view.derived(
+        ("relax_fd", fd.lhs, fd.rhs),
+        set(fd.lhs) | {fd.rhs},
+        lambda: _FdCorrelationIndex(view, fd),
+    )
+    pos_map = view.pos_of_tid
+    tids = view.tids
+    result = RelaxationResult()
+    answer_pos = {pos_map[t] for t in answer if t in pos_map}
+    skip_pos = {pos_map[t] for t in skip if t in pos_map}
+
+    result_lhs: set[tuple[Any, ...]] = set()
+    result_rhs: set[Any] = set()
+    for pos in answer_pos:
+        result_lhs.update(index.combos_of_pos[pos])
+        result_rhs.update(index.rhs_of_pos[pos])
+
+    def charge(n: int) -> None:
+        counter.charge_scan(n)
+        result.scanned_tuples += n
+
+    if filter_side is FilterSide.RHS:
+        # Lemma 1: one iteration — same-lhs tuples join the repair scope,
+        # then one support pass collects same-rhs tuples (skip included).
+        result.iterations = 1
+        extra_pos: set[int] = set()
+        for combo in result_lhs:
+            hits = index.lhs_index.get(combo)
+            if hits:
+                extra_pos |= hits
+        extra_pos -= answer_pos
+        extra_pos -= skip_pos
+        charge(len(extra_pos))
+        for pos in extra_pos:
+            result.extra_tids.add(tids[pos])
+            result_rhs.update(index.rhs_of_pos[pos])
+        consult_pos: set[int] = set()
+        for value in result_rhs:
+            hits = index.rhs_index.get(value)
+            if hits:
+                consult_pos |= hits
+        consult_pos -= answer_pos
+        consult_pos -= extra_pos
+        charge(len(consult_pos))
+        result.consult_tids.update(tids[pos] for pos in consult_pos)
+        return result
+
+    # Transitive closure (lhs filter / general case).
+    pool = set(range(len(tids)))
+    pool -= answer_pos
+    pool -= skip_pos
+    frontier_lhs = set(result_lhs)
+    frontier_rhs = set(result_rhs)
+    while True:
+        if max_iterations is not None and result.iterations >= max_iterations:
+            break
+        result.iterations += 1
+        added: set[int] = set()
+        # Pass 1: same-lhs tuples; pass 2: same-rhs tuples (both against the
+        # value sets as of the round start, like the row-store passes).
+        for combo in frontier_lhs:
+            hits = index.lhs_index.get(combo)
+            if hits:
+                added |= hits & pool
+        pool -= added
+        for value in frontier_rhs:
+            hits = index.rhs_index.get(value)
+            if hits:
+                added |= hits & pool
+        pool -= added
+        charge(len(added))
+        if not added:
+            break
+        frontier_lhs = set()
+        frontier_rhs = set()
+        for pos in added:
+            result.extra_tids.add(tids[pos])
+            for combo in index.combos_of_pos[pos]:
+                if combo not in result_lhs:
+                    result_lhs.add(combo)
+                    frontier_lhs.add(combo)
+            for value in index.rhs_of_pos[pos]:
+                if value not in result_rhs:
+                    result_rhs.add(value)
+                    frontier_rhs.add(value)
+
+    # Support pass over the skipped tuples (candidate-probability weights).
+    if skip_pos:
+        charge(len(skip_pos))
+        for value in result_rhs:
+            for pos in index.rhs_index.get(value, ()):
+                if pos in skip_pos:
+                    result.consult_tids.add(tids[pos])
     return result
 
 

@@ -21,7 +21,7 @@ value) so accuracy can be scored with :mod:`repro.metrics`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.probabilistic.value import PValue, ValueRange
 from repro.relation.relation import Relation

@@ -24,6 +24,7 @@ from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, a
 from repro.core.statistics import FdStatistics, TableStatistics, build_fd_statistics
 from repro.detection.thetajoin import ThetaJoinMatrix
 from repro.engine.stats import WorkCounter
+from repro.relation.columnview import BACKEND_COLUMNAR, ColumnView, validate_backend
 from repro.relation.relation import Relation
 from repro.repair.provenance import ProvenanceStore
 
@@ -48,6 +49,18 @@ class TableState:
     #: Per-rule tuples already processed (answers + relaxation extras) —
     #: the incremental-cost memory of Section 5.2.2 (n − Σ q_j).
     seen_tids: dict[str, set[int]] = field(default_factory=dict)
+    #: Execution backend for the detection/cleaning hot path ("columnar"
+    #: by default; "rowstore" is the per-Row semantics oracle).
+    backend: str = BACKEND_COLUMNAR
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
+
+    def column_view(self) -> Optional[ColumnView]:
+        """The relation's columnar view, or None on the row-store backend."""
+        if self.backend != BACKEND_COLUMNAR:
+            return None
+        return self.relation.column_view()
 
     # -- rule management -----------------------------------------------------------
 
@@ -63,7 +76,8 @@ class TableState:
         else:
             dc = as_dc(rule)
             self.matrices[rule_key(rule)] = ThetaJoinMatrix(
-                self.relation, dc, sqrt_p=self.sqrt_partitions, counter=self.counter
+                self.relation, dc, sqrt_p=self.sqrt_partitions,
+                counter=self.counter, backend=self.backend,
             )
 
     def fd_rules(self) -> list[FunctionalDependency]:
@@ -79,7 +93,8 @@ class TableState:
         key = rule_key(dc)
         if key not in self.matrices:
             self.matrices[key] = ThetaJoinMatrix(
-                self.relation, dc, sqrt_p=self.sqrt_partitions, counter=self.counter
+                self.relation, dc, sqrt_p=self.sqrt_partitions,
+                counter=self.counter, backend=self.backend,
             )
         return self.matrices[key]
 

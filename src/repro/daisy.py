@@ -22,19 +22,20 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.constraints.dc import Rule
 from repro.constraints.parser import parse_rule
 from repro.core.costmodel import CostModel, CostModelConfig, QueryObservation
 from repro.core.operators import CleanReport, clean_full_table
-from repro.core.state import TableState, rule_key
+from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError
 from repro.query.ast import Query
 from repro.query.executor import Executor, QueryResult
 from repro.query.planner import PlannerCatalog
 from repro.query.sql import parse_sql
+from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
 from repro.relation.relation import Relation
 
 
@@ -87,6 +88,12 @@ class Daisy:
         The workload-length hint the cost model projects over.
     dc_error_threshold:
         Algorithm 2 threshold for escalating a DC query to full cleaning.
+    backend:
+        Execution backend for the detection/cleaning hot path:
+        ``"columnar"`` (default) runs selections, relaxation, FD grouping
+        and the DC theta-join over per-attribute arrays with sort-based
+        inequality joins; ``"rowstore"`` keeps the original per-Row loops
+        (the semantics oracle — both return identical results).
     """
 
     def __init__(
@@ -94,12 +101,14 @@ class Daisy:
         use_cost_model: bool = True,
         expected_queries: int = 50,
         dc_error_threshold: float = 0.2,
+        backend: str = BACKEND_COLUMNAR,
     ):
         self.states: dict[str, TableState] = {}
         self.catalog = PlannerCatalog()
         self.use_cost_model = use_cost_model
         self.dc_error_threshold = dc_error_threshold
         self.expected_queries = expected_queries
+        self.backend = validate_backend(backend)
         self.cost_models: dict[str, CostModel] = {}
         self.query_log: list[QueryLogEntry] = []
         self._executor = Executor(
@@ -111,7 +120,7 @@ class Daisy:
     def register_table(self, name: str, relation: Relation) -> TableState:
         """Register a (dirty) table.  Returns its mutable state."""
         relation.name = relation.name or name
-        state = TableState(relation=relation)
+        state = TableState(relation=relation, backend=self.backend)
         self.states[name] = state
         self.catalog.add_table(name, relation.schema)
         return state

@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass
 
 from repro.constraints.dc import FunctionalDependency
-from repro.datasets.errors import ErrorInjectionReport, inject_fd_errors
+from repro.datasets.errors import inject_fd_errors
 from repro.relation.relation import Relation
 from repro.relation.schema import ColumnType, Schema
 

@@ -17,7 +17,8 @@ from typing import Any, Iterable, Optional
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.probabilistic.value import PValue
-from repro.relation.relation import Relation, Row
+from repro.relation.columnview import ColumnView
+from repro.relation.relation import Relation
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ def detect_fd_violations(
     tids: Optional[Iterable[int]] = None,
     counter: Optional[WorkCounter] = None,
     originals: Optional[dict[tuple[int, str], Any]] = None,
+    view: Optional[ColumnView] = None,
 ) -> FdViolationReport:
     """Group by the FD's lhs and report groups with conflicting rhs values.
 
@@ -87,14 +89,34 @@ def detect_fd_violations(
     only the relaxed query result).  ``originals`` maps (tid, attr) to the
     pre-repair value, used so already-probabilistic cells are grouped by
     their original value, as the paper's provenance machinery requires.
+    ``view`` switches the group-by to the columnar arrays (identical
+    output, no per-Row traversal).
     """
     counter = counter if counter is not None else GLOBAL_COUNTER
+    originals = originals or {}
+    groups: dict[tuple[Any, ...], list[tuple[int, Any]]] = {}
+
+    if view is not None:
+        positions = (
+            view.positions_of(tids) if tids is not None else range(len(view))
+        )
+        lhs_cols = [view.columns[a] for a in fd.lhs]
+        rhs_col = view.columns[fd.rhs]
+        view_tids = view.tids
+        counter.charge_scan(len(view_tids) if tids is None else len(positions))
+        for pos in positions:
+            tid = view_tids[pos]
+            key = tuple(
+                _cell_key(col[pos], originals.get((tid, attr)))
+                for col, attr in zip(lhs_cols, fd.lhs)
+            )
+            rhs_value = _cell_key(rhs_col[pos], originals.get((tid, fd.rhs)))
+            groups.setdefault(key, []).append((tid, rhs_value))
+        return _collect_groups(fd, groups, counter)
+
     lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
     rhs_idx = relation.schema.index_of(fd.rhs)
-    originals = originals or {}
-
     tid_filter: Optional[set[int]] = set(tids) if tids is not None else None
-    groups: dict[tuple[Any, ...], list[tuple[int, Any]]] = {}
     for row in relation.rows:
         if tid_filter is not None and row.tid not in tid_filter:
             continue
@@ -105,6 +127,14 @@ def detect_fd_violations(
         )
         rhs_value = _cell_key(row.values[rhs_idx], originals.get((row.tid, fd.rhs)))
         groups.setdefault(key, []).append((row.tid, rhs_value))
+    return _collect_groups(fd, groups, counter)
+
+
+def _collect_groups(
+    fd: FunctionalDependency,
+    groups: dict[tuple[Any, ...], list[tuple[int, Any]]],
+    counter: WorkCounter,
+) -> FdViolationReport:
 
     report = FdViolationReport(fd=fd)
     for key, members in groups.items():

@@ -19,12 +19,23 @@ Daisy's *partial* theta-join adds two refinements:
 The matrix is keyed by a primary attribute (the attribute of the first
 inequality predicate); per-cell bounding boxes are kept for every attribute
 the DC mentions so cell-level pruning can reject cells for any predicate.
+
+Two execution backends share the matrix/pruning machinery:
+
+* ``rowstore`` — the original nested loop over ``Row`` pairs (kept as the
+  semantics oracle);
+* ``columnar`` (default) — per-stripe typed value arrays plus a
+  **sort-based inequality join**: one stripe is sorted by the driving
+  predicate's attribute and each probe row binary-searches the qualifying
+  range instead of scanning the whole stripe.  Probabilistic cells are
+  routed through the full possible-worlds evaluation, so both backends
+  return identical violation lists.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.constraints.dc import DenialConstraint
@@ -32,6 +43,11 @@ from repro.constraints.predicate import Predicate
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.errors import ConstraintError
 from repro.probabilistic.value import PValue, plain
+from repro.relation.columnview import (
+    BACKEND_COLUMNAR,
+    SortedColumn,
+    validate_backend,
+)
 from repro.relation.relation import Relation, Row
 
 
@@ -134,6 +150,56 @@ class ViolationPair:
     t2: int
 
 
+class _StripeColumns:
+    """Columnar mirror of one matrix stripe.
+
+    Per constraint attribute: the plain-collapsed numeric value of every
+    stripe row (``numeric[attr][k]``, same values the bounding boxes and
+    intra-partition pruning reason about), the in-stripe positions holding a
+    probabilistic cell (``uncertain[attr]``), and a lazily built sort order
+    of the concrete rows (``sorted_by(attr)``) that drives the sort-based
+    inequality join.
+    """
+
+    __slots__ = ("rows", "numeric", "raw", "uncertain", "_sorted")
+
+    def __init__(self, rows: Sequence[Row], attrs: Sequence[str], indexes: dict[str, int]):
+        self.rows = rows
+        self.numeric: dict[str, list[Optional[float]]] = {}
+        self.raw: dict[str, list[Any]] = {}
+        self.uncertain: dict[str, frozenset[int]] = {}
+        self._sorted: dict[str, SortedColumn] = {}
+        for attr in attrs:
+            idx = indexes[attr]
+            cells = [row.values[idx] for row in rows]
+            self.raw[attr] = cells
+            self.numeric[attr] = [_numeric(c) for c in cells]
+            self.uncertain[attr] = frozenset(
+                k for k, c in enumerate(cells) if isinstance(c, PValue)
+            )
+
+    def sorted_by(self, attr: str) -> SortedColumn:
+        """Concrete numeric rows of the stripe in sorted order.
+
+        Sorts the *raw* cell values (ints stay ints), so binary-search
+        decisions are exact even where float collapsing would round.
+        """
+        cached = self._sorted.get(attr)
+        if cached is not None:
+            return cached
+        uncertain = self.uncertain[attr]
+        numeric = self.numeric[attr]
+        pairs = [
+            (self.raw[attr][k], k)
+            for k in range(len(self.rows))
+            if k not in uncertain and numeric[k] is not None
+        ]
+        pairs.sort()
+        result = SortedColumn([v for v, _ in pairs], [k for _, k in pairs])
+        self._sorted[attr] = result
+        return result
+
+
 class ThetaJoinMatrix:
     """Incremental matrix-partitioned self theta-join for one binary DC.
 
@@ -150,6 +216,7 @@ class ThetaJoinMatrix:
         dc: DenialConstraint,
         sqrt_p: int = 8,
         counter: Optional[WorkCounter] = None,
+        backend: str = BACKEND_COLUMNAR,
     ):
         if dc.arity != 2:
             raise ConstraintError(
@@ -158,13 +225,21 @@ class ThetaJoinMatrix:
         self.dc = dc
         self.sqrt_p = max(1, sqrt_p)
         self.counter = counter if counter is not None else GLOBAL_COUNTER
+        self.backend = validate_backend(backend)
         two_tuple_preds = [
             p for p in dc.predicates if not p.is_constant() and not p.is_single_tuple()
         ]
         if not two_tuple_preds:
             raise ConstraintError("DC has no two-tuple predicate to partition on")
+        self.two_tuple_preds = two_tuple_preds
         #: Attribute whose sorted order defines the matrix axes.
         self.primary_attr = two_tuple_preds[0].left_attr
+        #: Predicate driving the sort-based join (first orderable two-tuple
+        #: predicate) and the remaining predicates it leaves to verify.
+        self.driving_pred: Optional[Predicate] = next(
+            (p for p in two_tuple_preds if p.op != "!="), None
+        )
+        self.rest_preds = [p for p in dc.predicates if p is not self.driving_pred]
         self.attrs = sorted(dc.attributes())
         self.rebuild(relation)
         #: Cells already checked, as (i, j) with i <= j.
@@ -199,6 +274,11 @@ class ThetaJoinMatrix:
         for i, stripe in enumerate(self.stripes):
             for row in stripe:
                 self._stripe_of_tid[row.tid] = i
+        if self.backend == BACKEND_COLUMNAR:
+            self._stripe_cols = [
+                _StripeColumns(stripe, self.attrs, self.indexes)
+                for stripe in self.stripes
+            ]
 
     def num_stripes(self) -> int:
         return len(self.stripes)
@@ -213,6 +293,11 @@ class ThetaJoinMatrix:
     def _pair_violates(self, row_a: Row, row_b: Row) -> bool:
         self.counter.charge_comparisons()
         return all(p.evaluate((row_a, row_b), self.indexes) for p in self.dc.predicates)
+
+    def _pair_violates_rest(self, row_a: Row, row_b: Row) -> bool:
+        """All predicates except the driving one (already proven by bisect)."""
+        self.counter.charge_comparisons()
+        return all(p.evaluate((row_a, row_b), self.indexes) for p in self.rest_preds)
 
     def _check_cell(self, i: int, j: int) -> list[ViolationPair]:
         """Check all (ordered) pairs of cell (i, j), with intra-cell pruning.
@@ -237,6 +322,13 @@ class ThetaJoinMatrix:
         self.counter.charge_partition(checked=1)
 
         out: list[ViolationPair] = []
+        if self.backend == BACKEND_COLUMNAR:
+            if forward_possible:
+                out.extend(self._scan_columnar(i, j, same=(i == j)))
+            if i != j and backward_possible:
+                out.extend(self._scan_columnar(j, i, same=False))
+            return out
+
         stripe_i, stripe_j = self.stripes[i], self.stripes[j]
 
         def scan(rows_a: Sequence[Row], rows_b: Sequence[Row], box_b: BoundingBox,
@@ -277,6 +369,112 @@ class ThetaJoinMatrix:
             scan(stripe_i, stripe_j, box_j, box_i, same=(i == j))
         if i != j and backward_possible:
             scan(stripe_j, stripe_i, box_i, box_j, same=False)
+        return out
+
+    # -- columnar sort-based scan ---------------------------------------------------
+
+    def _filtered_positions(
+        self, stripe: int, box_other: BoundingBox, left_side: bool
+    ) -> list[int]:
+        """Intra-partition pruning over the stripe's numeric arrays.
+
+        Makes exactly the row-store pruning decisions (same collapsed
+        values, same ``_row_may_qualify`` test), just without touching Row
+        objects per predicate.
+        """
+        cols = self._stripe_cols[stripe]
+        n = len(cols.rows)
+        alive = list(range(n))
+        for p in self.two_tuple_preds:
+            attr = p.left_attr if left_side else p.right_attr
+            numeric = cols.numeric[attr]  # type: ignore[index]
+            alive = [
+                k for k in alive
+                if _row_may_qualify(p, numeric[k], box_other, left_side=left_side)
+            ]
+            if not alive:
+                break
+        return alive
+
+    def _scan_columnar(self, si: int, sj: int, same: bool) -> list[ViolationPair]:
+        """Ordered pairs (a ∈ stripe si, b ∈ stripe sj) violating the DC.
+
+        The driving predicate restricts, for each concrete probe row, the
+        qualifying range of the b-side sort order via binary search; only
+        that range (plus the probabilistic rows) is verified against the
+        remaining predicates.  Output order matches the row-store scan.
+        """
+        box_a, box_b = self.bboxes[si], self.bboxes[sj]
+        filtered_a = self._filtered_positions(si, box_b, left_side=True)
+        if not filtered_a:
+            return []
+        filtered_b = self._filtered_positions(sj, box_a, left_side=False)
+        if not filtered_b:
+            return []
+        cols_a, cols_b = self._stripe_cols[si], self._stripe_cols[sj]
+        rows_a, rows_b = self.stripes[si], self.stripes[sj]
+        out: list[ViolationPair] = []
+
+        driving = self.driving_pred
+        if driving is None:
+            # Only '!=' two-tuple predicates: nothing to sort on.
+            for k in filtered_a:
+                a = rows_a[k]
+                for l in filtered_b:
+                    b = rows_b[l]
+                    if same and a.tid == b.tid:
+                        continue
+                    if self._pair_violates(a, b):
+                        out.append(ViolationPair(a.tid, b.tid))
+            return out
+
+        l_attr = driving.left_attr
+        r_attr: str = driving.right_attr  # type: ignore[assignment]
+        op = driving.op
+        b_uncertain_all = cols_b.uncertain[r_attr]
+        sorted_b = cols_b.sorted_by(r_attr)
+        if len(filtered_b) != len(rows_b):
+            filtered_b_set = set(filtered_b)
+            keep = [p in filtered_b_set for p in sorted_b.positions]
+            sorted_b = SortedColumn(
+                [v for v, k in zip(sorted_b.values, keep) if k],
+                [p for p, k in zip(sorted_b.positions, keep) if k],
+            )
+        uncertain_b = [l for l in filtered_b if l in b_uncertain_all]
+        a_uncertain = cols_a.uncertain[l_attr]
+        a_raw = cols_a.raw[l_attr]
+        # The driving predicate reads "probe op b_value"; the shared
+        # sorted-column helper answers "b_value op' bound", so probe with
+        # the mirrored operator.
+        mirrored_op = _mirror(op)
+
+        for k in filtered_a:
+            a = rows_a[k]
+            if k in a_uncertain:
+                # Probabilistic probe value: the bisect bound is unsound for
+                # it, so verify every predicate against the whole stripe.
+                for l in filtered_b:
+                    b = rows_b[l]
+                    if same and a.tid == b.tid:
+                        continue
+                    if self._pair_violates(a, b):
+                        out.append(ViolationPair(a.tid, b.tid))
+                continue
+            v = a_raw[k]
+            selected = sorted_b.range_positions(mirrored_op, v)
+            if uncertain_b:
+                candidates = sorted(selected + uncertain_b)
+            else:
+                candidates = sorted(selected)
+            for l in candidates:
+                b = rows_b[l]
+                if same and a.tid == b.tid:
+                    continue
+                if l in b_uncertain_all:
+                    if self._pair_violates(a, b):
+                        out.append(ViolationPair(a.tid, b.tid))
+                elif self._pair_violates_rest(a, b):
+                    out.append(ViolationPair(a.tid, b.tid))
         return out
 
     # -- public API ----------------------------------------------------------------

@@ -14,7 +14,7 @@ a Spark stage's latency is governed by its slowest task.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, Hashable, Iterable, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, Iterator, Optional, TypeVar
 
 from repro.engine.partition import HashPartitioner
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter

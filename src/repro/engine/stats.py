@@ -17,7 +17,7 @@ benchmark harness reports both seconds and work units.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

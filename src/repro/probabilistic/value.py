@@ -15,7 +15,7 @@ inequality predicates, holistic repair produces fixes such as
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ProbabilisticValueError
@@ -92,7 +92,6 @@ class ValueRange:
         return f"{left}{lo},{hi}{right}"
 
 
-@dataclass(frozen=True)
 class Candidate:
     """One candidate value of a probabilistic cell.
 
@@ -100,17 +99,36 @@ class Candidate:
     belongs to (Section 4: "we store in each candidate value an identifier of
     the possible world it belongs to").  Candidates from the same repair that
     must co-occur share a world id.
+
+    Treated as immutable (a slotted plain class rather than a frozen
+    dataclass: candidate construction is on the repair hot path).
     """
 
-    value: Any
-    prob: float
-    world: int = 0
+    __slots__ = ("value", "prob", "world")
 
-    def __post_init__(self) -> None:
-        if not (0.0 <= self.prob <= 1.0 + PROB_TOLERANCE):
+    def __init__(self, value: Any, prob: float, world: int = 0):
+        if not (0.0 <= prob <= 1.0 + PROB_TOLERANCE):
             raise ProbabilisticValueError(
-                f"candidate probability must be in [0,1], got {self.prob}"
+                f"candidate probability must be in [0,1], got {prob}"
             )
+        self.value = value
+        self.prob = prob
+        self.world = world
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Candidate):
+            return NotImplemented
+        return (
+            self.value == other.value
+            and self.prob == other.prob
+            and self.world == other.world
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.prob, self.world))
+
+    def __repr__(self) -> str:
+        return f"Candidate(value={self.value!r}, prob={self.prob!r}, world={self.world!r})"
 
     def matches(self, concrete: Any) -> bool:
         """True iff this candidate is compatible with a concrete value."""
@@ -175,6 +193,34 @@ class PValue:
         """A degenerate PValue with a single certain candidate."""
         return cls([Candidate(value=value, prob=1.0)])
 
+    @classmethod
+    def from_unique_weights(cls, items: Sequence[tuple[Any, int, int]]) -> "PValue":
+        """Fast constructor for pre-merged candidates.
+
+        ``items`` is a sequence of ``(value, world, weight)`` whose
+        ``(value, world)`` keys are unique and whose weights are positive.
+        Produces bit-identical results to feeding equivalent ``Candidate``
+        objects through ``__init__`` (same normalization arithmetic, same
+        ordering), skipping the merge pass and the double construction.
+        """
+        if not items:
+            raise ProbabilisticValueError("PValue requires at least one candidate")
+        total = 0
+        for _value, _world, weight in items:
+            total += weight
+        probs = [0.0 + weight / total for _value, _world, weight in items]
+        norm = sum(probs)
+        if norm <= 0:
+            raise ProbabilisticValueError("candidate probabilities sum to zero")
+        cands = [
+            Candidate(value=value, prob=prob / norm, world=world)
+            for (value, world, _weight), prob in zip(items, probs)
+        ]
+        cands.sort(key=lambda c: (-c.prob, str(c.value), c.world))
+        obj = cls.__new__(cls)
+        obj._candidates = tuple(cands)
+        return obj
+
     # -- accessors -------------------------------------------------------------
 
     @property
@@ -187,7 +233,9 @@ class PValue:
 
     def concrete_values(self) -> tuple[Any, ...]:
         """Only the non-range candidate values."""
-        return tuple(c.value for c in self._candidates if not c.is_range())
+        return tuple(
+            c.value for c in self._candidates if not isinstance(c.value, ValueRange)
+        )
 
     def worlds(self) -> tuple[int, ...]:
         """Sorted distinct world ids present among candidates."""

@@ -19,13 +19,12 @@ from typing import Any, Optional
 from repro.core.operators import CleanReport, clean_join, clean_sigma
 from repro.core.state import TableState
 from repro.errors import PlanError, QueryError
-from repro.probabilistic.lineage import JoinResult, join_with_lineage
+from repro.probabilistic.lineage import join_with_lineage
 from repro.probabilistic.value import cell_compare
-from repro.query.ast import ColumnRef, Condition, Connector, Query
+from repro.query.ast import Condition, Connector, Query
 from repro.query.logical import (
     CleanJoinNode,
     CleanSigmaNode,
-    JoinNode,
     PlanNode,
     collect_nodes,
 )
@@ -101,7 +100,30 @@ class Executor:
         connector: Connector,
     ) -> set[int]:
         relation = state.relation
-        out: set[int] = set()
+        view = state.column_view()
+        if view is not None:
+            if not conditions:
+                return set(view.tids)
+            # Columnar selection: per-condition tid sets served from the
+            # view's sorted/hash indexes, combined by the connector —
+            # identical semantics to the per-row possible-worlds scan.
+            sets = [
+                view.filter_tids(
+                    cond.column.name, cond.op, cond.value, counter=state.counter
+                )
+                for cond in conditions
+            ]
+            if connector is Connector.OR:
+                out: set[int] = set()
+                for s in sets:
+                    out |= s
+                return out
+            sets.sort(key=len)
+            out = sets[0]
+            for s in sets[1:]:
+                out &= s
+            return out
+        out = set()
         for row in relation.rows:
             state.counter.charge_scan()
             if self._row_satisfies(row, relation, conditions, connector, False):
@@ -148,16 +170,36 @@ class Executor:
                 recheck = (sub.scope_tids | sub.changed_tids) - tids
                 if recheck and conditions:
                     rel = state.relation
-                    tid_rows = rel.tid_index()
-                    for tid in recheck:
-                        row = tid_rows.get(tid)
-                        if row is None:
-                            continue
-                        state.counter.charge_scan()
-                        if self._row_satisfies(
-                            row, rel, conditions, query.connector, False
-                        ):
-                            tids.add(tid)
+                    view = state.column_view()
+                    if view is not None:
+                        pos_map = view.pos_of_tid
+                        cond_cols = [
+                            (view.columns[c.column.name], c.op, c.value)
+                            for c in conditions
+                        ]
+                        any_ok = query.connector is Connector.OR
+                        for tid in recheck:
+                            pos = pos_map.get(tid)
+                            if pos is None:
+                                continue
+                            state.counter.charge_scan()
+                            checks = (
+                                cell_compare(col[pos], op, value)
+                                for col, op, value in cond_cols
+                            )
+                            if any(checks) if any_ok else all(checks):
+                                tids.add(tid)
+                    else:
+                        tid_rows = rel.tid_index()
+                        for tid in recheck:
+                            row = tid_rows.get(tid)
+                            if row is None:
+                                continue
+                            state.counter.charge_scan()
+                            if self._row_satisfies(
+                                row, rel, conditions, query.connector, False
+                            ):
+                                tids.add(tid)
             table_tids[table] = tids
 
         if not query.is_join_query():

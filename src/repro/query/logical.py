@@ -10,7 +10,6 @@ errors do not propagate up the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.constraints.dc import Rule
 from repro.query.ast import Aggregate, ColumnRef, Condition, Connector

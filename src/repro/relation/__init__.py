@@ -1,18 +1,30 @@
-"""Relational substrate: schemas, row-store relations, indexes, CSV i/o."""
+"""Relational substrate: schemas, row/column relations, indexes, CSV i/o."""
 
 from repro.relation.schema import Column, ColumnType, Schema
+from repro.relation.columnview import (
+    BACKEND_COLUMNAR,
+    BACKEND_ROWSTORE,
+    BACKENDS,
+    ColumnView,
+    validate_backend,
+)
 from repro.relation.relation import Relation, Row
 from repro.relation.index import GroupIndex, HashIndex
 from repro.relation.io import from_csv_string, read_csv, to_csv_string, write_csv
 
 __all__ = [
+    "BACKEND_COLUMNAR",
+    "BACKEND_ROWSTORE",
+    "BACKENDS",
     "Column",
     "ColumnType",
+    "ColumnView",
     "Schema",
     "Relation",
     "Row",
     "GroupIndex",
     "HashIndex",
+    "validate_backend",
     "read_csv",
     "write_csv",
     "to_csv_string",

@@ -1,0 +1,447 @@
+"""Columnar execution substrate: typed per-attribute arrays over a relation.
+
+The row-store :class:`~repro.relation.relation.Relation` is the semantics
+oracle of the system, but its per-``Row`` hot loops dominate every
+detection/cleaning benchmark.  A :class:`ColumnView` materializes one
+relation as:
+
+* one raw cell array per attribute (``columns[attr][pos]``),
+* a parallel tid array (``tids[pos]``) with a lazy tid -> position map,
+* a *PValue sidecar* per attribute — the set of positions currently holding
+  a probabilistic cell, so the fast paths can run plain comparisons over
+  concrete cells and fall back to possible-worlds ``cell_compare`` only for
+  the (few) probabilistic positions,
+* lazily built, per-attribute **sorted** and **hash** indexes that turn
+  range/equality selections into binary searches and dict lookups,
+* a small *derived cache* where higher layers (relaxation, detection) park
+  per-attribute-set structures that must die when those attributes change.
+
+Views are immutable by convention and cached on the relation
+(:meth:`Relation.column_view`).  When Daisy applies in-place fixes
+(``Relation.update_cells`` / ``apply_delta``) the new relation receives a
+**patched** view: untouched column arrays and indexes are shared with the
+old view, touched columns are copied and re-stamped, and derived caches
+mentioning a touched attribute are dropped.  This keeps the columnar
+substrate incremental across the gradual-cleaning lifecycle instead of
+rebuilding O(n·m) state after every repaired cell.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.engine.stats import WorkCounter
+from repro.probabilistic.value import PValue, cell_compare
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relation.relation import Relation
+
+#: Supported execution backends for the detection/cleaning hot path.
+BACKEND_COLUMNAR = "columnar"
+BACKEND_ROWSTORE = "rowstore"
+BACKENDS = (BACKEND_COLUMNAR, BACKEND_ROWSTORE)
+
+#: Sentinel marking a column as unsortable (mixed incomparable types).
+_UNSORTABLE = object()
+#: Sentinel marking a column as unhashable.
+_UNHASHABLE = object()
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+
+def validate_backend(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    return name
+
+
+class SortedColumn:
+    """Concrete non-null values of one column in sorted order.
+
+    ``values[i]`` is the i-th smallest concrete value and ``positions[i]``
+    its row position.  Probabilistic and ``None`` cells are excluded — they
+    are handled by the caller through the PValue sidecar / null semantics.
+    """
+
+    __slots__ = ("values", "positions")
+
+    def __init__(self, values: list[Any], positions: list[int]):
+        self.values = values
+        self.positions = positions
+
+    def range_positions(self, op: str, value: Any) -> list[int]:
+        """Positions whose value satisfies ``cell <op> value``.
+
+        Raises ``TypeError`` when ``value`` is not comparable with the
+        column (callers treat that as "no concrete match", mirroring
+        ``_concrete_satisfies``).
+        """
+        if op == "<":
+            return self.positions[: bisect_left(self.values, value)]
+        if op == "<=":
+            return self.positions[: bisect_right(self.values, value)]
+        if op == ">":
+            return self.positions[bisect_right(self.values, value):]
+        if op == ">=":
+            return self.positions[bisect_left(self.values, value):]
+        if op == "=":
+            lo = bisect_left(self.values, value)
+            hi = bisect_right(self.values, value)
+            return self.positions[lo:hi]
+        raise ValueError(f"unsupported sorted-column operator {op!r}")
+
+
+def _pvalue_bound(cell: PValue) -> Optional[tuple[Any, Any]]:
+    """(min, max) candidate points of a probabilistic cell, or None.
+
+    A range candidate contributes its low/high end (±inf when unbounded);
+    any-candidate inequality semantics then reduce to one comparison
+    against the min (for ``<``/``<=``) or max (for ``>``/``>=``) point.
+    ``None`` means the candidates are not mutually comparable and the
+    caller must fall back to the full possible-worlds evaluation.
+    """
+    lo: Any = None
+    hi: Any = None
+    for cand in cell.candidates:
+        if cand.is_range():
+            rng = cand.value
+            c_lo = -math.inf if rng.low is None else rng.low
+            c_hi = math.inf if rng.high is None else rng.high
+        else:
+            value = cand.value
+            if value is None:
+                continue  # a None candidate satisfies no comparison
+            c_lo = c_hi = value
+        try:
+            lo = c_lo if lo is None else min(lo, c_lo)
+            hi = c_hi if hi is None else max(hi, c_hi)
+        except TypeError:
+            return None
+    if lo is None:
+        return None
+    return (lo, hi)
+
+
+class PValueBoundsSidecar:
+    """Per-position (min, max) candidate points of one attribute's PValues.
+
+    Lets range selections answer ``exists candidate: candidate <op> value``
+    with a single comparison per probabilistic cell.  Patched positionally
+    when cells change (see :meth:`ColumnView.patched`).
+    """
+
+    __slots__ = ("attr", "bounds")
+
+    def __init__(self, view: "ColumnView", attr: str):
+        self.attr = attr
+        column = view.columns[attr]
+        self.bounds: dict[int, Optional[tuple[Any, Any]]] = {
+            pos: _pvalue_bound(column[pos]) for pos in view.pvalue_positions(attr)
+        }
+
+    def patched_for_view(
+        self, view: "ColumnView", touched: dict[str, list[int]]
+    ) -> "PValueBoundsSidecar":
+        clone = PValueBoundsSidecar.__new__(PValueBoundsSidecar)
+        clone.attr = self.attr
+        bounds = dict(self.bounds)
+        pvals = view.pvalue_positions(self.attr)
+        column = view.columns[self.attr]
+        for pos in touched.get(self.attr, ()):
+            if pos in pvals:
+                bounds[pos] = _pvalue_bound(column[pos])
+            else:
+                bounds.pop(pos, None)
+        clone.bounds = bounds
+        return clone
+
+
+class ColumnView:
+    """Columnar snapshot of one relation (see module docstring)."""
+
+    __slots__ = (
+        "schema",
+        "tids",
+        "columns",
+        "version",
+        "_pvalue_positions",
+        "_pos_of_tid",
+        "_sorted",
+        "_hash",
+        "_derived",
+    )
+
+    def __init__(
+        self,
+        schema,
+        tids: list[int],
+        columns: dict[str, list[Any]],
+        pvalue_positions: dict[str, set[int]],
+        version: int = 0,
+    ):
+        self.schema = schema
+        self.tids = tids
+        self.columns = columns
+        self.version = version
+        self._pvalue_positions = pvalue_positions
+        self._pos_of_tid: Optional[dict[int, int]] = None
+        self._sorted: dict[str, Any] = {}
+        self._hash: dict[str, Any] = {}
+        self._derived: dict[Any, tuple[frozenset[str], Any]] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_relation(cls, relation: "Relation") -> "ColumnView":
+        names = relation.schema.names
+        columns: dict[str, list[Any]] = {name: [] for name in names}
+        pvalue_positions: dict[str, set[int]] = {}
+        tids: list[int] = []
+        col_lists = [columns[name] for name in names]
+        for pos, row in enumerate(relation.rows):
+            tids.append(row.tid)
+            for name, col, cell in zip(names, col_lists, row.values):
+                col.append(cell)
+                if isinstance(cell, PValue):
+                    pvalue_positions.setdefault(name, set()).add(pos)
+        return cls(relation.schema, tids, columns, pvalue_positions)
+
+    def __len__(self) -> int:
+        return len(self.tids)
+
+    # -- positional accessors -----------------------------------------------------
+
+    @property
+    def pos_of_tid(self) -> dict[int, int]:
+        if self._pos_of_tid is None:
+            self._pos_of_tid = {tid: pos for pos, tid in enumerate(self.tids)}
+        return self._pos_of_tid
+
+    def positions_of(self, tids: Iterable[int]) -> list[int]:
+        """Sorted row positions of the given tids (absent tids are skipped)."""
+        pos_map = self.pos_of_tid
+        return sorted(pos_map[t] for t in tids if t in pos_map)
+
+    def pvalue_positions(self, attr: str) -> frozenset[int] | set[int]:
+        return self._pvalue_positions.get(attr, _EMPTY_SET)
+
+    def cell(self, attr: str, pos: int) -> Any:
+        return self.columns[attr][pos]
+
+    # -- lazy per-attribute indexes -----------------------------------------------
+
+    def sorted_column(self, attr: str) -> Optional[SortedColumn]:
+        """The sorted concrete values of ``attr`` (None if incomparable)."""
+        cached = self._sorted.get(attr)
+        if cached is not None:
+            return None if cached is _UNSORTABLE else cached
+        pvals = self.pvalue_positions(attr)
+        pairs = [
+            (v, pos)
+            for pos, v in enumerate(self.columns[attr])
+            if v is not None and pos not in pvals
+        ]
+        try:
+            pairs.sort()
+        except TypeError:
+            self._sorted[attr] = _UNSORTABLE
+            return None
+        col = SortedColumn([v for v, _ in pairs], [p for _, p in pairs])
+        self._sorted[attr] = col
+        return col
+
+    def hash_column(self, attr: str) -> Optional[dict[Any, list[int]]]:
+        """value -> positions over concrete cells (None if unhashable)."""
+        cached = self._hash.get(attr)
+        if cached is not None:
+            return None if cached is _UNHASHABLE else cached
+        pvals = self.pvalue_positions(attr)
+        table: dict[Any, list[int]] = {}
+        try:
+            for pos, v in enumerate(self.columns[attr]):
+                if v is None or pos in pvals:
+                    continue
+                table.setdefault(v, []).append(pos)
+        except TypeError:
+            self._hash[attr] = _UNHASHABLE
+            return None
+        self._hash[attr] = table
+        return table
+
+    # -- filtering ------------------------------------------------------------------
+
+    def filter_positions(
+        self, attr: str, op: str, value: Any, counter: Optional[WorkCounter] = None
+    ) -> set[int]:
+        """Positions whose cell satisfies ``cell <op> value``.
+
+        Exactly equivalent to evaluating
+        :func:`repro.probabilistic.value.cell_compare` per cell, but served
+        from the sorted/hash indexes for concrete cells; only probabilistic
+        positions pay the possible-worlds evaluation.
+        """
+        column = self.columns[attr]
+        pvals = self.pvalue_positions(attr)
+        out: set[int] = set()
+        served = False
+
+        if value is not None:
+            if op in ("<", "<=", ">", ">="):
+                sorted_col = self.sorted_column(attr)
+                if sorted_col is not None:
+                    try:
+                        matches = sorted_col.range_positions(op, value)
+                    except TypeError:
+                        matches = []  # incomparable constant: no concrete match
+                    out.update(matches)
+                    served = True
+            elif op == "=":
+                hash_col = self.hash_column(attr)
+                if hash_col is not None:
+                    try:
+                        matches = hash_col.get(value, ())
+                    except TypeError:
+                        matches = ()
+                    out.update(matches)
+                    served = True
+
+        if not served:
+            # Linear fallback over concrete cells ('!=', unsortable columns…).
+            for pos, cell in enumerate(column):
+                if pos in pvals:
+                    continue
+                if cell_compare(cell, op, value):
+                    out.add(pos)
+            if counter is not None:
+                counter.charge_scan(len(column))
+        elif counter is not None:
+            counter.charge_scan(len(out) + len(pvals))
+
+        if not pvals:
+            return out
+        if op in ("<", "<=", ">", ">=") and value is not None:
+            # One comparison per probabilistic cell via the bounds sidecar.
+            sidecar: PValueBoundsSidecar = self.derived(
+                ("pv_bounds", attr), (attr,), lambda: PValueBoundsSidecar(self, attr)
+            )
+            bounds = sidecar.bounds
+            for pos in pvals:
+                bound = bounds.get(pos)
+                if bound is None:
+                    if cell_compare(column[pos], op, value):
+                        out.add(pos)
+                    continue
+                lo, hi = bound
+                try:
+                    if op == "<":
+                        ok = lo < value
+                    elif op == "<=":
+                        ok = lo <= value
+                    elif op == ">":
+                        ok = hi > value
+                    else:
+                        ok = hi >= value
+                except TypeError:
+                    ok = cell_compare(column[pos], op, value)
+                if ok:
+                    out.add(pos)
+            return out
+        for pos in pvals:
+            if cell_compare(column[pos], op, value):
+                out.add(pos)
+        return out
+
+    def filter_tids(
+        self, attr: str, op: str, value: Any, counter: Optional[WorkCounter] = None
+    ) -> set[int]:
+        tids = self.tids
+        return {tids[pos] for pos in self.filter_positions(attr, op, value, counter)}
+
+    # -- derived caches ---------------------------------------------------------------
+
+    def derived(
+        self, key: Any, attrs: Iterable[str], build: Callable[[], Any]
+    ) -> Any:
+        """A cached derived structure keyed by ``key`` over ``attrs``.
+
+        The structure is built once and survives patches that do not touch
+        any of ``attrs``.  A patch touching one of them either *patches* the
+        payload positionally — when the payload exposes
+        ``patched_for_view(new_view, {attr: positions})`` returning a new
+        payload — or evicts the entry.
+        """
+        entry = self._derived.get(key)
+        if entry is not None:
+            return entry[1]
+        payload = build()
+        self._derived[key] = (frozenset(attrs), payload)
+        return payload
+
+    # -- incremental patching ---------------------------------------------------------
+
+    def patched(self, updates: dict[tuple[int, str], Any]) -> "ColumnView":
+        """A new view reflecting cell replacements, sharing untouched state.
+
+        ``updates`` maps (tid, attr) -> new cell — the exact shape of
+        ``Relation.update_cells``.  Tids absent from the view are ignored
+        (mirroring the row-store behaviour).  Only the touched columns are
+        copied; sorted/hash indexes and derived caches survive for columns
+        the patch does not mention.
+        """
+        by_attr: dict[str, list[tuple[int, Any]]] = {}
+        pos_map = self.pos_of_tid
+        for (tid, attr), cell in updates.items():
+            pos = pos_map.get(tid)
+            if pos is None:
+                continue
+            by_attr.setdefault(attr, []).append((pos, cell))
+        if not by_attr:
+            return self
+
+        columns = dict(self.columns)
+        pvalue_positions = dict(self._pvalue_positions)
+        for attr, cells in by_attr.items():
+            col = list(columns[attr])
+            pvals = set(pvalue_positions.get(attr, ()))
+            for pos, cell in cells:
+                col[pos] = cell
+                if isinstance(cell, PValue):
+                    pvals.add(pos)
+                else:
+                    pvals.discard(pos)
+            columns[attr] = col
+            if pvals:
+                pvalue_positions[attr] = pvals
+            else:
+                pvalue_positions.pop(attr, None)
+
+        view = ColumnView(
+            self.schema, self.tids, columns, pvalue_positions,
+            version=self.version + 1,
+        )
+        view._pos_of_tid = self._pos_of_tid
+        touched = set(by_attr)
+        view._sorted = {
+            a: idx for a, idx in self._sorted.items() if a not in touched
+        }
+        view._hash = {a: idx for a, idx in self._hash.items() if a not in touched}
+        touched_positions = {
+            attr: [pos for pos, _cell in cells] for attr, cells in by_attr.items()
+        }
+        for key, (attrs, payload) in self._derived.items():
+            if not (attrs & touched):
+                view._derived[key] = (attrs, payload)
+                continue
+            patcher = getattr(payload, "patched_for_view", None)
+            if patcher is None:
+                continue  # evict: payload cannot be patched incrementally
+            view._derived[key] = (attrs, patcher(view, touched_positions))
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnView({len(self.tids)} rows × {len(self.columns)} cols, "
+            f"v{self.version})"
+        )

@@ -14,9 +14,10 @@ index lookups respect possible-worlds semantics.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.probabilistic.value import PValue
+from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation, Row
 
 
@@ -28,11 +29,26 @@ def _index_keys(cell: Any) -> Iterable[Any]:
 
 
 class HashIndex:
-    """value -> set of tids, over one attribute of a relation."""
+    """value -> set of tids, over one attribute of a relation.
 
-    def __init__(self, relation: Relation, attr: str):
+    Pass ``view`` (the relation's columnar view) to build from the
+    per-attribute array instead of walking Row objects — same contents.
+    """
+
+    def __init__(self, relation: Relation, attr: str, view: Optional[ColumnView] = None):
         self.attr = attr
         self._map: dict[Any, set[int]] = {}
+        if view is not None:
+            column = view.columns[attr]
+            pvals = view.pvalue_positions(attr)
+            tids = view.tids
+            for pos, cell in enumerate(column):
+                if pos in pvals:
+                    for key in cell.concrete_values():
+                        self._map.setdefault(key, set()).add(tids[pos])
+                else:
+                    self._map.setdefault(cell, set()).add(tids[pos])
+            return
         idx = relation.schema.index_of(attr)
         for row in relation.rows:
             for key in _index_keys(row.values[idx]):
@@ -65,10 +81,33 @@ class GroupIndex:
     cleaned data.
     """
 
-    def __init__(self, relation: Relation, attrs: Sequence[str]):
+    def __init__(
+        self,
+        relation: Relation,
+        attrs: Sequence[str],
+        view: Optional[ColumnView] = None,
+    ):
         self.attrs = tuple(attrs)
         self._idx = [relation.schema.index_of(a) for a in attrs]
         self._groups: dict[tuple[Any, ...], list[Row]] = {}
+        if view is not None:
+            # Columnar group-by: compute keys from the attribute arrays,
+            # then attach the Row objects positionally.  The view must be
+            # the relation's own (same rows, same order).
+            rows = relation.rows
+            if len(view) != len(rows):
+                raise ValueError(
+                    "GroupIndex: view does not match the relation "
+                    f"({len(view)} positions vs {len(rows)} rows)"
+                )
+            cols = [view.columns[a] for a in attrs]
+            for pos, row in enumerate(rows):
+                key = tuple(
+                    cell.most_probable() if isinstance(cell, PValue) else cell
+                    for cell in (col[pos] for col in cols)
+                )
+                self._groups.setdefault(key, []).append(row)
+            return
         for row in relation.rows:
             self._groups.setdefault(self.key_of(row), []).append(row)
 

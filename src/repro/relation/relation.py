@@ -18,6 +18,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import SchemaError
 from repro.probabilistic.value import PValue, cell_compare, cells_may_equal, plain
+from repro.relation.columnview import ColumnView
 from repro.relation.schema import Column, ColumnType, Schema
 
 
@@ -74,6 +75,8 @@ class Relation:
         self.schema = schema
         self.name = name
         self._rows: list[Row] = list(rows) if rows is not None else []
+        #: Cached columnar view (built on demand, patched across updates).
+        self._colview: Optional[ColumnView] = None
         if validate:
             for row in self._rows:
                 schema.validate_row(row.values)
@@ -134,6 +137,18 @@ class Relation:
     def tid_index(self) -> dict[int, Row]:
         """A tid -> row dictionary (rows are unique per tid)."""
         return {row.tid: row for row in self._rows}
+
+    def column_view(self) -> ColumnView:
+        """The (cached) columnar view of this relation.
+
+        Built lazily on first use; :meth:`update_cells` / :meth:`apply_delta`
+        carry the cache forward by incremental patching, so the gradual
+        cleaning loop never pays a full rebuild.  The view must be treated
+        as immutable — mutating ``_rows`` directly invalidates it silently.
+        """
+        if self._colview is None:
+            self._colview = ColumnView.from_relation(self)
+        return self._colview
 
     # -- relational operators ------------------------------------------------------
 
@@ -337,7 +352,30 @@ class Relation:
         if not delta:
             return self
         rows = [delta.get(row.tid, row) for row in self._rows]
-        return Relation(self.schema, rows, name=self.name)
+        updated = Relation(self.schema, rows, name=self.name)
+        if self._colview is not None:
+            # Patch the cached columnar view with only the cells the delta
+            # actually changed — replacing a whole row must not invalidate
+            # the untouched columns' indexes and derived caches.
+            names = self.schema.names
+            cell_updates: dict[tuple[int, Any], Any] = {}
+            for old_row in self._rows:
+                new_row = delta.get(old_row.tid)
+                if new_row is None or new_row is old_row:
+                    continue
+                for attr, new_cell, old_cell in zip(
+                    names, new_row.values, old_row.values
+                ):
+                    if new_cell is old_cell:
+                        continue
+                    try:
+                        changed = new_cell != old_cell
+                    except Exception:
+                        changed = True
+                    if changed:
+                        cell_updates[(old_row.tid, attr)] = new_cell
+            updated._colview = self._colview.patched(cell_updates)
+        return updated
 
     def update_cells(self, updates: dict[tuple[int, str], Any]) -> "Relation":
         """Replace individual cells addressed by (tid, attribute)."""
@@ -356,7 +394,10 @@ class Relation:
                 for idx, value in cell_map.items():
                     vals[idx] = value
                 rows.append(Row(row.tid, tuple(vals)))
-        return Relation(self.schema, rows, name=self.name)
+        updated = Relation(self.schema, rows, name=self.name)
+        if self._colview is not None:
+            updated._colview = self._colview.patched(updates)
+        return updated
 
     # -- introspection -----------------------------------------------------------
 

@@ -18,14 +18,14 @@ the number of possible fixes — reproducing Example 5's
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicate import Predicate
 from repro.detection.thetajoin import ViolationPair
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.errors import CleaningError
-from repro.probabilistic.value import PValue, ValueRange, plain
+from repro.probabilistic.value import ValueRange, plain
 from repro.relation.relation import Relation, Row
 from repro.repair.fixes import CandidateFix, CellFix, RepairDelta
 from repro.repair.provenance import ProvenanceStore

@@ -30,6 +30,7 @@ from typing import Any, Iterable, Optional
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.probabilistic.value import PValue
+from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation, Row
 from repro.repair.fixes import CandidateFix, CellFix, RepairDelta
 from repro.repair.provenance import ProvenanceStore
@@ -56,6 +57,129 @@ def _original_cell(
     return cell
 
 
+def _original_value(
+    tid: int,
+    cell: Any,
+    attr: str,
+    provenance: Optional[ProvenanceStore],
+) -> Any:
+    """Columnar twin of :func:`_original_cell` (cell already in hand)."""
+    if provenance is not None:
+        original = provenance.original(tid, attr)
+        if original is not None:
+            return original
+    if isinstance(cell, PValue):
+        return cell.most_probable()
+    return cell
+
+
+def fd_grouping_keys(
+    view: ColumnView,
+    fd: FunctionalDependency,
+    provenance: Optional[ProvenanceStore],
+) -> "_FdGroupingKeys":
+    """The cached per-position grouping keys of ``fd`` over ``view``."""
+    return view.derived(
+        ("fd_keys", tuple(fd.lhs), fd.rhs, provenance),
+        set(fd.lhs) | {fd.rhs},
+        lambda: _FdGroupingKeys(view, fd, provenance),
+    )
+
+
+class _FdGroupingKeys:
+    """Per-position (lhs key, rhs value) of one FD under a provenance store.
+
+    The grouping values of :func:`compute_fd_fixes` — provenance original
+    if recorded, else the cell's most probable value — precomputed per row
+    position and patched positionally when repairs land, so each detection
+    pass is pure array lookups.  Keyed on the view *and* the provenance
+    store (the derived-cache key includes it), since originals differ per
+    cleaning engine.
+    """
+
+    __slots__ = ("lhs", "rhs", "provenance", "lhs_keys", "rhs_vals", "rhs_groups")
+
+    def __init__(
+        self,
+        view: ColumnView,
+        fd: FunctionalDependency,
+        provenance: Optional[ProvenanceStore],
+    ):
+        self.lhs = tuple(fd.lhs)
+        self.rhs = fd.rhs
+        self.provenance = provenance
+        lhs_cols = [view.columns[a] for a in self.lhs]
+        rhs_col = view.columns[self.rhs]
+        tids = view.tids
+        self.lhs_keys: list[tuple[Any, ...]] = [
+            tuple(
+                _original_value(tids[pos], col[pos], attr, provenance)
+                for col, attr in zip(lhs_cols, self.lhs)
+            )
+            for pos in range(len(tids))
+        ]
+        self.rhs_vals: list[Any] = [
+            _original_value(tids[pos], rhs_col[pos], self.rhs, provenance)
+            for pos in range(len(tids))
+        ]
+        #: grouping rhs value -> positions (the inverted rhs group index)
+        self.rhs_groups: dict[Any, set[int]] = {}
+        for pos, value in enumerate(self.rhs_vals):
+            self.rhs_groups.setdefault(value, set()).add(pos)
+
+    def patched_for_view(
+        self, view: ColumnView, touched: dict[str, list[int]]
+    ) -> "_FdGroupingKeys":
+        clone = _FdGroupingKeys.__new__(_FdGroupingKeys)
+        clone.lhs = self.lhs
+        clone.rhs = self.rhs
+        clone.provenance = self.provenance
+        tids = view.tids
+        lhs_positions: set[int] = set()
+        for attr in self.lhs:
+            lhs_positions.update(touched.get(attr, ()))
+        if lhs_positions:
+            lhs_cols = [view.columns[a] for a in self.lhs]
+            lhs_keys = list(self.lhs_keys)
+            for pos in lhs_positions:
+                lhs_keys[pos] = tuple(
+                    _original_value(tids[pos], col[pos], attr, self.provenance)
+                    for col, attr in zip(lhs_cols, self.lhs)
+                )
+            clone.lhs_keys = lhs_keys
+        else:
+            clone.lhs_keys = self.lhs_keys
+        rhs_positions = touched.get(self.rhs, ())
+        if rhs_positions:
+            rhs_col = view.columns[self.rhs]
+            rhs_vals = list(self.rhs_vals)
+            rhs_groups = dict(self.rhs_groups)
+            copied: set[Any] = set()
+
+            def entry(value: Any) -> set[int]:
+                if value not in copied:
+                    copied.add(value)
+                    rhs_groups[value] = set(rhs_groups.get(value, ()))
+                return rhs_groups[value]
+
+            for pos in rhs_positions:
+                old = rhs_vals[pos]
+                new = _original_value(
+                    tids[pos], rhs_col[pos], self.rhs, self.provenance
+                )
+                if new == old:
+                    continue
+                rhs_vals[pos] = new
+                entry(old).discard(pos)
+                entry(new).add(pos)
+            clone.rhs_vals = rhs_vals
+            clone.rhs_groups = rhs_groups
+        else:
+            clone.rhs_vals = self.rhs_vals
+            clone.rhs_groups = self.rhs_groups
+        return clone
+
+
 def compute_fd_fixes(
     relation: Relation,
     fd: FunctionalDependency,
@@ -64,6 +188,7 @@ def compute_fd_fixes(
     counter: Optional[WorkCounter] = None,
     skip_group_keys: Optional[set[tuple[Any, ...]]] = None,
     consult_tids: Optional[Iterable[int]] = None,
+    view: Optional[ColumnView] = None,
 ) -> tuple[RepairDelta, set[tuple[Any, ...]]]:
     """Compute probabilistic fixes for FD violations inside ``scope_tids``.
 
@@ -74,11 +199,14 @@ def compute_fd_fixes(
     Returns the delta and the set of violating lhs group keys that were
     repaired (so callers can mark them checked in the provenance store).
     ``skip_group_keys`` suppresses groups already repaired by this rule.
+
+    ``view`` (the columnar backend) visits only the scope ∪ consult
+    positions instead of scanning the relation, and memoizes the
+    P(lhs | rhs) support maps per rhs value; candidate sets and
+    probabilities are identical either way.
     """
     counter = counter if counter is not None else GLOBAL_COUNTER
     skip = skip_group_keys or set()
-    lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
-    rhs_idx = relation.schema.index_of(fd.rhs)
     scope = set(scope_tids)
     consult = set(consult_tids) if consult_tids is not None else set()
     consult -= scope
@@ -88,18 +216,53 @@ def compute_fd_fixes(
     # tuples only feed the rhs map (candidate support).
     by_lhs: dict[tuple[Any, ...], list[tuple[int, Any]]] = {}
     by_rhs: dict[Any, list[tuple[int, tuple[Any, ...]]]] = {}
-    for row in relation.rows:
-        in_scope = row.tid in scope
-        if not in_scope and row.tid not in consult:
-            continue
-        counter.charge_scan()
-        lhs_key = tuple(
-            _original_cell(row, i, a, provenance) for i, a in zip(lhs_idx, fd.lhs)
-        )
-        rhs_val = _original_cell(row, rhs_idx, fd.rhs, provenance)
-        if in_scope:
-            by_lhs.setdefault(lhs_key, []).append((row.tid, rhs_val))
-        by_rhs.setdefault(rhs_val, []).append((row.tid, lhs_key))
+    support_of_rhs: Any = None
+    if view is not None:
+        # Columnar path: the cached grouping keys / rhs group index make the
+        # pass positional, and P(lhs | rhs) support maps — which depend only
+        # on the rhs value — are served lazily per rhs value, restricted to
+        # scope ∪ consult so the result matches the row-store pass exactly.
+        keys = fd_grouping_keys(view, fd, provenance)
+        lhs_keys, rhs_vals = keys.lhs_keys, keys.rhs_vals
+        rhs_groups = keys.rhs_groups
+        view_tids = view.tids
+        sc_positions = view.positions_of(scope | consult)
+        sc_set = set(sc_positions)
+        counter.charge_scan(len(sc_positions))
+        for pos in view.positions_of(scope):
+            by_lhs.setdefault(lhs_keys[pos], []).append(
+                (view_tids[pos], rhs_vals[pos])
+            )
+        support_cache: dict[Any, tuple[dict[tuple[Any, ...], set[int]], int]] = {}
+
+        def _lazy_support(rhs_val: Any) -> tuple[dict, int]:
+            cached = support_cache.get(rhs_val)
+            if cached is not None:
+                return cached
+            members = sorted((rhs_groups.get(rhs_val) or set()) & sc_set)
+            support: dict[tuple[Any, ...], set[int]] = {}
+            for pos in members:
+                support.setdefault(lhs_keys[pos], set()).add(view_tids[pos])
+            cached = (support, len(members))
+            support_cache[rhs_val] = cached
+            return cached
+
+        support_of_rhs = _lazy_support
+    else:
+        lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
+        rhs_idx = relation.schema.index_of(fd.rhs)
+        for row in relation.rows:
+            in_scope = row.tid in scope
+            if not in_scope and row.tid not in consult:
+                continue
+            counter.charge_scan()
+            lhs_key = tuple(
+                _original_cell(row, i, a, provenance) for i, a in zip(lhs_idx, fd.lhs)
+            )
+            rhs_val = _original_cell(row, rhs_idx, fd.rhs, provenance)
+            if in_scope:
+                by_lhs.setdefault(lhs_key, []).append((row.tid, rhs_val))
+            by_rhs.setdefault(rhs_val, []).append((row.tid, lhs_key))
 
     delta = RepairDelta()
     repaired_groups: set[tuple[Any, ...]] = set()
@@ -118,26 +281,31 @@ def compute_fd_fixes(
             rhs_support.setdefault(rhs, set()).add(tid)
 
         for tid, rhs_val in members:
-            lhs_members = by_rhs.get(rhs_val, [])
-            counter.charge_comparisons(len(lhs_members))
             # Frequency of each lhs value among tuples sharing this rhs:
             # P(lhs | rhs).
-            lhs_support: dict[tuple[Any, ...], set[int]] = {}
-            for other_tid, other_lhs in lhs_members:
-                lhs_support.setdefault(other_lhs, set()).add(other_tid)
+            if support_of_rhs is not None:
+                lhs_support, member_count = support_of_rhs(rhs_val)
+                counter.charge_comparisons(member_count)
+            else:
+                lhs_members = by_rhs.get(rhs_val, [])
+                counter.charge_comparisons(len(lhs_members))
+                lhs_support = {}
+                for other_tid, other_lhs in lhs_members:
+                    lhs_support.setdefault(other_lhs, set()).add(other_tid)
             lhs_ambiguous = len(lhs_support) > 1
 
             # --- RHS fix (world 1) -------------------------------------------
+            # Candidate keys are unique by construction (dict keys × fixed
+            # world), so the lists are built directly instead of through the
+            # merging ``add``.
             rhs_fix = CellFix(
                 tid=tid, attr=fd.rhs, original=rhs_val, rules={fd.name or str(fd)}
             )
             rhs_world = WORLD_FIX_RHS if lhs_ambiguous else 0
-            for value, support in rhs_support.items():
-                rhs_fix.add(
-                    CandidateFix(
-                        value=value, support=frozenset(support), world=rhs_world
-                    )
-                )
+            rhs_fix.candidates.extend(
+                CandidateFix(value, support, rhs_world)
+                for value, support in rhs_support.items()
+            )
 
             if not lhs_ambiguous:
                 # Only the rhs family exists; the lhs cell stays concrete
@@ -148,11 +316,11 @@ def compute_fd_fixes(
 
             # --- two-instance repair (worlds 1 and 2) --------------------------
             # World 2 keeps the original rhs.
-            rhs_fix.add(
+            rhs_fix.candidates.append(
                 CandidateFix(
-                    value=rhs_val,
-                    support=frozenset(lhs_support.get(lhs_key, {tid})),
-                    world=WORLD_FIX_LHS,
+                    rhs_val,
+                    lhs_support.get(lhs_key) or {tid},
+                    WORLD_FIX_LHS,
                 )
             )
             delta.add_fix(rhs_fix)
@@ -165,22 +333,19 @@ def compute_fd_fixes(
                     original=lhs_key[0],
                     rules={fd.name or str(fd)},
                 )
-                # World 1 keeps the original lhs.
-                lhs_fix.add(
+                # World 1 keeps the original lhs; single-attribute keys make
+                # the world-2 values unique, so direct construction is safe.
+                lhs_fix.candidates.append(
                     CandidateFix(
-                        value=lhs_key[0],
-                        support=frozenset(rhs_support.get(rhs_val, {tid})),
-                        world=WORLD_FIX_RHS,
+                        lhs_key[0],
+                        rhs_support.get(rhs_val) or {tid},
+                        WORLD_FIX_RHS,
                     )
                 )
-                for value, support in lhs_support.items():
-                    lhs_fix.add(
-                        CandidateFix(
-                            value=value[0],
-                            support=frozenset(support),
-                            world=WORLD_FIX_LHS,
-                        )
-                    )
+                lhs_fix.candidates.extend(
+                    CandidateFix(value[0], support, WORLD_FIX_LHS)
+                    for value, support in lhs_support.items()
+                )
                 delta.add_fix(lhs_fix)
             else:
                 # Composite lhs: emit one fix per lhs attribute, each carrying
@@ -198,7 +363,7 @@ def compute_fd_fixes(
                     lhs_fix.add(
                         CandidateFix(
                             value=lhs_key[pos],
-                            support=frozenset(rhs_support.get(rhs_val, {tid})),
+                            support=rhs_support.get(rhs_val) or {tid},
                             world=WORLD_FIX_RHS,
                         )
                     )
@@ -206,7 +371,7 @@ def compute_fd_fixes(
                         lhs_fix.add(
                             CandidateFix(
                                 value=value[pos],
-                                support=frozenset(support),
+                                support=support,
                                 world=WORLD_FIX_LHS,
                             )
                         )

@@ -12,17 +12,21 @@ automatically re-weights them, exactly as Section 4.3 prescribes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import AbstractSet, Any, NamedTuple
 
-from repro.probabilistic.value import Candidate, PValue
+from repro.probabilistic.value import PValue
 
 
-@dataclass(frozen=True)
-class CandidateFix:
-    """One candidate value with its justification set and world id."""
+class CandidateFix(NamedTuple):
+    """One candidate value with its justification set and world id.
+
+    ``support`` may be any set type; producers on the repair hot path pass
+    their (no longer mutated) working sets directly instead of copying into
+    frozensets.
+    """
 
     value: Any
-    support: frozenset[int]
+    support: AbstractSet[int]
     world: int = 0
 
     def weight(self) -> int:
@@ -56,12 +60,11 @@ class CellFix:
 
         Within each world, weights are support sizes; worlds are weighted by
         their total support so the PValue's global normalization preserves
-        frequency-based semantics.
+        frequency-based semantics.  ``add`` keeps (value, world) keys unique,
+        so the pre-merged fast constructor applies.
         """
-        total = sum(c.weight() for c in self.candidates)
-        return PValue(
-            Candidate(value=c.value, prob=c.weight() / total, world=c.world)
-            for c in self.candidates
+        return PValue.from_unique_weights(
+            [(c.value, c.world, len(c.support) or 1) for c in self.candidates]
         )
 
     def values(self) -> list[Any]:

@@ -1,6 +1,5 @@
 """Tests for the offline and HoloClean-like baselines."""
 
-import pytest
 
 from repro.baselines import (
     HoloCleanLike,

@@ -1,0 +1,256 @@
+"""ColumnView construction, filtering semantics, and incremental patching.
+
+The stale-cache failure mode — a repair lands but a cached array/index
+keeps answering with pre-repair values — is the main risk of the columnar
+backend, so most tests here drive updates through ``Relation.update_cells``
+/ ``Daisy`` fixes and assert the patched view answers like a fresh scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Daisy
+from repro.probabilistic.value import Candidate, PValue, ValueRange, cell_compare
+from repro.relation import ColumnType, Relation
+from repro.relation.columnview import (
+    BACKEND_COLUMNAR,
+    BACKEND_ROWSTORE,
+    ColumnView,
+    validate_backend,
+)
+
+
+def make_relation():
+    return Relation.from_rows(
+        [("k", ColumnType.INT), ("v", ColumnType.INT), ("s", ColumnType.STRING)],
+        [
+            (1, 10, "a"),
+            (2, 20, "b"),
+            (3, 30, "a"),
+            (4, None, "c"),
+            (5, 50, "b"),
+        ],
+        name="t",
+    )
+
+
+def naive_filter(relation, attr, op, value):
+    idx = relation.schema.index_of(attr)
+    return {
+        row.tid for row in relation.rows if cell_compare(row.values[idx], op, value)
+    }
+
+
+class TestConstruction:
+    def test_arrays_mirror_rows(self):
+        rel = make_relation()
+        view = rel.column_view()
+        assert view.tids == [0, 1, 2, 3, 4]
+        assert view.columns["k"] == [1, 2, 3, 4, 5]
+        assert view.columns["v"] == [10, 20, 30, None, 50]
+        assert len(view) == len(rel)
+
+    def test_view_is_cached_on_relation(self):
+        rel = make_relation()
+        assert rel.column_view() is rel.column_view()
+
+    def test_pvalue_sidecar_tracks_probabilistic_positions(self):
+        rel = make_relation()
+        pv = PValue([Candidate(20, 0.6), Candidate(99, 0.4)])
+        rel2 = rel.update_cells({(1, "v"): pv})
+        view = rel2.column_view()
+        assert view.pvalue_positions("v") == {1}
+        assert view.pvalue_positions("k") == frozenset()
+
+    def test_validate_backend(self):
+        assert validate_backend(BACKEND_COLUMNAR) == "columnar"
+        assert validate_backend(BACKEND_ROWSTORE) == "rowstore"
+        with pytest.raises(ValueError):
+            validate_backend("arrow")
+
+
+class TestFiltering:
+    @pytest.mark.parametrize("op,value", [
+        ("<", 30), ("<=", 30), (">", 20), (">=", 20), ("=", 20), ("!=", 20),
+        ("<", -1), (">", 1000), ("=", 12345), ("=", None),
+    ])
+    def test_matches_possible_worlds_scan_concrete(self, op, value):
+        rel = make_relation()
+        view = rel.column_view()
+        assert view.filter_tids("v", op, value) == naive_filter(rel, "v", op, value)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "=", "!="])
+    def test_matches_with_pvalues(self, op):
+        rel = make_relation()
+        rel = rel.update_cells({
+            (0, "v"): PValue([Candidate(10, 0.5), Candidate(25, 0.5)]),
+            (4, "v"): PValue([Candidate(ValueRange(low=40.0, high=60.0), 1.0)]),
+        })
+        view = rel.column_view()
+        for value in (-5, 10, 24, 25, 41, 60, 61):
+            assert view.filter_tids("v", op, value) == naive_filter(rel, "v", op, value), (
+                op, value,
+            )
+
+    def test_string_column_and_cross_type_constant(self):
+        rel = make_relation()
+        view = rel.column_view()
+        assert view.filter_tids("s", "=", "a") == {0, 2}
+        assert view.filter_tids("s", "<", "b") == {0, 2}
+        # Incomparable constant: no row satisfies (same as cell_compare).
+        assert view.filter_tids("s", "<", 42) == naive_filter(rel, "s", "<", 42)
+
+
+class TestPatching:
+    def test_update_cells_carries_patched_view(self):
+        rel = make_relation()
+        old_view = rel.column_view()
+        rel2 = rel.update_cells({(2, "v"): 99})
+        new_view = rel2._colview
+        assert new_view is not None and new_view is not old_view
+        assert new_view.columns["v"][2] == 99
+        # Untouched columns are shared, touched ones copied.
+        assert new_view.columns["k"] is old_view.columns["k"]
+        assert new_view.columns["v"] is not old_view.columns["v"]
+        # The old view still answers for the old relation.
+        assert old_view.columns["v"][2] == 30
+
+    def test_patched_view_filters_fresh_values(self):
+        rel = make_relation()
+        view = rel.column_view()
+        assert view.filter_tids("v", ">", 40) == {4}  # warm the sorted index
+        rel2 = rel.update_cells({(0, "v"): 70})
+        assert rel2.column_view().filter_tids("v", ">", 40) == {0, 4}
+        assert rel.column_view().filter_tids("v", ">", 40) == {4}
+
+    def test_patch_to_pvalue_and_back(self):
+        rel = make_relation()
+        rel.column_view().filter_tids("v", "=", 20)  # warm the hash index
+        pv = PValue([Candidate(20, 0.5), Candidate(80, 0.5)])
+        rel2 = rel.update_cells({(1, "v"): pv})
+        view2 = rel2.column_view()
+        assert view2.filter_tids("v", "=", 80) == {1}
+        assert view2.filter_tids("v", "=", 20) == {1}
+        rel3 = rel2.update_cells({(1, "v"): 80})
+        view3 = rel3.column_view()
+        assert view3.pvalue_positions("v") == set()
+        assert view3.filter_tids("v", "=", 20) == set()
+        assert view3.filter_tids("v", "=", 80) == {1}
+
+    def test_apply_delta_patches_all_columns(self):
+        from repro.relation.relation import Row
+
+        rel = make_relation()
+        rel.column_view()
+        rel2 = rel.apply_delta({3: Row(3, (4, 44, "z"))})
+        view = rel2.column_view()
+        assert view.columns["v"][3] == 44
+        assert view.columns["s"][3] == "z"
+
+    def test_derived_cache_eviction_and_survival(self):
+        rel = make_relation()
+        view = rel.column_view()
+        built = []
+
+        def build_k():
+            built.append("k")
+            return {"which": "k"}
+
+        view.derived("dk", ("k",), build_k)
+        view.derived("dk", ("k",), build_k)
+        assert built == ["k"]  # cached
+        view2 = rel.update_cells({(1, "v"): 21}).column_view()
+        # 'v' patch must not evict the k-derived entry...
+        view2.derived("dk", ("k",), build_k)
+        assert built == ["k"]
+        # ...but a k patch must (no patch protocol on a plain dict payload).
+        view3 = rel.update_cells({(1, "k"): 7}).column_view()
+        view3.derived("dk", ("k",), build_k)
+        assert built == ["k", "k"]
+
+
+class TestIndexColumnarConstruction:
+    """HashIndex/GroupIndex built from a view equal their row-built twins."""
+
+    def make_relation_with_pvalues(self):
+        rel = make_relation()
+        return rel.update_cells({
+            (1, "v"): PValue([Candidate(20, 0.6), Candidate(35, 0.4)]),
+            (3, "s"): PValue([Candidate("c", 0.7), Candidate("a", 0.3)]),
+        })
+
+    def test_hash_index_parity(self):
+        from repro.relation import HashIndex
+
+        rel = self.make_relation_with_pvalues()
+        for attr in ("k", "v", "s"):
+            from_rows = HashIndex(rel, attr)
+            from_view = HashIndex(rel, attr, view=rel.column_view())
+            assert from_view.keys() == from_rows.keys(), attr
+            for key in from_rows.keys():
+                assert from_view.lookup(key) == from_rows.lookup(key), (attr, key)
+
+    def test_group_index_parity(self):
+        from repro.relation import GroupIndex
+
+        rel = self.make_relation_with_pvalues()
+        for attrs in (("s",), ("k", "s"), ("v",)):
+            from_rows = GroupIndex(rel, attrs)
+            from_view = GroupIndex(rel, attrs, view=rel.column_view())
+            assert from_view.groups() == from_rows.groups(), attrs
+
+
+class TestDaisyIntegration:
+    """End-to-end: Daisy's in-place fixes keep the cached view fresh."""
+
+    def make_daisy(self):
+        rel = Relation.from_rows(
+            [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+            [
+                (9001, "Los Angeles"),
+                (9001, "San Francisco"),
+                (9001, "Los Angeles"),
+                (10001, "San Francisco"),
+                (10001, "New York"),
+            ],
+            name="cities",
+        )
+        daisy = Daisy(use_cost_model=False, backend="columnar")
+        daisy.register_table("cities", rel)
+        daisy.add_rule("cities", "zip -> city")
+        return daisy
+
+    def test_fix_patches_view_instead_of_rebuilding(self):
+        daisy = self.make_daisy()
+        before = daisy.table("cities").column_view()
+        daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        after = daisy.table("cities").column_view()
+        assert after.version > before.version  # patched lineage, not a rebuild
+        assert daisy.probabilistic_cells("cities") > 0
+
+    def test_view_matches_relation_after_fixes(self):
+        daisy = self.make_daisy()
+        daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        daisy.execute("SELECT city FROM cities WHERE zip = 10001")
+        relation = daisy.table("cities")
+        view = relation.column_view()
+        fresh = ColumnView.from_relation(relation)
+        assert view.tids == fresh.tids
+        for attr in relation.schema.names:
+            assert view.columns[attr] == fresh.columns[attr], attr
+            assert set(view.pvalue_positions(attr)) == set(
+                fresh.pvalue_positions(attr)
+            ), attr
+
+    def test_queries_after_fixes_see_probabilistic_matches(self):
+        daisy = self.make_daisy()
+        daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        # Tuple 2's city was repaired into a PValue containing 'Los Angeles';
+        # a stale filter cache would miss it.
+        result = daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        tids = daisy.table("cities").column_view().filter_tids(
+            "city", "=", "Los Angeles"
+        )
+        assert {0, 1, 2} <= tids
+        assert len(result) >= 3

@@ -1,6 +1,5 @@
 """Tests for the Section 5.2 cost model and precomputed statistics."""
 
-import pytest
 
 from repro.constraints import FunctionalDependency
 from repro.core import (

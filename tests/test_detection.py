@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.constraints import DenialConstraint, Predicate
 from repro.detection import (
     ThetaJoinMatrix,
     decide_cleaning,

@@ -6,7 +6,6 @@ from repro import Daisy
 from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
 from repro.core import TableState, clean_sigma
 from repro.core.relaxation import relax_fd
-from repro.constraints.analysis import FilterSide
 from repro.detection import ThetaJoinMatrix, detect_fd_violations
 from repro.errors import PlanError, QueryError
 from repro.probabilistic import PValue

@@ -1,14 +1,12 @@
 """Cross-module integration tests: persistence, possible-worlds consistency,
 DC end-to-end, multi-table sessions."""
 
-import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Daisy
 from repro.constraints import DenialConstraint, Predicate
-from repro.probabilistic import Candidate, PValue
+from repro.probabilistic import PValue
 from repro.probabilistic.worlds import tuple_appears_in_some_world
 from repro.relation import ColumnType, Relation, from_csv_string, to_csv_string
 

@@ -1,6 +1,5 @@
 """Tests for CSV round-tripping and the secondary indexes."""
 
-import io
 
 import pytest
 from hypothesis import given, strategies as st

@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
+from repro.constraints import FunctionalDependency
 from repro.errors import PlanError
 from repro.query import (
     CleanJoinNode,
     CleanSigmaNode,
     FilterNode,
     GroupByNode,
-    JoinNode,
     PlannerCatalog,
     ProjectNode,
     ScanNode,

@@ -2,11 +2,9 @@
 
 import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.constraints import DenialConstraint, FunctionalDependency, Predicate
-from repro.detection import ThetaJoinMatrix
 from repro.detection.thetajoin import ViolationPair
 from repro.probabilistic import PValue, ValueRange
 from repro.relation import ColumnType, Relation

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro import Daisy
 from repro.core import (
