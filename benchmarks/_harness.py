@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro import Daisy
+from repro import Daisy, DaisyConfig
 from repro.baselines import OfflineCleaner
 from repro.constraints.dc import Rule
 from repro.core.state import TableState
@@ -141,12 +141,38 @@ def run_daisy(
     backend: str = BACKEND_COLUMNAR,
 ) -> RunResult:
     """Execute a workload with Daisy (optionally without the cost model)."""
-    daisy = Daisy(
-        use_cost_model=use_cost_model,
-        expected_queries=expected_queries or len(queries),
-        dc_error_threshold=dc_error_threshold,
-        backend=backend,
+    daisy = _make_daisy(
+        relation, rules, table,
+        DaisyConfig(
+            use_cost_model=use_cost_model,
+            expected_queries=expected_queries or len(queries),
+            dc_error_threshold=dc_error_threshold,
+            backend=backend,
+        ),
+        extra_tables, extra_rules,
     )
+    with daisy.connect() as session:
+        started = time.perf_counter()
+        report = session.execute_workload(list(queries))
+        seconds = time.perf_counter() - started
+    return RunResult(
+        label=label,
+        seconds=seconds,
+        work_units=daisy.total_work(),
+        cumulative_seconds=report.cumulative_seconds(),
+        switch_index=report.switch_query_index,
+    )
+
+
+def _make_daisy(
+    relation: Relation,
+    rules: Sequence[Rule],
+    table: str,
+    config: DaisyConfig,
+    extra_tables: Optional[dict[str, Relation]] = None,
+    extra_rules: Optional[dict[str, Sequence[Rule]]] = None,
+) -> Daisy:
+    daisy = Daisy(config=config)
     daisy.register_table(table, relation)
     for rule in rules:
         daisy.add_rule(table, rule)
@@ -154,15 +180,47 @@ def run_daisy(
         daisy.register_table(name, rel)
         for rule in (extra_rules or {}).get(name, ()):
             daisy.add_rule(name, rule)
-    started = time.perf_counter()
-    report = daisy.execute_workload(list(queries))
-    seconds = time.perf_counter() - started
+    return daisy
+
+
+def run_daisy_batch(
+    relation: Relation,
+    rules: Sequence[Rule],
+    queries: Sequence[str],
+    table: str = "lineorder",
+    label: str = "Daisy (batched)",
+    dc_error_threshold: float = 0.2,
+    backend: str = BACKEND_COLUMNAR,
+    rule_sharing: bool = True,
+) -> RunResult:
+    """Execute a workload through ``Session.execute_batch``.
+
+    ``rule_sharing=False`` runs the same entry point with sharing disabled
+    (the A/B control: sequential semantics through the batch API).
+    """
+    daisy = _make_daisy(
+        relation, rules, table,
+        DaisyConfig(
+            use_cost_model=False,
+            dc_error_threshold=dc_error_threshold,
+            backend=backend,
+            batch_rule_sharing=rule_sharing,
+        ),
+    )
+    with daisy.connect() as session:
+        started = time.perf_counter()
+        batch = session.execute_batch(list(queries))
+        seconds = time.perf_counter() - started
     return RunResult(
         label=label,
         seconds=seconds,
         work_units=daisy.total_work(),
-        cumulative_seconds=report.cumulative_seconds(),
-        switch_index=report.switch_query_index,
+        cumulative_seconds=batch.report.cumulative_seconds(),
+        switch_index=batch.report.switch_query_index,
+        extras={
+            "rule_groups": len(batch.groups),
+            "shared_scope": sum(g.scope_size for g in batch.groups),
+        },
     )
 
 

@@ -39,31 +39,37 @@ def main() -> None:
     daisy.register_table("cities", cities)
     daisy.add_rule("cities", "zip -> city", name="phi")
 
-    # The cleaning-aware plan: the planner injects cleanσ above the filter.
-    sql = "SELECT zip FROM cities WHERE city = 'Los Angeles'"
-    print("\nLogical plan for the Example 2 query:")
-    print(daisy.explain(sql))
+    with daisy.connect() as session:
+        # Prepared query: parsed/resolved/planned once, parameters bound
+        # per execution.  The cleaning-aware plan injects cleanσ above the
+        # filter.
+        by_city = session.prepare("SELECT zip FROM cities WHERE city = ?")
+        print("\nLogical plan for the Example 2 query:")
+        print(by_city.explain())
 
-    # Example 2 — filter on the FD's rhs: one relaxation iteration.
-    result = daisy.execute(sql)
-    print_table(result.relation, "Example 2 result (zip of Los Angeles rows)")
-    print_table(
-        daisy.table("cities"),
-        "Dataset after the query — partially probabilistic (Table 2b)",
-    )
-    print(
-        f"\nErrors fixed: {result.report.errors_fixed}; "
-        f"extra (correlated) tuples read: {result.report.extra_tuples}"
-    )
+        # Example 2 — filter on the FD's rhs: one relaxation iteration.
+        result = by_city.execute("Los Angeles")
+        print_table(result.relation, "Example 2 result (zip of Los Angeles rows)")
+        print_table(
+            session.table("cities"),
+            "Dataset after the query — partially probabilistic (Table 2b)",
+        )
+        print(
+            f"\nErrors fixed: {result.report.errors_fixed}; "
+            f"extra (correlated) tuples read: {result.report.extra_tuples}"
+        )
 
-    # Example 3 — filter on the lhs: transitive closure pulls the whole
-    # correlated cluster, and the result includes candidate matches.
-    result = daisy.execute("SELECT city FROM cities WHERE zip = 9001")
-    print_table(result.relation, "Example 3 result (cities with zip 9001, Table 3)")
+        # Example 3 — filter on the lhs: transitive closure pulls the whole
+        # correlated cluster, and the result includes candidate matches.
+        result = session.execute("SELECT city FROM cities WHERE zip = 9001")
+        print_table(result.relation, "Example 3 result (cities with zip 9001, Table 3)")
 
-    # Group-by queries clean below the aggregation.
-    result = daisy.execute("SELECT city, COUNT(*) AS n FROM cities GROUP BY city")
-    print_table(result.relation, "City counts over the repaired data")
+        # Group-by queries clean below the aggregation (served from the
+        # ColumnView's group index on the columnar backend).
+        result = session.execute(
+            "SELECT city, COUNT(*) AS n FROM cities GROUP BY city"
+        )
+        print_table(result.relation, "City counts over the repaired data")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,12 @@ Relaxation* (Daisy, SIGMOD 2020).
 Public API highlights:
 
 * :class:`repro.Daisy` — the query-driven cleaning engine (register tables
-  and rules, execute SQL, data is cleaned incrementally).
+  and rules; connect sessions; data is cleaned incrementally).
+* :mod:`repro.api` — the layered session API: :class:`repro.DaisyConfig`,
+  :class:`repro.Session` (per-workload state), :class:`repro.PreparedQuery`
+  (plan once, bind ``?`` parameters, execute many), and
+  :meth:`Session.execute_batch` (rule-sharing batched execution returning a
+  :class:`repro.BatchResult`).
 * :mod:`repro.constraints` — denial constraints, FDs, and the textual
   parser (``parse_rule("zip -> city")``).
 * :mod:`repro.relation` — the relational substrate (schemas, relations,
@@ -26,18 +31,35 @@ Quickstart::
     daisy = Daisy()
     daisy.register_table("cities", rel)
     daisy.add_rule("cities", "zip -> city")
-    result = daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+    with daisy.connect() as session:
+        result = session.execute(
+            "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+        )
 """
 
-from repro.daisy import Daisy, QueryLogEntry, WorkloadReport
+from repro.api import (
+    BatchResult,
+    DaisyConfig,
+    PreparedQuery,
+    QueryLogEntry,
+    RuleGroupReport,
+    Session,
+    WorkloadReport,
+)
+from repro.daisy import Daisy
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
     "Daisy",
-    "WorkloadReport",
+    "DaisyConfig",
+    "PreparedQuery",
     "QueryLogEntry",
     "ReproError",
+    "RuleGroupReport",
+    "Session",
+    "WorkloadReport",
     "__version__",
 ]

@@ -1,0 +1,65 @@
+"""Engine configuration for the layered session API.
+
+:class:`DaisyConfig` is the single frozen bundle of knobs the engine used to
+take as loose ``Daisy(...)`` keyword arguments, plus the batching knobs of
+:meth:`repro.api.Session.execute_batch`.  Freezing the config keeps a
+session's behaviour stable for its whole lifetime: two sessions connected
+with different configs can run side by side over the same registered tables
+without trampling each other's strategy state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
+
+
+@dataclass(frozen=True)
+class DaisyConfig:
+    """Immutable configuration for a :class:`repro.api.Session`.
+
+    Parameters
+    ----------
+    use_cost_model:
+        Enable the Section 5.2.3 strategy switch.  Disabled, the session
+        always cleans incrementally ("Daisy w/o cost" in Fig. 7).
+    expected_queries:
+        The workload-length hint the cost model projects over.
+    dc_error_threshold:
+        Algorithm 2 threshold for escalating a DC query to full cleaning.
+    backend:
+        Execution backend for the detection/cleaning hot path:
+        ``"columnar"`` (default) or ``"rowstore"`` (the per-Row semantics
+        oracle — both return identical results).
+    batch_rule_sharing:
+        When true (default), :meth:`repro.api.Session.execute_batch` groups
+        the batch's plans by the rules their clean-nodes touch and runs one
+        shared relaxation/detection pass per rule group before answering
+        the member queries.  When false, ``execute_batch`` degrades to the
+        sequential per-query path (useful for A/B measurements).
+    batch_observe_cost_model:
+        Whether queries executed inside a batch also feed the cost model.
+        Off by default: the shared pass *is* the batch's cleaning strategy,
+        and rule-group members report zero residual errors, which would
+        only skew the model's per-query averages.
+    """
+
+    use_cost_model: bool = True
+    expected_queries: int = 50
+    dc_error_threshold: float = 0.2
+    backend: str = BACKEND_COLUMNAR
+    batch_rule_sharing: bool = True
+    batch_observe_cost_model: bool = False
+
+    def __post_init__(self) -> None:
+        validate_backend(self.backend)
+        if self.expected_queries < 1:
+            raise ValueError("expected_queries must be >= 1")
+        if not 0.0 <= self.dc_error_threshold <= 1.0:
+            raise ValueError("dc_error_threshold must be within [0, 1]")
+
+    def replace(self, **changes) -> "DaisyConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,134 @@
+"""Prepared queries: parse/resolve/plan once, execute many times.
+
+``session.prepare(sql)`` runs the whole front half of the pipeline — SQL
+parsing, column resolution against the catalog, and cleaning-aware plan
+construction — exactly once.  The resulting :class:`PreparedQuery` can then
+be re-executed without re-planning, optionally binding ``?`` placeholders
+(``WHERE city = ?``) to fresh constants per execution.  The logical plan is
+safely reusable across bindings because cleaning-operator placement depends
+only on the *attributes* a query accesses (the Section 4.1 overlap test),
+never on the constants it compares against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import QueryError
+from repro.query.ast import Condition, Parameter, Query
+from repro.query.logical import PlanNode
+from repro.query.planner import ResolvedQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.session import Session
+    from repro.query.executor import QueryResult
+
+
+def _substitute(
+    conditions: list[Condition], params: Sequence[Any]
+) -> list[Condition]:
+    out = []
+    for cond in conditions:
+        if isinstance(cond.value, Parameter):
+            out.append(dataclasses.replace(cond, value=params[cond.value.index]))
+        else:
+            out.append(cond)
+    return out
+
+
+class PreparedQuery:
+    """A parsed, resolved, and planned query handle bound to a session.
+
+    Create via :meth:`repro.api.Session.prepare`.  ``execute(*params)``
+    binds the placeholders positionally and runs the query through the
+    session (cost-model accounting and query logging included), reusing the
+    cached plan.
+    """
+
+    def __init__(
+        self,
+        session: "Session",
+        query: Query,
+        resolved: ResolvedQuery,
+        plan: PlanNode,
+        sql_text: str | None = None,
+    ):
+        self._session = session
+        self.query = query
+        self.resolved = resolved
+        self.plan = plan
+        self.sql = sql_text if sql_text is not None else query.to_sql()
+        self._registration_version = session.engine.registration_version
+        params = query.parameters()
+        indices = [p.index for p in params]
+        if indices != list(range(len(indices))):
+            raise QueryError(
+                f"parameter placeholders must be indexed 0..n-1, got {indices}"
+            )
+        self.param_count = len(indices)
+
+    def refresh_if_stale(self) -> None:
+        """Re-resolve and re-plan if tables/rules were registered since.
+
+        Plans embed the cleaning operators of the rules known at prepare
+        time; a rule added afterwards must show up on the next execution,
+        so the cached plan is rebuilt whenever the engine's registration
+        version moved (same trigger the session's cost models use).
+        """
+        engine_version = self._session.engine.registration_version
+        if engine_version == self._registration_version:
+            return
+        from repro.query.planner import build_plan, resolve_query
+
+        self.resolved = resolve_query(self.query, self._session.catalog)
+        self.plan = build_plan(
+            self.query, self._session.catalog, resolved=self.resolved
+        )
+        self._registration_version = engine_version
+
+    # -- introspection ---------------------------------------------------------
+
+    def explain(self) -> str:
+        """The cleaning-aware logical plan, as text (re-planned only if the
+        engine's registration changed since prepare time)."""
+        self.refresh_if_stale()
+        return self.plan.pretty()
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery({self.sql!r}, params={self.param_count}, "
+            f"tables={self.query.tables})"
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def bind(self, *params: Any) -> tuple[Query, ResolvedQuery]:
+        """The (query, resolved) pair with placeholders replaced by ``params``.
+
+        Returns the original objects untouched when the query has no
+        placeholders; otherwise shallow copies with fresh condition lists —
+        the plan is shared either way.
+        """
+        if len(params) != self.param_count:
+            raise QueryError(
+                f"prepared query expects {self.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        if not self.param_count:
+            return self.query, self.resolved
+        bound_query = dataclasses.replace(
+            self.query, conditions=_substitute(self.query.conditions, params)
+        )
+        bound_resolved = ResolvedQuery(
+            query=bound_query,
+            conditions=_substitute(self.resolved.conditions, params),
+            join_conditions=self.resolved.join_conditions,
+            projection=self.resolved.projection,
+            group_by=self.resolved.group_by,
+        )
+        return bound_query, bound_resolved
+
+    def execute(self, *params: Any) -> "QueryResult":
+        """Execute with the given positional parameters (may be empty)."""
+        return self._session._execute_prepared(self, params)

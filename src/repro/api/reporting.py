@@ -1,0 +1,49 @@
+"""Per-query and per-workload execution reports.
+
+These used to live on the ``Daisy`` god-object's module; they are now part
+of the public API layer because sessions, prepared queries, and batches all
+produce them.  ``repro.daisy`` re-exports both names for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class QueryLogEntry:
+    """Bookkeeping for one executed query (feeds the workload reports)."""
+
+    sql: str
+    result_size: int
+    elapsed_seconds: float
+    errors_fixed: int
+    extra_tuples: int
+    switched_to_full: bool = False
+    work_units: int = 0
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate of a workload execution."""
+
+    entries: list[QueryLogEntry] = field(default_factory=list)
+    total_seconds: float = 0.0
+    total_work_units: int = 0
+    switch_query_index: Optional[int] = None
+
+    def cumulative_seconds(self) -> list[float]:
+        out, acc = [], 0.0
+        for entry in self.entries:
+            acc += entry.elapsed_seconds
+            out.append(acc)
+        return out
+
+    def cumulative_work(self) -> list[int]:
+        out, acc = [], 0
+        for entry in self.entries:
+            acc += entry.work_units
+            out.append(acc)
+        return out

@@ -1,0 +1,321 @@
+"""Sessions: per-workload execution state over a shared engine.
+
+A :class:`Session` owns everything that is scoped to *one workload* — the
+query log, the per-table cost models (and their observations), the
+executors — while the engine (:class:`repro.Daisy`) keeps what is scoped to
+the *data*: registered tables, rules, provenance, theta-join matrices, work
+counters.  Splitting the two means several sessions with different configs
+(cost model on/off, different thresholds) can run against the same tables
+without resetting each other's strategy state, and the engine object stops
+being a god-object that conflates both lifetimes.
+
+Create sessions with :meth:`repro.Daisy.connect`::
+
+    daisy = Daisy()
+    daisy.register_table("cities", relation)
+    daisy.add_rule("cities", "zip -> city")
+    with daisy.connect() as session:
+        prepared = session.prepare("SELECT zip FROM cities WHERE city = ?")
+        result = prepared.execute("Los Angeles")
+        batch = session.execute_batch(queries)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+
+from repro.constraints.dc import Rule
+from repro.core.costmodel import CostModel, CostModelConfig, QueryObservation
+from repro.core.operators import CleanReport, clean_full_table
+from repro.core.state import TableState
+from repro.engine.stats import WorkCounter
+from repro.errors import PlanError, SessionError
+from repro.query.ast import Query
+from repro.query.executor import Executor, QueryResult
+from repro.query.logical import CleanJoinNode, CleanSigmaNode, plan_contains
+from repro.query.planner import build_plan, explain as explain_plan, resolve_query
+from repro.query.sql import parse_sql
+from repro.relation.relation import Relation
+
+from repro.api.batch import BatchQuery, BatchResult, run_batch
+from repro.api.config import DaisyConfig
+from repro.api.prepared import PreparedQuery
+from repro.api.reporting import QueryLogEntry, WorkloadReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.daisy import Daisy
+
+
+class Session:
+    """One workload's execution context over a shared engine.
+
+    Usable as a context manager; :meth:`close` only marks the session
+    closed (the engine and its table states outlive every session).
+    """
+
+    def __init__(self, engine: "Daisy", config: Optional[DaisyConfig] = None):
+        self._engine = engine
+        self.config = config if config is not None else engine.config
+        self.states: dict[str, TableState] = engine.states
+        self.catalog = engine.catalog
+        self.query_log: list[QueryLogEntry] = []
+        self.cost_models: dict[str, Optional[CostModel]] = {}
+        self._cost_model_versions: dict[str, int] = {}
+        self._executor = Executor(
+            self.states,
+            self.catalog,
+            dc_error_threshold=self.config.dc_error_threshold,
+        )
+        self._plain_executor = Executor(
+            self.states,
+            self.catalog,
+            cleaning_enabled=False,
+            dc_error_threshold=self.config.dc_error_threshold,
+        )
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def close(self) -> None:
+        """Mark the session closed; further execution raises SessionError."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def engine(self) -> "Daisy":
+        return self._engine
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed; connect() a new one")
+
+    def _state(self, table: str) -> TableState:
+        try:
+            return self.states[table]
+        except KeyError:
+            raise PlanError(f"table {table!r} is not registered") from None
+
+    # -- prepared queries -------------------------------------------------------------
+
+    def prepare(self, query: Query | str) -> PreparedQuery:
+        """Parse, resolve, and plan a query once; bind/execute it many times.
+
+        ``?`` placeholders in the WHERE clause become positional parameters
+        of :meth:`PreparedQuery.execute`.
+        """
+        self._check_open()
+        if isinstance(query, str):
+            parsed = parse_sql(query)
+            sql_text: Optional[str] = query
+        else:
+            parsed = query
+            sql_text = None
+        resolved = resolve_query(parsed, self.catalog)
+        plan = build_plan(parsed, self.catalog, resolved=resolved)
+        return PreparedQuery(self, parsed, resolved, plan, sql_text)
+
+    # -- execution --------------------------------------------------------------------
+
+    def execute(self, query: Query | str) -> QueryResult:
+        """Execute one query with inline cleaning (and maybe switch strategy)."""
+        self._check_open()
+        if isinstance(query, str):
+            parsed = parse_sql(query)
+            sql_text = query
+        else:
+            parsed = query
+            sql_text = parsed.to_sql()
+        return self._run(parsed, sql_text, lambda: self._executor.execute(parsed))
+
+    def execute_workload(self, queries: Sequence[Query | str]) -> WorkloadReport:
+        """Execute a query sequence one at a time (cumulative timing/work).
+
+        This is the sequential baseline; use :meth:`execute_batch` to share
+        cleaning passes between queries that touch the same rules.
+        """
+        self._check_open()
+        report = WorkloadReport()
+        started = time.perf_counter()
+        for i, query in enumerate(queries):
+            self.execute(query)
+            entry = self.query_log[-1]
+            report.entries.append(entry)
+            if entry.switched_to_full and report.switch_query_index is None:
+                report.switch_query_index = i
+        report.total_seconds = time.perf_counter() - started
+        report.total_work_units = sum(e.work_units for e in report.entries)
+        return report
+
+    def execute_batch(self, queries: Sequence[BatchQuery]) -> BatchResult:
+        """Execute a batch, sharing one cleaning pass per rule group.
+
+        Accepts SQL strings, ASTs, and fully-bound prepared queries.  See
+        :mod:`repro.api.batch` for grouping and equivalence semantics.
+        """
+        self._check_open()
+        return run_batch(self, queries)
+
+    def _execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        params: Sequence[Any],
+        observe: bool = True,
+    ) -> QueryResult:
+        self._check_open()
+        prepared.refresh_if_stale()
+        bound_query, bound_resolved = prepared.bind(*params)
+        sql_text = bound_query.to_sql() if params else prepared.sql
+        return self._run(
+            bound_query,
+            sql_text,
+            lambda: self._executor.execute_resolved(
+                bound_query, bound_resolved, prepared.plan
+            ),
+            observe=observe,
+        )
+
+    def _route_prepared(self, prepared: PreparedQuery) -> QueryResult:
+        """Answer a rule-group member over the already-cleaned state.
+
+        Plain (cleaning-disabled) execution: the batch's shared pass did the
+        relaxation/detection/repair, so the member only filters, joins, and
+        aggregates — repaired cells match its conditions with
+        possible-worlds semantics.
+        """
+        self._check_open()
+        return self._run(
+            prepared.query,
+            prepared.sql,
+            lambda: self._plain_executor.execute_resolved(
+                prepared.query, prepared.resolved, prepared.plan
+            ),
+            observe=False,
+        )
+
+    def _run(self, parsed, sql_text, runner, observe: bool = True) -> QueryResult:
+        """Shared accounting around one query execution.
+
+        Snapshots per-table work, runs the query, lets the cost model
+        observe it (and possibly switch to full cleaning), and appends the
+        query-log entry.
+        """
+        work_before = {t: self._state(t).counter.total() for t in parsed.tables}
+        result = runner()
+        switched = False
+
+        # The cost model only reasons about queries that needed cleaning:
+        # a query not touching any rule neither observes nor switches.
+        query_cleaned = result.plan is not None and (
+            plan_contains(result.plan, CleanSigmaNode)
+            or plan_contains(result.plan, CleanJoinNode)
+        )
+        if observe and self.config.use_cost_model and query_cleaned:
+            for table in parsed.tables:
+                state = self.states[table]
+                model = self._cost_model(table)
+                if model is None or not state.rules:
+                    continue
+                model.observe(
+                    QueryObservation(
+                        result_size=len(result.result_tids.get(table, ())),
+                        extra_tuples=result.report.extra_tuples,
+                        errors=result.report.errors_fixed,
+                        detection_cost=result.report.detection_cost,
+                    )
+                )
+                pending = [
+                    r for r in state.rules if not state.is_fully_cleaned(r)
+                ]
+                if pending and model.should_switch_to_full():
+                    started = time.perf_counter()
+                    clean_full_table(state, pending)
+                    result.elapsed_seconds += time.perf_counter() - started
+                    switched = True
+
+        work_after = {t: self.states[t].counter.total() for t in parsed.tables}
+        entry = QueryLogEntry(
+            sql=sql_text,
+            result_size=len(result),
+            elapsed_seconds=result.elapsed_seconds,
+            errors_fixed=result.report.errors_fixed,
+            extra_tuples=result.report.extra_tuples,
+            switched_to_full=switched,
+            work_units=sum(work_after[t] - work_before[t] for t in parsed.tables),
+        )
+        self.query_log.append(entry)
+        return result
+
+    # -- cost models ------------------------------------------------------------------
+
+    def _cost_model(self, table: str) -> Optional[CostModel]:
+        """The session's cost model for one table (built lazily).
+
+        Rebuilt from the engine's precomputed statistics whenever *this
+        table's* registration changed (a new rule resets the projection,
+        matching the old per-``add_rule`` refresh); registrations on other
+        tables leave the model — and its accumulated observations — alone.
+        """
+        state = self._state(table)
+        version = self._engine.table_versions.get(table, 0)
+        if (
+            table in self.cost_models
+            and self._cost_model_versions.get(table) == version
+        ):
+            return self.cost_models[table]
+        model: Optional[CostModel] = None
+        if state.rules:
+            eps = state.statistics.total_erroneous()
+            p = state.statistics.max_candidate_estimate()
+            model = CostModel(
+                dataset_size=len(state.relation),
+                estimated_errors=eps,
+                candidates_per_error=max(1.0, p),
+                is_dc=bool(state.dc_rules()),
+                config=CostModelConfig(expected_queries=self.config.expected_queries),
+            )
+        self.cost_models[table] = model
+        self._cost_model_versions[table] = version
+        return model
+
+    # -- direct cleaning ---------------------------------------------------------------
+
+    def clean_table(
+        self, table: str, rules: Optional[Iterable[Rule]] = None
+    ) -> CleanReport:
+        """Clean a whole table now (bypass the query-driven path)."""
+        self._check_open()
+        return clean_full_table(self._state(table), rules)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def table(self, name: str) -> Relation:
+        """The current (gradually cleaned) relation of a table."""
+        return self._state(name).relation
+
+    def work_counter(self, table: str) -> WorkCounter:
+        return self._state(table).counter
+
+    def total_work(self) -> int:
+        return sum(s.counter.total() for s in self.states.values())
+
+    def probabilistic_cells(self, table: str) -> int:
+        return self._state(table).probabilistic_cells()
+
+    def provenance(self, table: str):
+        return self._state(table).provenance
+
+    def explain(self, query: Query | str) -> str:
+        """The cleaning-aware logical plan for a query, as text."""
+        parsed = parse_sql(query) if isinstance(query, str) else query
+        return explain_plan(parsed, self.catalog)

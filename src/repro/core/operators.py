@@ -114,6 +114,62 @@ def clean_sigma(
     return report
 
 
+def fd_scope_needs_cleaning(
+    state: TableState, answer: set[int], fd: FunctionalDependency
+) -> bool:
+    """Statistics pruning (Fig. 9) as a standalone test.
+
+    True iff the answer overlaps a dirty group of ``fd`` — through its lhs
+    keys or through rhs values that co-occur with a dirty group — or no
+    statistics exist for the rule (then cleaning must look).  Shared by
+    :func:`clean_sigma`'s FD path and by the batch executor, which prunes
+    whole member queries out of a rule group's shared pass with it.
+    """
+    stats = state.statistics.get(rule_key(fd)) or state.statistics.get(fd.name or str(fd))
+    if stats is None:
+        return True
+    from repro.probabilistic.value import PValue
+
+    view = state.column_view()
+    if view is not None:
+        from repro.repair.fd_repair import fd_grouping_keys
+
+        pos_map = view.pos_of_tid
+        lhs_keys = fd_grouping_keys(view, fd, state.provenance).lhs_keys
+
+        def key_of(tid: int) -> tuple:
+            return lhs_keys[pos_map[tid]]
+
+        present = pos_map
+    else:
+        lhs_idx = [state.relation.schema.index_of(a) for a in fd.lhs]
+        tid_rows = state.relation.tid_index()
+
+        def key_of(tid: int) -> tuple:
+            row = tid_rows[tid]
+            out = []
+            for i, attr in zip(lhs_idx, fd.lhs):
+                original = state.provenance.original(tid, attr)
+                if original is not None:
+                    out.append(original)
+                    continue
+                cell = row.values[i]
+                out.append(
+                    cell.most_probable() if isinstance(cell, PValue) else cell
+                )
+            return tuple(out)
+
+        present = tid_rows
+
+    answer_keys = {key_of(tid) for tid in answer if tid in present}
+    state.counter.charge_comparisons(len(answer_keys))
+    dirty_hit = any(stats.is_dirty_key(k) for k in answer_keys)
+    # rhs-filtered queries may relax into dirty groups via rhs values, so
+    # only prune when the rule has no dirty group at all overlapping the
+    # answer AND the answer's rhs values don't appear in dirty groups.
+    return dirty_hit or _rhs_touches_dirty(state, answer, fd, stats)
+
+
 def _clean_sigma_fd(
     state: TableState,
     answer: set[int],
@@ -122,52 +178,12 @@ def _clean_sigma_fd(
 ) -> tuple[CleanReport, Optional[RepairDelta], set]:
     """FD path: relaxation + group detection/repair with statistics pruning."""
     report = CleanReport()
-    stats = state.statistics.get(rule_key(fd)) or state.statistics.get(fd.name or str(fd))
     view = state.column_view()
 
     # Statistics pruning (Fig. 9): if none of the answer's lhs keys belong to
     # a dirty group, skip relaxation and repair for this rule entirely.
-    if stats is not None:
-        from repro.probabilistic.value import PValue
-
-        if view is not None:
-            from repro.repair.fd_repair import fd_grouping_keys
-
-            pos_map = view.pos_of_tid
-            lhs_keys = fd_grouping_keys(view, fd, state.provenance).lhs_keys
-
-            def key_of(tid: int) -> tuple:
-                return lhs_keys[pos_map[tid]]
-
-            present = pos_map
-        else:
-            lhs_idx = [state.relation.schema.index_of(a) for a in fd.lhs]
-            tid_rows = state.relation.tid_index()
-
-            def key_of(tid: int) -> tuple:
-                row = tid_rows[tid]
-                out = []
-                for i, attr in zip(lhs_idx, fd.lhs):
-                    original = state.provenance.original(tid, attr)
-                    if original is not None:
-                        out.append(original)
-                        continue
-                    cell = row.values[i]
-                    out.append(
-                        cell.most_probable() if isinstance(cell, PValue) else cell
-                    )
-                return tuple(out)
-
-            present = tid_rows
-
-        answer_keys = {key_of(tid) for tid in answer if tid in present}
-        state.counter.charge_comparisons(len(answer_keys))
-        dirty_hit = any(stats.is_dirty_key(k) for k in answer_keys)
-        # rhs-filtered queries may relax into dirty groups via rhs values, so
-        # only prune when the rule has no dirty group at all overlapping the
-        # answer AND the answer's rhs values don't appear in dirty groups.
-        if not dirty_hit and not _rhs_touches_dirty(state, answer, fd, stats):
-            return report, None, set()
+    if not fd_scope_needs_cleaning(state, answer, fd):
+        return report, None, set()
 
     side = filter_side(where_attrs, fd)
     if side is FilterSide.NONE:

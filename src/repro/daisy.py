@@ -1,83 +1,58 @@
 """Daisy — the query-driven cleaning engine (Section 6).
 
-The façade over the whole library: register tables and rules, then execute
-queries; Daisy weaves cleaning operators into each query plan, repairs the
-violations the query touches, updates the dataset in place with
-probabilistic fixes, and — when the cost model predicts that finishing the
-workload incrementally would cost more than cleaning the remaining dirty
-part at once — switches strategy mid-workload (Fig. 7 / Fig. 12).
-
-Typical usage::
+The engine object owns the *data-scoped* state: registered tables (with
+their rules, provenance, statistics, and theta-join matrices) and the
+planner catalog.  Everything *workload-scoped* — the query log, cost-model
+observations, prepared queries, batching — lives on a
+:class:`repro.api.Session` obtained via :meth:`Daisy.connect`:
 
     daisy = Daisy()
     daisy.register_table("cities", relation)
     daisy.add_rule("cities", "zip -> city")
-    result = daisy.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+    with daisy.connect() as session:
+        result = session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        batch = session.execute_batch(queries)   # rule-sharing batched execution
 
 ``Daisy(use_cost_model=False)`` gives the always-incremental variant the
 paper calls "Daisy w/o cost".
+
+The pre-session entry points (``Daisy.execute`` / ``Daisy.execute_workload``
+and the ``query_log`` / ``cost_models`` attributes) remain as deprecated
+shims that delegate to an implicit default session, so existing callers
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import warnings
 from typing import Iterable, Optional, Sequence
 
+from repro.api.config import DaisyConfig
+from repro.api.reporting import QueryLogEntry, WorkloadReport  # noqa: F401 - re-export
+from repro.api.session import Session
 from repro.constraints.dc import Rule
 from repro.constraints.parser import parse_rule
-from repro.core.costmodel import CostModel, CostModelConfig, QueryObservation
-from repro.core.operators import CleanReport, clean_full_table
+from repro.core.costmodel import CostModel
+from repro.core.operators import CleanReport
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError
 from repro.query.ast import Query
-from repro.query.executor import Executor, QueryResult
+from repro.query.executor import QueryResult
 from repro.query.planner import PlannerCatalog
 from repro.query.sql import parse_sql
-from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
+from repro.relation.columnview import BACKEND_COLUMNAR
 from repro.relation.relation import Relation
 
-
-@dataclass
-class QueryLogEntry:
-    """Bookkeeping for one executed query (feeds the workload reports)."""
-
-    sql: str
-    result_size: int
-    elapsed_seconds: float
-    errors_fixed: int
-    extra_tuples: int
-    switched_to_full: bool = False
-    work_units: int = 0
-
-
-@dataclass
-class WorkloadReport:
-    """Aggregate of a workload execution."""
-
-    entries: list[QueryLogEntry] = field(default_factory=list)
-    total_seconds: float = 0.0
-    total_work_units: int = 0
-    switch_query_index: Optional[int] = None
-
-    def cumulative_seconds(self) -> list[float]:
-        out, acc = [], 0.0
-        for entry in self.entries:
-            acc += entry.elapsed_seconds
-            out.append(acc)
-        return out
-
-    def cumulative_work(self) -> list[int]:
-        out, acc = [], 0
-        for entry in self.entries:
-            acc += entry.work_units
-            out.append(acc)
-        return out
+__all__ = ["Daisy", "QueryLogEntry", "WorkloadReport"]
 
 
 class Daisy:
     """Query-driven incremental cleaning engine.
+
+    Constructor keywords mirror :class:`repro.api.DaisyConfig` (pass
+    ``config=`` directly to share one validated config object between
+    engines/sessions).
 
     Parameters
     ----------
@@ -90,10 +65,11 @@ class Daisy:
         Algorithm 2 threshold for escalating a DC query to full cleaning.
     backend:
         Execution backend for the detection/cleaning hot path:
-        ``"columnar"`` (default) runs selections, relaxation, FD grouping
-        and the DC theta-join over per-attribute arrays with sort-based
-        inequality joins; ``"rowstore"`` keeps the original per-Row loops
-        (the semantics oracle — both return identical results).
+        ``"columnar"`` (default) or ``"rowstore"`` (the per-Row semantics
+        oracle — both return identical results).
+    config:
+        A ready :class:`~repro.api.DaisyConfig`; overrides the loose
+        keywords when given.
     """
 
     def __init__(
@@ -102,35 +78,89 @@ class Daisy:
         expected_queries: int = 50,
         dc_error_threshold: float = 0.2,
         backend: str = BACKEND_COLUMNAR,
+        config: Optional[DaisyConfig] = None,
     ):
+        if config is None:
+            config = DaisyConfig(
+                use_cost_model=use_cost_model,
+                expected_queries=expected_queries,
+                dc_error_threshold=dc_error_threshold,
+                backend=backend,
+            )
+        self.config = config
         self.states: dict[str, TableState] = {}
         self.catalog = PlannerCatalog()
-        self.use_cost_model = use_cost_model
-        self.dc_error_threshold = dc_error_threshold
-        self.expected_queries = expected_queries
-        self.backend = validate_backend(backend)
-        self.cost_models: dict[str, CostModel] = {}
-        self.query_log: list[QueryLogEntry] = []
-        self._executor = Executor(
-            self.states, self.catalog, dc_error_threshold=dc_error_threshold
-        )
+        #: Bumped on every registration; prepared queries use it to refresh
+        #: stale plans.
+        self.registration_version = 0
+        #: Per-table registration versions; sessions rebuild only the
+        #: affected table's cost model (matching the old per-add_rule
+        #: refresh, without discarding other tables' observations).
+        self.table_versions: dict[str, int] = {}
+        self._default_session: Optional[Session] = None
+
+    # -- config passthroughs (kept for API stability) -----------------------------------
+
+    @property
+    def use_cost_model(self) -> bool:
+        return self.config.use_cost_model
+
+    @property
+    def expected_queries(self) -> int:
+        return self.config.expected_queries
+
+    @property
+    def dc_error_threshold(self) -> float:
+        return self.config.dc_error_threshold
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    # -- sessions ------------------------------------------------------------------------
+
+    def connect(self, config: Optional[DaisyConfig] = None) -> Session:
+        """Open a new :class:`~repro.api.Session` over this engine's tables.
+
+        ``config`` overrides the engine's default config for this session
+        only (e.g. ``daisy.connect(daisy.config.replace(use_cost_model=False))``).
+        The ``backend`` field is the one data-scoped knob in the config —
+        it is baked into every table's state at registration time — so a
+        session config with a different backend is rejected rather than
+        silently ignored.
+        """
+        if config is not None and config.backend != self.config.backend:
+            raise ValueError(
+                f"session backend {config.backend!r} differs from the engine "
+                f"backend {self.config.backend!r}; the backend is fixed at "
+                "table registration — construct a separate Daisy for it"
+            )
+        return Session(self, config)
+
+    def default_session(self) -> Session:
+        """The implicit session backing the deprecated ``execute`` shims."""
+        if self._default_session is None or self._default_session.closed:
+            self._default_session = Session(self, self.config)
+        return self._default_session
 
     # -- registration ------------------------------------------------------------------
 
     def register_table(self, name: str, relation: Relation) -> TableState:
         """Register a (dirty) table.  Returns its mutable state."""
         relation.name = relation.name or name
-        state = TableState(relation=relation, backend=self.backend)
+        state = TableState(relation=relation, backend=self.config.backend)
         self.states[name] = state
         self.catalog.add_table(name, relation.schema)
+        self.registration_version += 1
+        self.table_versions[name] = self.registration_version
         return state
 
     def add_rule(self, table: str, rule: Rule | str, name: str = "") -> list[Rule]:
         """Register a rule (object or textual notation) on a table.
 
-        Precomputes the rule's statistics (FDs) or theta-join matrix (DCs)
-        and refreshes the table's cost model.  Returns the registered rules
-        (textual FDs with multi-attribute rhs decompose into several).
+        Precomputes the rule's statistics (FDs) or theta-join matrix (DCs).
+        Returns the registered rules (textual FDs with multi-attribute rhs
+        decompose into several).
         """
         state = self._state(table)
         rules: list[Rule]
@@ -141,7 +171,8 @@ class Daisy:
         for r in rules:
             state.add_rule(r)
             self.catalog.add_rule(table, r)
-        self._refresh_cost_model(table)
+        self.registration_version += 1
+        self.table_versions[table] = self.registration_version
         return rules
 
     def _state(self, table: str) -> TableState:
@@ -150,92 +181,59 @@ class Daisy:
         except KeyError:
             raise PlanError(f"table {table!r} is not registered") from None
 
-    def _refresh_cost_model(self, table: str) -> None:
-        state = self._state(table)
-        eps = state.statistics.total_erroneous()
-        p = state.statistics.max_candidate_estimate()
-        has_dc = bool(state.dc_rules())
-        self.cost_models[table] = CostModel(
-            dataset_size=len(state.relation),
-            estimated_errors=eps,
-            candidates_per_error=max(1.0, p),
-            is_dc=has_dc,
-            config=CostModelConfig(expected_queries=self.expected_queries),
-        )
-
-    # -- execution ----------------------------------------------------------------------
+    # -- deprecated execution shims ------------------------------------------------------
 
     def execute(self, query: Query | str) -> QueryResult:
-        """Execute one query with inline cleaning (and maybe switch strategy)."""
-        sql_text = query if isinstance(query, str) else "<ast>"
-        parsed = parse_sql(query) if isinstance(query, str) else query
-
-        work_before = {t: self._state(t).counter.total() for t in parsed.tables}
-        result = self._executor.execute(parsed)
-        switched = False
-
-        # The cost model only reasons about queries that needed cleaning:
-        # a query not touching any rule neither observes nor switches.
-        from repro.query.logical import CleanJoinNode, CleanSigmaNode, plan_contains
-
-        query_cleaned = result.plan is not None and (
-            plan_contains(result.plan, CleanSigmaNode)
-            or plan_contains(result.plan, CleanJoinNode)
+        """Deprecated: use ``daisy.connect()`` and :meth:`Session.execute`."""
+        warnings.warn(
+            "Daisy.execute is deprecated; use Daisy.connect() and "
+            "Session.execute (or Session.prepare / Session.execute_batch)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        if self.use_cost_model and query_cleaned:
-            for table in parsed.tables:
-                model = self.cost_models.get(table)
-                state = self.states[table]
-                if model is None or not state.rules:
-                    continue
-                model.observe(
-                    QueryObservation(
-                        result_size=len(result.result_tids.get(table, ())),
-                        extra_tuples=result.report.extra_tuples,
-                        errors=result.report.errors_fixed,
-                        detection_cost=result.report.detection_cost,
-                    )
-                )
-                pending = [
-                    r for r in state.rules if not state.is_fully_cleaned(r)
-                ]
-                if pending and model.should_switch_to_full():
-                    started = time.perf_counter()
-                    clean_full_table(state, pending)
-                    result.elapsed_seconds += time.perf_counter() - started
-                    switched = True
-
-        work_after = {t: self.states[t].counter.total() for t in parsed.tables}
-        entry = QueryLogEntry(
-            sql=sql_text,
-            result_size=len(result),
-            elapsed_seconds=result.elapsed_seconds,
-            errors_fixed=result.report.errors_fixed,
-            extra_tuples=result.report.extra_tuples,
-            switched_to_full=switched,
-            work_units=sum(work_after[t] - work_before[t] for t in parsed.tables),
-        )
-        self.query_log.append(entry)
-        return result
+        return self.default_session().execute(query)
 
     def execute_workload(self, queries: Sequence[Query | str]) -> WorkloadReport:
-        """Execute a query sequence, returning cumulative timing/work."""
-        report = WorkloadReport()
-        started = time.perf_counter()
-        for i, query in enumerate(queries):
-            self.execute(query)
-            entry = self.query_log[-1]
-            report.entries.append(entry)
-            if entry.switched_to_full and report.switch_query_index is None:
-                report.switch_query_index = i
-        report.total_seconds = time.perf_counter() - started
-        report.total_work_units = sum(e.work_units for e in report.entries)
-        return report
+        """Deprecated: use :meth:`Session.execute_workload` or
+        :meth:`Session.execute_batch` on a connected session."""
+        warnings.warn(
+            "Daisy.execute_workload is deprecated; use Daisy.connect() and "
+            "Session.execute_workload (or Session.execute_batch for "
+            "rule-sharing batched execution)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.default_session().execute_workload(queries)
+
+    @property
+    def query_log(self) -> list[QueryLogEntry]:
+        """The default session's query log (deprecated shim surface)."""
+        return self.default_session().query_log
+
+    @property
+    def cost_models(self) -> dict[str, CostModel]:
+        """The default session's cost models (deprecated shim surface).
+
+        The old attribute was populated at ``add_rule`` time; the session
+        builds lazily, so the shim forces a build for every ruled table to
+        keep ``daisy.cost_models["t"]`` working right after registration.
+        """
+        session = self.default_session()
+        for name, state in self.states.items():
+            if state.rules:
+                session._cost_model(name)
+        return {
+            table: model
+            for table, model in session.cost_models.items()
+            if model is not None
+        }
 
     # -- direct cleaning ----------------------------------------------------------------
 
     def clean_table(self, table: str, rules: Optional[Iterable[Rule]] = None) -> CleanReport:
         """Clean a whole table now (bypass the query-driven path)."""
+        from repro.core.operators import clean_full_table
+
         return clean_full_table(self._state(table), rules)
 
     # -- introspection ------------------------------------------------------------------

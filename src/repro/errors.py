@@ -45,6 +45,10 @@ class CleaningError(ReproError):
     """Raised when a cleaning operator fails."""
 
 
+class SessionError(ReproError):
+    """Raised when a closed :class:`repro.api.Session` is used."""
+
+
 class ProbabilisticValueError(ReproError):
     """Raised when a probabilistic value is malformed (e.g. bad weights)."""
 

@@ -30,6 +30,37 @@ class Connector(enum.Enum):
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """A ``?`` placeholder in a prepared query (bound before execution).
+
+    ``index`` is the 0-based position of the placeholder in the query text;
+    :meth:`repro.api.PreparedQuery.execute` substitutes positional arguments
+    by this index.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+def _sql_literal(value: Any) -> str:
+    """Render a condition constant back into SQL-literal form.
+
+    Strings containing a single quote use the tokenizer's double-quoted
+    form so the rendering stays parseable (a string holding both quote
+    kinds cannot round-trip — the grammar has no escape sequences).
+    """
+    if isinstance(value, Parameter):
+        return "?"
+    if isinstance(value, str):
+        if "'" in value and '"' not in value:
+            return f'"{value}"'
+        return f"'{value}'"
+    return str(value)
+
+
+@dataclass(frozen=True)
 class ColumnRef:
     """A possibly table-qualified column reference."""
 
@@ -147,3 +178,44 @@ class Query:
 
     def has_aggregation(self) -> bool:
         return bool(self.aggregates)
+
+    def parameters(self) -> list[Parameter]:
+        """The unbound ``?`` placeholders of this query, in index order."""
+        params = [
+            c.value for c in self.conditions if isinstance(c.value, Parameter)
+        ]
+        return sorted(params, key=lambda p: p.index)
+
+    def to_sql(self) -> str:
+        """Render the query back into SQL text of the supported template.
+
+        The rendering round-trips through :func:`repro.query.sql.parse_sql`
+        (modulo whitespace and keyword case) and is what the query log
+        records for AST-form queries, so ``QueryLogEntry.sql`` is always a
+        real query instead of ``"<ast>"``.  Unbound parameters render as
+        ``?``.
+        """
+        items: list[str] = []
+        if self.select_star:
+            items.append("*")
+        items.extend(c.qualified() for c in self.projection)
+        items.extend(
+            f"{a.func.upper()}"
+            f"({'*' if a.column.name == '*' else a.column.qualified()})"
+            f" AS {a.alias}"
+            for a in self.aggregates
+        )
+        sql = f"SELECT {', '.join(items) if items else '*'} FROM {', '.join(self.tables)}"
+        clauses = [
+            f"{jc.left.qualified()} = {jc.right.qualified()}"
+            for jc in self.join_conditions
+        ]
+        clauses.extend(
+            f"{c.column.qualified()} {c.op} {_sql_literal(c.value)}"
+            for c in self.conditions
+        )
+        if clauses:
+            sql += " WHERE " + f" {self.connector.value} ".join(clauses)
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(g.qualified() for g in self.group_by)
+        return sql

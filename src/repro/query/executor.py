@@ -138,12 +138,31 @@ class Executor:
             from repro.query.sql import parse_sql
 
             query = parse_sql(query)
+        resolved = resolve_query(query, self.catalog)
+        plan = build_plan(query, self.catalog, resolved=resolved)
+        return self.execute_resolved(query, resolved, plan)
+
+    def execute_resolved(
+        self, query: Query, resolved: ResolvedQuery, plan: PlanNode
+    ) -> QueryResult:
+        """Execute an already-resolved, already-planned query.
+
+        The prepared-query path (:meth:`repro.api.Session.prepare`) resolves
+        and plans once, then calls this per execution with freshly bound
+        condition values; the plan is reused because cleaning-operator
+        placement depends only on the accessed attributes, never on the
+        constants.
+        """
         if query.is_join_query() and query.connector is Connector.OR:
             raise QueryError("OR-connected conditions are not supported in joins")
+        unbound = query.parameters()
+        if unbound:
+            raise QueryError(
+                f"query has {len(unbound)} unbound parameter(s); "
+                "use Session.prepare(...).execute(params) to bind them"
+            )
 
         started = time.perf_counter()
-        resolved = resolve_query(query, self.catalog)
-        plan = build_plan(query, self.catalog)
         clean_tables = {
             node.table: node for node in collect_nodes(plan, CleanSigmaNode)
         }  # type: ignore[union-attr]
@@ -234,18 +253,28 @@ class Executor:
     ) -> Relation:
         table = query.tables[0]
         state = self._state(table)
-        result = state.relation.restrict_tids(table_tids[table])
         if query.aggregates:
             keys = [g.name for g in resolved.group_by]
             aggs = [
                 (a.func, a.column.name if a.column.name != "*" else "*", a.alias)
                 for a in query.aggregates
             ]
-            result = result.group_by(keys, aggs)
+            view = state.column_view()
+            if view is not None and len(view) == len(state.relation):
+                # Columnar group-by: grouping keys served from the view's
+                # hash/group indexes instead of walking Row objects.
+                result = state.relation.group_by(
+                    keys, aggs, view=view, tids=table_tids[table]
+                )
+            else:
+                result = state.relation.restrict_tids(table_tids[table]).group_by(
+                    keys, aggs
+                )
             if query.select_star or not resolved.projection:
                 return result
             extra = [p.name for p in resolved.projection if p.name not in keys]
             return result.project(keys + extra + [a.alias for a in query.aggregates])
+        result = state.relation.restrict_tids(table_tids[table])
         if query.select_star or not resolved.projection:
             return result
         return result.project([p.name for p in resolved.projection])

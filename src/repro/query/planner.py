@@ -140,9 +140,18 @@ def resolve_query(query: Query, catalog: PlannerCatalog) -> ResolvedQuery:
     )
 
 
-def build_plan(query: Query, catalog: PlannerCatalog) -> PlanNode:
-    """Build the cleaning-aware logical plan for ``query``."""
-    resolved = resolve_query(query, catalog)
+def build_plan(
+    query: Query,
+    catalog: PlannerCatalog,
+    resolved: Optional[ResolvedQuery] = None,
+) -> PlanNode:
+    """Build the cleaning-aware logical plan for ``query``.
+
+    ``resolved`` lets callers that already ran :func:`resolve_query` (the
+    executor, prepared queries) skip the second resolution pass.
+    """
+    if resolved is None:
+        resolved = resolve_query(query, catalog)
     per_table: dict[str, PlanNode] = {}
 
     for table in query.tables:

@@ -18,6 +18,7 @@ from repro.query.ast import (
     Condition,
     Connector,
     JoinCondition,
+    Parameter,
     Query,
 )
 
@@ -28,7 +29,7 @@ _TOKEN_RE = re.compile(
         -?\d+\.\d+ | -?\d+ |                   # numbers
         [A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)? |  # identifiers
         <> | != | <= | >= | = | < | > |
-        \( | \) | , | \*
+        \( | \) | , | \* | \?
     )
     """,
     re.VERBOSE,
@@ -148,6 +149,7 @@ def _parse_where(stream: _Stream) -> tuple[list[Condition], list[JoinCondition],
     connector = Connector.AND
     saw_or = False
     saw_and = False
+    num_params = 0
     while True:
         left_token = stream.next()
         if not _is_identifier(left_token):
@@ -158,7 +160,17 @@ def _parse_where(stream: _Stream) -> tuple[list[Condition], list[JoinCondition],
         if op == "<>":
             op = "!="
         right_token = stream.next()
-        if _is_identifier(right_token):
+        if right_token == "?":
+            # Prepared-query placeholder: bound positionally at execute time.
+            conditions.append(
+                Condition(
+                    column=ColumnRef.parse(left_token),
+                    op=op,
+                    value=Parameter(num_params),
+                )
+            )
+            num_params += 1
+        elif _is_identifier(right_token):
             if op != "=":
                 raise QueryParseError(
                     f"column-to-column comparison must be an equi-join: "

@@ -33,7 +33,7 @@ from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.engine.stats import WorkCounter
-from repro.probabilistic.value import PValue, cell_compare
+from repro.probabilistic.value import PValue, cell_compare, plain
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.relation.relation import Relation
@@ -269,6 +269,52 @@ class ColumnView:
             return None
         self._hash[attr] = table
         return table
+
+    def group_index(
+        self, keys: tuple[str, ...]
+    ) -> tuple[list[tuple[Any, ...]], dict[tuple[Any, ...], list[int]]]:
+        """``(order, groups)`` — the grouping index for a key-attribute tuple.
+
+        ``groups`` maps each key tuple (probabilistic cells collapsed to
+        their most-probable candidate) to its row positions in ascending
+        order; ``order`` lists the keys by first occurrence.  Cached via the
+        derived-structure store, so repeated GROUP BY queries over the same
+        keys reuse it; a repair touching a key attribute evicts it.  For a
+        single concrete key column the index is seeded from the existing
+        hash index instead of a fresh scan.
+        """
+        return self.derived(
+            ("group_index", keys), set(keys), lambda: self._build_group_index(keys)
+        )
+
+    def _build_group_index(
+        self, keys: tuple[str, ...]
+    ) -> tuple[list[tuple[Any, ...]], dict[tuple[Any, ...], list[int]]]:
+        if len(keys) == 1:
+            attr = keys[0]
+            if not self.pvalue_positions(attr):
+                hashed = self.hash_column(attr)
+                if hashed is not None and sum(
+                    len(p) for p in hashed.values()
+                ) == len(self):
+                    # No probabilistic and no NULL cells: the hash index is
+                    # already the grouping (positions are in scan order).
+                    groups = {
+                        (value,): positions for value, positions in hashed.items()
+                    }
+                    order = sorted(groups, key=lambda key: groups[key][0])
+                    return order, groups
+        cols = [self.columns[k] for k in keys]
+        groups: dict[tuple[Any, ...], list[int]] = {}
+        order: list[tuple[Any, ...]] = []
+        for pos in range(len(self)):
+            key = tuple(plain(col[pos]) for col in cols)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(pos)
+        return order, groups
 
     # -- filtering ------------------------------------------------------------------
 

@@ -62,6 +62,26 @@ class Row:
         return Row(self.tid, tuple(vals))
 
 
+def _aggregate_numeric(func: str, values: Iterable[Any]) -> Any:
+    """One aggregate over plain cell values (non-numeric values are skipped,
+    mirroring the possible-worlds collapse the paper's aggregation applies)."""
+    nums = [
+        v for v in values
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+    if not nums:
+        return None
+    if func == "sum":
+        return float(sum(nums))
+    if func == "avg":
+        return float(sum(nums)) / len(nums)
+    if func == "min":
+        return float(min(nums))
+    if func == "max":
+        return float(max(nums))
+    raise SchemaError(f"unknown aggregate function {func!r}")
+
+
 class Relation:
     """An ordered multiset of :class:`Row` objects over a :class:`Schema`."""
 
@@ -284,6 +304,9 @@ class Relation:
         self,
         keys: Sequence[str],
         aggregates: Sequence[tuple[str, str, str]],
+        *,
+        view: Optional[ColumnView] = None,
+        tids: Optional[set[int]] = None,
     ) -> "Relation":
         """Group-by with aggregates.
 
@@ -293,7 +316,17 @@ class Relation:
         probabilistic aggregate inputs to their most probable value — the
         paper pushes cleaning below the aggregation precisely so that the
         aggregate sees (mostly) repaired values.
+
+        Passing ``view`` (this relation's own columnar view) serves grouping
+        keys and aggregate inputs from the view's per-attribute arrays and
+        its cached group index instead of walking Row objects; ``tids``
+        optionally restricts the grouped rows (the executor's filtered
+        answer).  Both paths return identical relations.
         """
+        if view is not None:
+            return self._group_by_columnar(view, keys, aggregates, tids)
+        if tids is not None:
+            return self.restrict_tids(tids).group_by(keys, aggregates)
         key_idx = [self.schema.index_of(k) for k in keys]
         agg_specs = [
             (func, None if attr == "*" else self.schema.index_of(attr), out)
@@ -308,10 +341,6 @@ class Relation:
                 order.append(key)
             groups[key].append(row)
 
-        out_cols: list[Column] = [self.schema.column(k) for k in keys]
-        for func, _idx, out in agg_specs:
-            ctype = ColumnType.INT if func == "count" else ColumnType.FLOAT
-            out_cols.append(Column(out, ctype))
         out_rows: list[Row] = []
         for tid, key in enumerate(order):
             members = groups[key]
@@ -320,25 +349,77 @@ class Relation:
                 if func == "count":
                     aggs.append(len(members))
                     continue
-                nums = [
-                    v
-                    for v in (plain(r.values[idx]) for r in members)
-                    if isinstance(v, (int, float)) and not isinstance(v, bool)
-                ]
-                if not nums:
-                    aggs.append(None)
-                elif func == "sum":
-                    aggs.append(float(sum(nums)))
-                elif func == "avg":
-                    aggs.append(float(sum(nums)) / len(nums))
-                elif func == "min":
-                    aggs.append(float(min(nums)))
-                elif func == "max":
-                    aggs.append(float(max(nums)))
-                else:
-                    raise SchemaError(f"unknown aggregate function {func!r}")
+                values = (plain(r.values[idx]) for r in members)
+                aggs.append(_aggregate_numeric(func, values))
             out_rows.append(Row(tid, key + tuple(aggs)))
-        return Relation(Schema(out_cols), out_rows, name=f"{self.name}_grouped")
+        return Relation(
+            self._group_by_schema(keys, aggregates), out_rows,
+            name=f"{self.name}_grouped",
+        )
+
+    def _group_by_schema(
+        self,
+        keys: Sequence[str],
+        aggregates: Sequence[tuple[str, str, str]],
+    ) -> Schema:
+        out_cols: list[Column] = [self.schema.column(k) for k in keys]
+        for func, _attr, out in aggregates:
+            ctype = ColumnType.INT if func == "count" else ColumnType.FLOAT
+            out_cols.append(Column(out, ctype))
+        return Schema(out_cols)
+
+    def _group_by_columnar(
+        self,
+        view: ColumnView,
+        keys: Sequence[str],
+        aggregates: Sequence[tuple[str, str, str]],
+        tids: Optional[set[int]],
+    ) -> "Relation":
+        """Columnar group-by over the view's group index (same output as the
+        row path: groups in first-occurrence order, rows in position order)."""
+        for k in keys:
+            self.schema.index_of(k)  # same unknown-attribute errors as rowstore
+        agg_specs = []
+        for func, attr, out in aggregates:
+            if attr == "*":
+                agg_specs.append((func, None, out))
+            else:
+                self.schema.index_of(attr)
+                agg_specs.append((func, view.columns[attr], out))
+        order, groups = view.group_index(tuple(keys))
+
+        restrict: Optional[set[int]] = None
+        if tids is not None:
+            pos_map = view.pos_of_tid
+            restrict = {pos_map[t] for t in tids if t in pos_map}
+            if len(restrict) == len(view):
+                restrict = None
+        ordered: list[tuple[tuple[Any, ...], Sequence[int]]]
+        if restrict is None:
+            ordered = [(key, groups[key]) for key in order]
+        else:
+            picked = []
+            for key in order:
+                members = [p for p in groups[key] if p in restrict]
+                if members:
+                    picked.append((key, members))
+            picked.sort(key=lambda kv: kv[1][0])
+            ordered = picked
+
+        out_rows: list[Row] = []
+        for tid, (key, members) in enumerate(ordered):
+            aggs: list[Any] = []
+            for func, col, _out in agg_specs:
+                if func == "count":
+                    aggs.append(len(members))
+                    continue
+                values = (plain(col[pos]) for pos in members)
+                aggs.append(_aggregate_numeric(func, values))
+            out_rows.append(Row(tid, key + tuple(aggs)))
+        return Relation(
+            self._group_by_schema(keys, aggregates), out_rows,
+            name=f"{self.name}_grouped",
+        )
 
     # -- updates ---------------------------------------------------------------
 

@@ -1,0 +1,414 @@
+"""Tests for the layered public API: config, sessions, prepared queries,
+and rule-sharing batched execution (batch-vs-sequential parity)."""
+
+import dataclasses
+
+import pytest
+
+from repro import BatchResult, Daisy, DaisyConfig, PreparedQuery, Session
+from repro.datasets import airquality, hospital
+from repro.errors import QueryError, SessionError
+from repro.query.ast import ColumnRef, Condition, Query
+from repro.relation import ColumnType, Relation
+
+
+def cities_rel():
+    return Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (9001, "Los Angeles"),
+            (9001, "San Francisco"),
+            (9001, "Los Angeles"),
+            (10001, "San Francisco"),
+            (10001, "New York"),
+        ],
+        name="cities",
+    )
+
+
+def make_engine(**config_kwargs):
+    d = Daisy(config=DaisyConfig(use_cost_model=False, **config_kwargs))
+    d.register_table("cities", cities_rel())
+    d.add_rule("cities", "zip -> city", name="phi")
+    return d
+
+
+def relations_identical(a: Relation, b: Relation) -> bool:
+    """Byte-identical: same schema, same rows (tids, cells, PValue
+    candidates with exact probabilities and world ids)."""
+    if a.schema.names != b.schema.names or len(a) != len(b):
+        return False
+    return all(ra == rb for ra, rb in zip(a.rows, b.rows))
+
+
+class TestDaisyConfig:
+    def test_defaults_and_replace(self):
+        config = DaisyConfig()
+        assert config.use_cost_model and config.batch_rule_sharing
+        off = config.replace(use_cost_model=False)
+        assert not off.use_cost_model and config.use_cost_model
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DaisyConfig().use_cost_model = False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DaisyConfig(backend="sparkstore")
+        with pytest.raises(ValueError):
+            DaisyConfig(expected_queries=0)
+        with pytest.raises(ValueError):
+            DaisyConfig(dc_error_threshold=1.5)
+
+
+class TestSession:
+    def test_connect_and_context_manager(self):
+        d = make_engine()
+        with d.connect() as session:
+            assert isinstance(session, Session)
+            result = session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            assert len(result) == 3
+        assert session.closed
+        with pytest.raises(SessionError):
+            session.execute("SELECT zip FROM cities WHERE city = 'New York'")
+
+    def test_per_session_query_logs(self):
+        d = make_engine()
+        s1, s2 = d.connect(), d.connect()
+        s1.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        assert len(s1.query_log) == 1
+        assert s2.query_log == []
+
+    def test_session_config_override(self):
+        d = Daisy()  # cost model on by default
+        d.register_table("cities", cities_rel())
+        d.add_rule("cities", "zip -> city", name="phi")
+        session = d.connect(d.config.replace(use_cost_model=False))
+        assert not session.config.use_cost_model
+        assert d.config.use_cost_model
+
+    def test_backend_override_rejected(self):
+        d = make_engine()  # columnar engine
+        with pytest.raises(ValueError, match="backend"):
+            d.connect(d.config.replace(backend="rowstore"))
+
+    def test_ast_query_logs_real_sql(self):
+        d = make_engine()
+        session = d.connect()
+        query = Query(
+            tables=["cities"],
+            projection=[ColumnRef("zip")],
+            conditions=[Condition(ColumnRef("city"), "=", "Los Angeles")],
+        )
+        session.execute(query)
+        assert session.query_log[-1].sql == (
+            "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+        )
+        assert "<ast>" not in session.query_log[-1].sql
+
+    def test_introspection_delegates_to_shared_state(self):
+        d = make_engine()
+        session = d.connect()
+        session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        assert session.probabilistic_cells("cities") > 0
+        assert session.table("cities") is d.table("cities")
+        assert session.total_work() == d.total_work() > 0
+
+
+class TestPreparedQuery:
+    def test_reexecution_parity_without_params(self):
+        sql = "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+        d1, d2 = make_engine(), make_engine()
+        s1, s2 = d1.connect(), d2.connect()
+        prepared = s1.prepare(sql)
+        assert isinstance(prepared, PreparedQuery)
+        first = prepared.execute()
+        again = prepared.execute()
+        plain_first = s2.execute(sql)
+        plain_again = s2.execute(sql)
+        assert relations_identical(first.relation, plain_first.relation)
+        assert relations_identical(again.relation, plain_again.relation)
+        assert relations_identical(d1.table("cities"), d2.table("cities"))
+
+    def test_parameter_binding_matches_literals(self):
+        d1, d2 = make_engine(), make_engine()
+        s1, s2 = d1.connect(), d2.connect()
+        prepared = s1.prepare("SELECT zip FROM cities WHERE city = ?")
+        assert prepared.param_count == 1
+        for value in ("Los Angeles", "New York", "San Francisco"):
+            bound = prepared.execute(value)
+            literal = s2.execute(f"SELECT zip FROM cities WHERE city = '{value}'")
+            assert relations_identical(bound.relation, literal.relation)
+        assert relations_identical(d1.table("cities"), d2.table("cities"))
+        # The log records the bound SQL, not the placeholder.
+        assert s1.query_log[-1].sql == (
+            "SELECT zip FROM cities WHERE city = 'San Francisco'"
+        )
+
+    def test_range_parameters(self):
+        d = make_engine()
+        session = d.connect()
+        prepared = session.prepare(
+            "SELECT city FROM cities WHERE zip >= ? AND zip < ?"
+        )
+        assert prepared.param_count == 2
+        assert len(prepared.execute(0, 99999)) == 5
+
+    def test_wrong_arity_raises(self):
+        session = make_engine().connect()
+        prepared = session.prepare("SELECT zip FROM cities WHERE city = ?")
+        with pytest.raises(QueryError):
+            prepared.execute()
+        with pytest.raises(QueryError):
+            prepared.execute("Los Angeles", "New York")
+
+    def test_unbound_execution_rejected(self):
+        session = make_engine().connect()
+        with pytest.raises(QueryError):
+            session.execute("SELECT zip FROM cities WHERE city = ?")
+
+    def test_explain_shows_cleaning_without_replanning(self):
+        session = make_engine().connect()
+        prepared = session.prepare("SELECT zip FROM cities WHERE city = ?")
+        assert "CleanSigma" in prepared.explain()
+        assert prepared.explain() == prepared.plan.pretty()
+
+    def test_rules_added_after_prepare_are_picked_up(self):
+        d = Daisy(config=DaisyConfig(use_cost_model=False))
+        d.register_table("cities", cities_rel())
+        session = d.connect()
+        prepared = session.prepare("SELECT zip FROM cities WHERE city = ?")
+        assert "CleanSigma" not in prepared.explain()
+        d.add_rule("cities", "zip -> city", name="phi")
+        # The stale plan is rebuilt: the new rule's cleaning operator runs.
+        assert "CleanSigma" in prepared.explain()
+        result = prepared.execute("Los Angeles")
+        assert len(result) == 3  # includes the repaired row
+        assert d.probabilistic_cells("cities") > 0
+
+    def test_quote_containing_parameter_logs_parseable_sql(self):
+        from repro.query.sql import parse_sql
+
+        d = Daisy(config=DaisyConfig(use_cost_model=False))
+        d.register_table(
+            "t",
+            Relation.from_rows(
+                [("name", ColumnType.STRING)], [("O'Brien",), ("Smith",)]
+            ),
+        )
+        session = d.connect()
+        prepared = session.prepare("SELECT name FROM t WHERE name = ?")
+        result = prepared.execute("O'Brien")
+        assert len(result) == 1
+        logged = session.query_log[-1].sql
+        assert parse_sql(logged).conditions[0].value == "O'Brien"
+
+
+def _hospital_setup():
+    """Hospital fixture + per-city workload (each query touches ϕ1)."""
+    inst = hospital.generate_instance(num_rows=300, seed=1)
+    d = Daisy(config=DaisyConfig(use_cost_model=False))
+    d.register_table("hospital", inst.dirty)
+    for fd in inst.rules:
+        d.add_rule("hospital", fd)
+    cities = sorted(
+        {v for v in inst.master.distinct_values("city") if isinstance(v, str)}
+    )
+    queries = [
+        f"SELECT provider_id, city FROM hospital WHERE city = '{c}'"
+        for c in cities
+    ]
+    return d, queries
+
+
+def _airquality_setup():
+    """Air-quality fixture + the per-state analyst workload (aggregates)."""
+    inst = airquality.generate_instance(
+        600, num_states=10, violation_level="low", seed=1
+    )
+    d = Daisy(config=DaisyConfig(use_cost_model=False))
+    d.register_table("airquality", inst.dirty)
+    d.add_rule("airquality", inst.fd)
+    queries = [
+        "SELECT year, AVG(co_mean) AS avg_co FROM airquality "
+        f"WHERE state_code = {s} GROUP BY year"
+        for s in range(10)
+    ]
+    return d, queries
+
+
+class TestExecuteBatch:
+    @pytest.mark.parametrize("setup", [_hospital_setup, _airquality_setup])
+    def test_batch_matches_sequential_and_saves_work(self, setup):
+        d_seq, queries = setup()
+        session_seq = d_seq.connect()
+        sequential = [session_seq.execute(q) for q in queries]
+        seq_work = d_seq.total_work()
+
+        d_batch, queries = setup()
+        session_batch = d_batch.connect()
+        work_before = d_batch.total_work()  # rule registration precompute
+        batch = session_batch.execute_batch(queries)
+        batch_work = d_batch.total_work()
+
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == len(sequential)
+        for batched, plain in zip(batch, sequential):
+            assert relations_identical(batched.relation, plain.relation)
+        # The in-place repaired datasets end up byte-identical too.
+        table = list(d_seq.states)[0]
+        assert relations_identical(d_batch.table(table), d_seq.table(table))
+        # One shared pass per rule group beats per-query detection.
+        assert batch_work < seq_work
+        assert batch.groups, "expected at least one shared rule group"
+        assert batch.report.total_work_units == batch_work - work_before
+
+    def test_rule_groups_cover_same_rule_queries(self):
+        d, queries = _airquality_setup()
+        batch = d.connect().execute_batch(queries)
+        assert len(batch.groups) == 1
+        group = batch.groups[0]
+        assert group.query_indices == list(range(len(queries)))
+        assert group.table == "airquality"
+        assert group.rule_keys == ("phi_county",)
+
+    def test_batch_without_sharing_matches_sequential(self):
+        d_seq, queries = _airquality_setup()
+        sequential = [d_seq.connect().execute(q) for q in queries]
+
+        d_off, queries = _airquality_setup()
+        session = d_off.connect(d_off.config.replace(batch_rule_sharing=False))
+        batch = session.execute_batch(queries)
+        assert batch.groups == []
+        for batched, plain in zip(batch, sequential):
+            assert relations_identical(batched.relation, plain.relation)
+
+    def test_batch_accepts_prepared_and_ast_queries(self):
+        d = make_engine()
+        session = d.connect()
+        prepared = session.prepare(
+            "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+        )
+        ast_query = Query(
+            tables=["cities"],
+            projection=[ColumnRef("city")],
+            conditions=[Condition(ColumnRef("zip"), "=", 10001)],
+        )
+        batch = session.execute_batch([prepared, ast_query, "SELECT * FROM cities"])
+        assert len(batch) == 3
+        assert len(batch[0]) == 3  # repaired row joins the LA answer
+        assert batch.report.entries[1].sql == (
+            "SELECT city FROM cities WHERE zip = 10001"
+        )
+
+    def test_batch_rejects_unbound_prepared(self):
+        session = make_engine().connect()
+        prepared = session.prepare("SELECT zip FROM cities WHERE city = ?")
+        with pytest.raises(QueryError):
+            session.execute_batch([prepared])
+
+    def test_batch_rejects_unbound_sql_before_any_cleaning(self):
+        d = make_engine()
+        session = d.connect()
+        with pytest.raises(QueryError):
+            session.execute_batch(
+                [
+                    "SELECT city FROM cities WHERE zip = ?",
+                    "SELECT city FROM cities WHERE zip = 10001",
+                ]
+            )
+        # The batch failed up front: no shared pass ran, nothing mutated.
+        assert d.probabilistic_cells("cities") == 0
+        assert session.query_log == []
+
+    def test_rule_free_queries_take_sequential_path(self):
+        d = Daisy(config=DaisyConfig(use_cost_model=False))
+        d.register_table(
+            "t",
+            Relation.from_rows(
+                [("a", ColumnType.INT), ("b", ColumnType.INT)],
+                [(1, 10), (2, 20)],
+            ),
+        )
+        batch = d.connect().execute_batch(
+            ["SELECT a FROM t WHERE b >= 10", "SELECT b FROM t WHERE a = 2"]
+        )
+        assert batch.groups == []
+        assert [len(r) for r in batch] == [2, 1]
+
+    def test_batch_entries_feed_session_log(self):
+        d, queries = _airquality_setup()
+        session = d.connect()
+        batch = session.execute_batch(queries)
+        assert len(session.query_log) == len(queries)
+        assert [e.sql for e in batch.report.entries] == list(queries)
+
+    def test_batch_entry_totals_include_shared_passes(self):
+        d, queries = _airquality_setup()
+        work_before = d.total_work()
+        batch = d.connect().execute_batch(queries)
+        # Shared-pass cost is attributed to each group's first member, so
+        # the per-entry tallies reconcile with the batch totals.
+        assert sum(e.work_units for e in batch.report.entries) == (
+            d.total_work() - work_before
+        )
+        assert sum(e.errors_fixed for e in batch.report.entries) == sum(
+            g.report.errors_fixed for g in batch.groups
+        ) > 0
+
+
+class TestCostModelState:
+    def test_unrelated_registration_keeps_observations(self):
+        d = Daisy()  # cost model on
+        d.register_table("cities", cities_rel())
+        d.add_rule("cities", "zip -> city", name="phi")
+        session = d.connect()
+        session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        model = session.cost_models["cities"]
+        assert model is not None and model.observations
+        # Registering an unrelated table must not reset cities' model.
+        d.register_table(
+            "other",
+            Relation.from_rows([("a", ColumnType.INT)], [(1,)], name="other"),
+        )
+        assert session._cost_model("cities") is model
+        # A new rule on cities itself still triggers the rebuild.
+        d.add_rule("cities", "city -> zip", name="phi2")
+        assert session._cost_model("cities") is not model
+
+    def test_cost_models_shim_populated_after_add_rule(self):
+        d = Daisy(config=DaisyConfig(use_cost_model=False))
+        d.register_table("cities", cities_rel())
+        d.add_rule("cities", "zip -> city", name="phi")
+        # Old contract: inspectable right after registration, no query run.
+        model = d.cost_models["cities"]
+        assert model.dataset_size == 5
+
+
+class TestDeprecationShims:
+    def test_execute_warns_and_works(self):
+        d = make_engine()
+        with pytest.warns(DeprecationWarning, match="Daisy.execute is deprecated"):
+            result = d.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+        assert len(result) == 3
+        assert len(d.query_log) == 1
+
+    def test_execute_workload_warns_and_works(self):
+        d = make_engine()
+        queries = [
+            "SELECT zip FROM cities WHERE city = 'Los Angeles'",
+            "SELECT city FROM cities WHERE zip = 9001",
+        ]
+        with pytest.warns(DeprecationWarning, match="execute_workload is deprecated"):
+            report = d.execute_workload(queries)
+        assert len(report.entries) == 2
+        assert report.total_work_units > 0
+
+    def test_shims_match_session_results(self):
+        sql = "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+        d_shim, d_session = make_engine(), make_engine()
+        with pytest.warns(DeprecationWarning):
+            shim_result = d_shim.execute(sql)
+        session_result = d_session.connect().execute(sql)
+        assert relations_identical(shim_result.relation, session_result.relation)
+        assert relations_identical(d_shim.table("cities"), d_session.table("cities"))
