@@ -14,6 +14,11 @@ Public API highlights:
   parser (``parse_rule("zip -> city")``).
 * :mod:`repro.relation` — the relational substrate (schemas, relations,
   CSV i/o).
+* :mod:`repro.parallel` — sharded parallel execution: executor pools
+  (serial/thread/process), row-range relation shards with per-shard column
+  views, and the session-owned :class:`repro.ParallelContext`
+  (``DaisyConfig(parallelism=N)``); parallel runs are byte-identical to
+  serial.
 * :mod:`repro.baselines` — the offline full-dataset cleaner and the
   HoloClean-like inference baseline.
 * :mod:`repro.datasets` — synthetic SSB / hospital / Nestlé / air-quality
@@ -48,18 +53,23 @@ from repro.api import (
 )
 from repro.daisy import Daisy
 from repro.errors import ReproError
+from repro.parallel import ExecutorPool, ParallelContext, ShardSet, make_pool
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchResult",
     "Daisy",
     "DaisyConfig",
+    "ExecutorPool",
+    "ParallelContext",
     "PreparedQuery",
     "QueryLogEntry",
     "ReproError",
     "RuleGroupReport",
     "Session",
+    "ShardSet",
     "WorkloadReport",
     "__version__",
+    "make_pool",
 ]

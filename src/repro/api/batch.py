@@ -188,6 +188,10 @@ def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
                 union |= tids
         report = CleanReport()
         if union:
+            # The shared pass is the showcase entry point for sharded
+            # execution: one clean_sigma whose scope is the whole rule
+            # group's answer union, shard-partitioned and fanned out over
+            # the session pool when the session runs with parallelism > 1.
             report = clean_sigma(
                 state,
                 union,
@@ -195,6 +199,7 @@ def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
                 projection=group.projection,
                 dc_error_threshold=session.config.dc_error_threshold,
                 force_rules=list(node.rules),
+                parallel=session.parallel,
             )
         group.report = RuleGroupReport(
             table=node.table,

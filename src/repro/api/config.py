@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.parallel.pool import POOL_THREAD, validate_pool_kind
 from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
 
 
@@ -44,6 +45,19 @@ class DaisyConfig:
         Off by default: the shared pass *is* the batch's cleaning strategy,
         and rule-group members report zero residual errors, which would
         only skew the model's per-query averages.
+    parallelism:
+        Worker count for the session's executor pool.  ``1`` (default)
+        keeps every path on the serial oracle; ``> 1`` fans theta-join
+        matrix cells and shard-routed FD relaxation closures out over the
+        pool.  Parallel results are byte-identical to serial, in both
+        answers and work-unit totals.
+    num_shards:
+        Row-range shard count for the per-table shard routers; ``0``
+        (default) means "same as ``parallelism``".
+    pool:
+        Pool kind: ``"thread"`` (default; shares engine state directly),
+        ``"process"`` (fork-based workers — real CPU scaling for the cell
+        checks, requires a fork-capable platform), or ``"serial"``.
     """
 
     use_cost_model: bool = True
@@ -52,13 +66,21 @@ class DaisyConfig:
     backend: str = BACKEND_COLUMNAR
     batch_rule_sharing: bool = True
     batch_observe_cost_model: bool = False
+    parallelism: int = 1
+    num_shards: int = 0
+    pool: str = POOL_THREAD
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_pool_kind(self.pool)
         if self.expected_queries < 1:
             raise ValueError("expected_queries must be >= 1")
         if not 0.0 <= self.dc_error_threshold <= 1.0:
             raise ValueError("dc_error_threshold must be within [0, 1]")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.num_shards < 0:
+            raise ValueError("num_shards must be >= 0")
 
     def replace(self, **changes) -> "DaisyConfig":
         """A copy with the given fields changed (re-validated)."""

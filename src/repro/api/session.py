@@ -23,6 +23,7 @@ Create sessions with :meth:`repro.Daisy.connect`::
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
 from repro.constraints.dc import Rule
@@ -31,9 +32,10 @@ from repro.core.operators import CleanReport, clean_full_table
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError, SessionError
-from repro.query.ast import Query
+from repro.parallel.clean import ParallelContext
+from repro.query.ast import Parameter, Query
 from repro.query.executor import Executor, QueryResult
-from repro.query.logical import CleanJoinNode, CleanSigmaNode, plan_contains
+from repro.query.logical import CleanJoinNode, CleanSigmaNode, PlanNode, plan_contains
 from repro.query.planner import build_plan, explain as explain_plan, resolve_query
 from repro.query.sql import parse_sql
 from repro.relation.relation import Relation
@@ -46,12 +48,53 @@ from repro.api.reporting import QueryLogEntry, WorkloadReport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.daisy import Daisy
 
+#: LRU bound of the session's cross-query plan cache.
+_PLAN_CACHE_LIMIT = 256
+
+
+def _plan_structure_key(query: Query) -> tuple:
+    """A query's plan-relevant structure, constants erased.
+
+    Cleaning-operator placement depends only on the tables and attributes a
+    query accesses (the Section 4.1 overlap test), never on the constants it
+    compares against — the same property that lets prepared queries share
+    one plan across ``?`` bindings.  Two queries with equal structure keys
+    therefore share one logical plan.
+    """
+    return (
+        tuple(query.tables),
+        query.connector.value,
+        tuple(
+            (c.column.qualified(), c.op, isinstance(c.value, Parameter))
+            for c in query.conditions
+        ),
+        tuple(
+            (jc.left.qualified(), jc.right.qualified())
+            for jc in query.join_conditions
+        ),
+        tuple(p.qualified() for p in query.projection),
+        tuple((a.func, a.column.qualified(), a.alias) for a in query.aggregates),
+        tuple(g.qualified() for g in query.group_by),
+        query.select_star,
+    )
+
 
 class Session:
     """One workload's execution context over a shared engine.
 
-    Usable as a context manager; :meth:`close` only marks the session
-    closed (the engine and its table states outlive every session).
+    Usable as a context manager; :meth:`close` marks the session closed and
+    releases the session's executor pool (the engine and its table states
+    outlive every session).
+
+    The session also owns two workload-scoped accelerators:
+
+    * the **parallel context** (``config.parallelism > 1``): an executor
+      pool plus per-table shard routers, created lazily and closed with the
+      session — see :mod:`repro.parallel`;
+    * the **cross-query plan cache**: ad-hoc :meth:`execute` calls reuse
+      the logical plan of any earlier same-structure query (constants
+      erased), giving them :meth:`prepare`'s skip-replanning benefit;
+      entries are invalidated by rule/table registration.
     """
 
     def __init__(self, engine: "Daisy", config: Optional[DaisyConfig] = None):
@@ -62,10 +105,18 @@ class Session:
         self.query_log: list[QueryLogEntry] = []
         self.cost_models: dict[str, Optional[CostModel]] = {}
         self._cost_model_versions: dict[str, int] = {}
+        self._parallel: Optional[ParallelContext] = None
+        if self.config.parallelism > 1:
+            self._parallel = ParallelContext(
+                self.config.pool,
+                self.config.parallelism,
+                self.config.num_shards,
+            )
         self._executor = Executor(
             self.states,
             self.catalog,
             dc_error_threshold=self.config.dc_error_threshold,
+            parallel=self._parallel,
         )
         self._plain_executor = Executor(
             self.states,
@@ -73,6 +124,9 @@ class Session:
             cleaning_enabled=False,
             dc_error_threshold=self.config.dc_error_threshold,
         )
+        self._plan_cache: OrderedDict[tuple, PlanNode] = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------------------
@@ -85,7 +139,12 @@ class Session:
         return False
 
     def close(self) -> None:
-        """Mark the session closed; further execution raises SessionError."""
+        """Mark the session closed and release its executor pool.
+
+        Further execution raises SessionError; closing twice is a no-op.
+        """
+        if self._parallel is not None:
+            self._parallel.close()
         self._closed = True
 
     @property
@@ -95,6 +154,11 @@ class Session:
     @property
     def engine(self) -> "Daisy":
         return self._engine
+
+    @property
+    def parallel(self) -> Optional[ParallelContext]:
+        """The session's parallel context (None when ``parallelism == 1``)."""
+        return self._parallel
 
     def _check_open(self) -> None:
         if self._closed:
@@ -128,7 +192,15 @@ class Session:
     # -- execution --------------------------------------------------------------------
 
     def execute(self, query: Query | str) -> QueryResult:
-        """Execute one query with inline cleaning (and maybe switch strategy)."""
+        """Execute one query with inline cleaning (and maybe switch strategy).
+
+        Planning goes through the session's cross-query plan cache: queries
+        sharing the structure (tables, attributes, operators — constants
+        erased) of an earlier query reuse its logical plan, the same
+        skip-replanning benefit :meth:`prepare` gives.  The cache is keyed
+        on the engine's registration version, so adding a rule or table
+        invalidates every cached plan at once.
+        """
         self._check_open()
         if isinstance(query, str):
             parsed = parse_sql(query)
@@ -136,7 +208,34 @@ class Session:
         else:
             parsed = query
             sql_text = parsed.to_sql()
-        return self._run(parsed, sql_text, lambda: self._executor.execute(parsed))
+        resolved = resolve_query(parsed, self.catalog)
+        plan = self._cached_plan(parsed)
+        if plan is None:
+            plan = build_plan(parsed, self.catalog, resolved=resolved)
+            self._store_plan(parsed, plan)
+        return self._run(
+            parsed,
+            sql_text,
+            lambda: self._executor.execute_resolved(parsed, resolved, plan),
+        )
+
+    def _plan_cache_key(self, query: Query) -> tuple:
+        return (self._engine.registration_version, _plan_structure_key(query))
+
+    def _cached_plan(self, query: Query) -> Optional[PlanNode]:
+        key = self._plan_cache_key(query)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            self.plan_cache_misses += 1
+            return None
+        self._plan_cache.move_to_end(key)
+        self.plan_cache_hits += 1
+        return plan
+
+    def _store_plan(self, query: Query, plan: PlanNode) -> None:
+        self._plan_cache[self._plan_cache_key(query)] = plan
+        while len(self._plan_cache) > _PLAN_CACHE_LIMIT:
+            self._plan_cache.popitem(last=False)
 
     def execute_workload(self, queries: Sequence[Query | str]) -> WorkloadReport:
         """Execute a query sequence one at a time (cumulative timing/work).
@@ -239,7 +338,7 @@ class Session:
                 ]
                 if pending and model.should_switch_to_full():
                     started = time.perf_counter()
-                    clean_full_table(state, pending)
+                    clean_full_table(state, pending, parallel=self._parallel)
                     result.elapsed_seconds += time.perf_counter() - started
                     switched = True
 
@@ -295,7 +394,7 @@ class Session:
     ) -> CleanReport:
         """Clean a whole table now (bypass the query-driven path)."""
         self._check_open()
-        return clean_full_table(self._state(table), rules)
+        return clean_full_table(self._state(table), rules, parallel=self._parallel)
 
     # -- introspection -----------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.constraints.dc import DenialConstraint, FunctionalDependency, as_dc, 
 from repro.core.relaxation import relax_fd
 from repro.core.state import TableState, rule_key
 from repro.detection.estimator import decide_cleaning
+from repro.parallel.clean import ParallelContext, parallel_relax_fd
 from repro.probabilistic.lineage import JoinResult, incremental_join_update
 from repro.repair.dc_repair import compute_dc_fixes
 from repro.repair.fd_repair import apply_fd_delta, compute_fd_fixes
@@ -59,6 +60,7 @@ def clean_sigma(
     projection: Iterable[str] = (),
     dc_error_threshold: float = 0.2,
     force_rules: Optional[Iterable] = None,
+    parallel: Optional[ParallelContext] = None,
 ) -> CleanReport:
     """Clean an SP query result in place.
 
@@ -66,6 +68,12 @@ def clean_sigma(
     feed the rule-overlap test (rules not accessed by the query are
     skipped).  ``force_rules`` bypasses the overlap test (used by
     ``clean_join`` and by full-table cleanup).
+
+    ``parallel`` (a :class:`~repro.parallel.clean.ParallelContext`) shards
+    FD relaxation closures by tid range and fans DC matrix cells out over
+    the context's executor pool; results and work-unit totals are
+    byte-identical to the serial run (``parallel=None``), which remains the
+    default and the semantics oracle.
 
     The operator mutates ``state.relation`` (applying the repair delta) and
     the provenance store, and returns a :class:`CleanReport`.
@@ -86,7 +94,9 @@ def clean_sigma(
             continue
         fd = as_fd(rule)
         if fd is not None:
-            sub_report, delta, repaired = _clean_sigma_fd(state, answer, fd, where_set)
+            sub_report, delta, repaired = _clean_sigma_fd(
+                state, answer, fd, where_set, parallel=parallel
+            )
             report.merge(sub_report)
             if repaired:
                 fd_marks.append((rule_key(rule), repaired))
@@ -95,7 +105,7 @@ def clean_sigma(
         else:
             dc = as_dc(rule)
             sub_report, delta = _clean_sigma_dc(
-                state, answer, dc, dc_error_threshold
+                state, answer, dc, dc_error_threshold, parallel=parallel
             )
             report.merge(sub_report)
             if delta:
@@ -175,8 +185,15 @@ def _clean_sigma_fd(
     answer: set[int],
     fd: FunctionalDependency,
     where_attrs: set[str],
+    parallel: Optional[ParallelContext] = None,
 ) -> tuple[CleanReport, Optional[RepairDelta], set]:
-    """FD path: relaxation + group detection/repair with statistics pruning."""
+    """FD path: relaxation + group detection/repair with statistics pruning.
+
+    With an enabled ``parallel`` context and a columnar view, the relaxation
+    closure runs sharded (:func:`~repro.parallel.clean.parallel_relax_fd`);
+    everything downstream — grouping, fix computation, accounting — is the
+    serial code over the identical merged scope.
+    """
     report = CleanReport()
     view = state.column_view()
 
@@ -191,10 +208,13 @@ def _clean_sigma_fd(
         # general behaviour is the transitive closure.
         side = FilterSide.LHS
     seen = state.seen_for(fd)
-    relaxation = relax_fd(
-        state.relation, answer, fd, filter_side=side, counter=state.counter,
-        skip_tids=seen, view=view,
-    )
+    if parallel is not None and parallel.enabled and view is not None:
+        relaxation = parallel_relax_fd(state, answer, fd, side, view, parallel)
+    else:
+        relaxation = relax_fd(
+            state.relation, answer, fd, filter_side=side, counter=state.counter,
+            skip_tids=seen, view=view,
+        )
     report.extra_tuples += len(relaxation.extra_tids)
     report.relaxation_iterations += relaxation.iterations
     scope = relaxation.relaxed_tids(answer)
@@ -257,21 +277,28 @@ def _clean_sigma_dc(
     answer: set[int],
     dc: DenialConstraint,
     threshold: float,
+    parallel: Optional[ParallelContext] = None,
 ) -> tuple[CleanReport, Optional[RepairDelta]]:
-    """General-DC path: partial theta-join + Algorithm 2 + holistic repair."""
+    """General-DC path: partial theta-join + Algorithm 2 + holistic repair.
+
+    The matrix's candidate cells fan out over the parallel context's pool
+    when one is enabled; cell results merge in cell order, so violations
+    and work units match the serial check exactly.
+    """
     report = CleanReport()
     matrix = state.matrix_for(dc)
+    pool = parallel.pool if parallel is not None and parallel.enabled else None
 
     decision = decide_cleaning(
         matrix, sorted(answer), state.relation, threshold=threshold,
         counter=state.counter,
     )
     if decision.full_cleaning:
-        violations = matrix.check_full()
+        violations = matrix.check_full(pool=pool)
         report.used_full_matrix = True
         state.mark_fully_cleaned(dc)
     else:
-        violations = matrix.check_partial(answer)
+        violations = matrix.check_partial(answer, pool=pool)
     report.detection_cost += float(len(violations))
 
     if not violations:
@@ -286,7 +313,11 @@ def _clean_sigma_dc(
     return report, delta
 
 
-def clean_full_table(state: TableState, rules: Optional[Iterable] = None) -> CleanReport:
+def clean_full_table(
+    state: TableState,
+    rules: Optional[Iterable] = None,
+    parallel: Optional[ParallelContext] = None,
+) -> CleanReport:
     """Clean the whole table for the given rules (the strategy-switch path).
 
     Equivalent to a clean_sigma whose answer is every tuple; marks rules as
@@ -294,7 +325,7 @@ def clean_full_table(state: TableState, rules: Optional[Iterable] = None) -> Cle
     """
     all_tids = state.relation.tids()
     rules = list(rules) if rules is not None else list(state.rules)
-    report = clean_sigma(state, all_tids, force_rules=rules)
+    report = clean_sigma(state, all_tids, force_rules=rules, parallel=parallel)
     for rule in rules:
         state.mark_fully_cleaned(rule)
     return report
@@ -309,6 +340,7 @@ def clean_join(
     dc_error_threshold: float = 0.2,
     left_filter=None,
     right_filter=None,
+    parallel: Optional[ParallelContext] = None,
 ) -> tuple[JoinResult, CleanReport]:
     """Clean a join result (Definition 3).
 
@@ -342,12 +374,14 @@ def clean_join(
         left_tids,
         force_rules=left_rules,
         dc_error_threshold=dc_error_threshold,
+        parallel=parallel,
     )
     right_report = clean_sigma(
         right_state,
         right_tids,
         force_rules=right_rules,
         dc_error_threshold=dc_error_threshold,
+        parallel=parallel,
     )
     report.merge(left_report)
     report.merge(right_report)

@@ -37,6 +37,7 @@ from repro.core.operators import CleanReport
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError
+from repro.parallel.pool import POOL_THREAD
 from repro.query.ast import Query
 from repro.query.executor import QueryResult
 from repro.query.planner import PlannerCatalog
@@ -67,6 +68,11 @@ class Daisy:
         Execution backend for the detection/cleaning hot path:
         ``"columnar"`` (default) or ``"rowstore"`` (the per-Row semantics
         oracle — both return identical results).
+    parallelism / num_shards / pool:
+        Sharded parallel execution knobs (see :class:`~repro.api.DaisyConfig`
+        and :mod:`repro.parallel`): sessions with ``parallelism > 1`` fan
+        theta-join cells and shard-routed FD relaxations out over a
+        session-owned worker pool; results stay byte-identical to serial.
     config:
         A ready :class:`~repro.api.DaisyConfig`; overrides the loose
         keywords when given.
@@ -78,6 +84,9 @@ class Daisy:
         expected_queries: int = 50,
         dc_error_threshold: float = 0.2,
         backend: str = BACKEND_COLUMNAR,
+        parallelism: int = 1,
+        num_shards: int = 0,
+        pool: str = POOL_THREAD,
         config: Optional[DaisyConfig] = None,
     ):
         if config is None:
@@ -86,6 +95,9 @@ class Daisy:
                 expected_queries=expected_queries,
                 dc_error_threshold=dc_error_threshold,
                 backend=backend,
+                parallelism=parallelism,
+                num_shards=num_shards,
+                pool=pool,
             )
         self.config = config
         self.states: dict[str, TableState] = {}

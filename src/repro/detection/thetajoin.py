@@ -30,13 +30,21 @@ Two execution backends share the matrix/pruning machinery:
   range instead of scanning the whole stripe.  Probabilistic cells are
   routed through the full possible-worlds evaluation, so both backends
   return identical violation lists.
+
+Cells are independent work units: :meth:`ThetaJoinMatrix._check_cell` is
+side-effect-free apart from charging a caller-supplied work counter, each
+cell's violations come back in canonical (t1, t2) order, and
+:meth:`ThetaJoinMatrix.check_cells` can fan candidate cells out over an
+:class:`~repro.parallel.pool.ExecutorPool`, merging partial results and
+per-task counters in cell order — parallel runs are byte-identical to
+serial ones, in both violations and work units.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicate import Predicate
@@ -49,6 +57,9 @@ from repro.relation.columnview import (
     validate_backend,
 )
 from repro.relation.relation import Relation, Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.pool import ExecutorPool
 
 
 @dataclass(frozen=True)
@@ -148,6 +159,24 @@ class ViolationPair:
 
     t1: int
     t2: int
+
+
+def _canonical_cell_order(pairs: list[ViolationPair]) -> list[ViolationPair]:
+    """One cell's violations in canonical form: stable (t1, t2) sort + dedup.
+
+    Every ordered pair belongs to exactly one cell, so per-cell canonical
+    order plus deterministic cell order yields one total violation order —
+    serial and fanned-out checks can be compared with plain list equality.
+    """
+    pairs.sort(key=lambda v: (v.t1, v.t2))
+    if len(pairs) < 2:
+        return pairs
+    out = [pairs[0]]
+    for pair in pairs[1:]:
+        last = out[-1]
+        if pair.t1 != last.t1 or pair.t2 != last.t2:
+            out.append(pair)
+    return out
 
 
 class _StripeColumns:
@@ -290,22 +319,34 @@ class ThetaJoinMatrix:
 
     # -- pair checking ------------------------------------------------------------
 
-    def _pair_violates(self, row_a: Row, row_b: Row) -> bool:
-        self.counter.charge_comparisons()
+    def _pair_violates(self, row_a: Row, row_b: Row, counter: WorkCounter) -> bool:
+        counter.charge_comparisons()
         return all(p.evaluate((row_a, row_b), self.indexes) for p in self.dc.predicates)
 
-    def _pair_violates_rest(self, row_a: Row, row_b: Row) -> bool:
+    def _pair_violates_rest(self, row_a: Row, row_b: Row, counter: WorkCounter) -> bool:
         """All predicates except the driving one (already proven by bisect)."""
-        self.counter.charge_comparisons()
+        counter.charge_comparisons()
         return all(p.evaluate((row_a, row_b), self.indexes) for p in self.rest_preds)
 
-    def _check_cell(self, i: int, j: int) -> list[ViolationPair]:
+    def _check_cell(
+        self, i: int, j: int, counter: Optional[WorkCounter] = None
+    ) -> list[ViolationPair]:
         """Check all (ordered) pairs of cell (i, j), with intra-cell pruning.
 
         For the diagonal (i == j) each unordered pair is checked in both
         orders once; off-diagonal cells check stripe_i × stripe_j in both
         orders (the constraint's tuple variables are ordered).
+
+        Side-effect-free apart from work accounting: ``counter`` (defaulting
+        to the matrix counter) receives this cell's charges, so parallel
+        runs hand each cell task its own counter and merge the tallies
+        afterwards.  The returned pairs are in canonical per-cell order —
+        stably sorted by (t1, t2) and deduplicated — making every caller's
+        merged violation list deterministic (cells are disjoint in the
+        ordered pairs they cover, so cell order + in-cell order is a total
+        order).
         """
+        counter = counter if counter is not None else self.counter
         preds = self.dc.predicates
         box_i, box_j = self.bboxes[i], self.bboxes[j]
         # Cell-level pruning: every predicate must be satisfiable in at
@@ -317,17 +358,17 @@ class ThetaJoinMatrix:
         if i == j:
             backward_possible = forward_possible
         if not forward_possible and not backward_possible:
-            self.counter.charge_partition(pruned=1)
+            counter.charge_partition(pruned=1)
             return []
-        self.counter.charge_partition(checked=1)
+        counter.charge_partition(checked=1)
 
         out: list[ViolationPair] = []
         if self.backend == BACKEND_COLUMNAR:
             if forward_possible:
-                out.extend(self._scan_columnar(i, j, same=(i == j)))
+                out.extend(self._scan_columnar(i, j, same=(i == j), counter=counter))
             if i != j and backward_possible:
-                out.extend(self._scan_columnar(j, i, same=False))
-            return out
+                out.extend(self._scan_columnar(j, i, same=False, counter=counter))
+            return _canonical_cell_order(out)
 
         stripe_i, stripe_j = self.stripes[i], self.stripes[j]
 
@@ -362,14 +403,14 @@ class ThetaJoinMatrix:
                 for b in filtered_b:
                     if same and a.tid == b.tid:
                         continue
-                    if self._pair_violates(a, b):
+                    if self._pair_violates(a, b, counter):
                         out.append(ViolationPair(a.tid, b.tid))
 
         if forward_possible:
             scan(stripe_i, stripe_j, box_j, box_i, same=(i == j))
         if i != j and backward_possible:
             scan(stripe_j, stripe_i, box_i, box_j, same=False)
-        return out
+        return _canonical_cell_order(out)
 
     # -- columnar sort-based scan ---------------------------------------------------
 
@@ -396,7 +437,9 @@ class ThetaJoinMatrix:
                 break
         return alive
 
-    def _scan_columnar(self, si: int, sj: int, same: bool) -> list[ViolationPair]:
+    def _scan_columnar(
+        self, si: int, sj: int, same: bool, counter: WorkCounter
+    ) -> list[ViolationPair]:
         """Ordered pairs (a ∈ stripe si, b ∈ stripe sj) violating the DC.
 
         The driving predicate restricts, for each concrete probe row, the
@@ -424,7 +467,7 @@ class ThetaJoinMatrix:
                     b = rows_b[l]
                     if same and a.tid == b.tid:
                         continue
-                    if self._pair_violates(a, b):
+                    if self._pair_violates(a, b, counter):
                         out.append(ViolationPair(a.tid, b.tid))
             return out
 
@@ -457,7 +500,7 @@ class ThetaJoinMatrix:
                     b = rows_b[l]
                     if same and a.tid == b.tid:
                         continue
-                    if self._pair_violates(a, b):
+                    if self._pair_violates(a, b, counter):
                         out.append(ViolationPair(a.tid, b.tid))
                 continue
             v = a_raw[k]
@@ -471,51 +514,106 @@ class ThetaJoinMatrix:
                 if same and a.tid == b.tid:
                     continue
                 if l in b_uncertain_all:
-                    if self._pair_violates(a, b):
+                    if self._pair_violates(a, b, counter):
                         out.append(ViolationPair(a.tid, b.tid))
-                elif self._pair_violates_rest(a, b):
+                elif self._pair_violates_rest(a, b, counter):
                     out.append(ViolationPair(a.tid, b.tid))
         return out
 
     # -- public API ----------------------------------------------------------------
 
-    def check_full(self) -> list[ViolationPair]:
-        """Check every not-yet-checked upper-triangle cell (offline mode)."""
-        out: list[ViolationPair] = []
+    def candidate_cells(
+        self, query_tids: Optional[Iterable[int]] = None
+    ) -> list[tuple[int, int]]:
+        """Upper-triangle cells still to check, in deterministic scan order.
+
+        With ``query_tids``, only cells involving a stripe that contains a
+        query tuple are candidates (the partial theta-join's relevance
+        filter); already-checked cells are always excluded.
+        """
+        touched: Optional[set[int]] = None
+        if query_tids is not None:
+            touched = {
+                self._stripe_of_tid[tid]
+                for tid in query_tids
+                if tid in self._stripe_of_tid
+            }
+            if not touched:
+                return []
+        out: list[tuple[int, int]] = []
         s = self.num_stripes()
         for i in range(s):
             for j in range(i, s):
                 if (i, j) in self.checked_cells:
                     continue
-                out.extend(self._check_cell(i, j))
-                self.checked_cells.add((i, j))
+                if touched is not None and i not in touched and j not in touched:
+                    continue
+                out.append((i, j))
         return out
 
-    def check_partial(self, query_tids: Iterable[int]) -> list[ViolationPair]:
+    def check_cells(
+        self,
+        cells: Sequence[tuple[int, int]],
+        pool: Optional["ExecutorPool"] = None,
+    ) -> list[ViolationPair]:
+        """Check the given cells, optionally fanned out over a pool.
+
+        Cells are independent (PR 1 made :meth:`_check_cell` side-effect
+        free), so with a pool each cell runs as one task with a private
+        :class:`WorkCounter`; partial violation lists and counters are
+        merged **in cell order**, making the result — and the matrix
+        counter's totals — byte-identical to a serial run.  Checked cells
+        are recorded only after all tasks complete.
+        """
+        out: list[ViolationPair] = []
+        if pool is None or pool.workers <= 1 or len(cells) <= 1:
+            for i, j in cells:
+                out.extend(self._check_cell(i, j))
+                self.checked_cells.add((i, j))
+            return out
+
+        # Process pools pickle results across the process boundary; plain
+        # (t1, t2) int tuples serialize an order of magnitude cheaper than
+        # ViolationPair instances, and rebuilding in task order preserves
+        # byte-identity.
+        compact = pool.kind == "process"
+
+        def task_for(cell: tuple[int, int]):
+            def task():
+                local = WorkCounter()
+                pairs = self._check_cell(cell[0], cell[1], counter=local)
+                if compact:
+                    return [(v.t1, v.t2) for v in pairs], local
+                return pairs, local
+
+            return task
+
+        results = pool.run([task_for(cell) for cell in cells])
+        for cell, (violations, local) in zip(cells, results):
+            if compact:
+                out.extend(ViolationPair(t1, t2) for t1, t2 in violations)
+            else:
+                out.extend(violations)
+            self.counter.merge(local)
+            self.checked_cells.add(cell)
+        return out
+
+    def check_full(
+        self, pool: Optional["ExecutorPool"] = None
+    ) -> list[ViolationPair]:
+        """Check every not-yet-checked upper-triangle cell (offline mode)."""
+        return self.check_cells(self.candidate_cells(), pool=pool)
+
+    def check_partial(
+        self, query_tids: Iterable[int], pool: Optional["ExecutorPool"] = None
+    ) -> list[ViolationPair]:
         """Check only cells involving the query's stripes (partial theta-join).
 
         A cell (i, j) is relevant if stripe i or stripe j contains a query
         tuple; previously checked cells are skipped and newly checked cells
         are recorded — the incremental matrix of Fig. 2.
         """
-        touched = {
-            self._stripe_of_tid[tid]
-            for tid in query_tids
-            if tid in self._stripe_of_tid
-        }
-        if not touched:
-            return []
-        out: list[ViolationPair] = []
-        s = self.num_stripes()
-        for i in range(s):
-            for j in range(i, s):
-                if (i, j) in self.checked_cells:
-                    continue
-                if i not in touched and j not in touched:
-                    continue
-                out.extend(self._check_cell(i, j))
-                self.checked_cells.add((i, j))
-        return out
+        return self.check_cells(self.candidate_cells(query_tids), pool=pool)
 
     def support(self) -> float:
         """Fraction of diagonal-inclusive triangle cells checked so far.

@@ -18,6 +18,7 @@ benchmark harness reports both seconds and work units.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 
 @dataclass
@@ -77,6 +78,20 @@ class WorkCounter:
             partitions_pruned=self.partitions_pruned - earlier.partitions_pruned,
             joins_probed=self.joins_probed - earlier.joins_probed,
         )
+
+    @classmethod
+    def merged(cls, counters: Iterable["WorkCounter"]) -> "WorkCounter":
+        """One counter accumulating many per-worker tallies.
+
+        The fan-out merge of the parallel paths: each pool task charges a
+        private counter, and the caller folds them together (order cannot
+        matter — addition commutes), so parallel totals reconcile with a
+        serial run exactly.
+        """
+        out = cls()
+        for counter in counters:
+            out.merge(counter)
+        return out
 
     def merge(self, other: "WorkCounter") -> None:
         """Accumulate another counter into this one (e.g. per-partition tallies)."""

@@ -1,0 +1,51 @@
+"""Sharded parallel execution: pools, relation shards, and the clean context.
+
+The paper's unit of cleaning work — a theta-join matrix cell, an FD scope's
+relaxation closure — is naturally independent, so this package supplies the
+three pieces that let one ``clean_sigma`` pass run sharded and concurrent:
+
+* :mod:`repro.parallel.pool` — :class:`ExecutorPool` (serial / thread /
+  fork-process behind one "run tasks, results in task order" interface);
+* :mod:`repro.parallel.shards` — :class:`RelationShard` / :class:`ShardSet`
+  row-range partitions with per-shard lazy column views and the tid router;
+* :mod:`repro.parallel.clean` — :class:`ParallelContext` (the session-owned
+  pool + router bundle) and the sharded FD relaxation.
+
+Every parallel path is byte-identical to its serial oracle — in results,
+repaired relations, and work-unit totals; the serial path stays the default
+(``DaisyConfig(parallelism=1)``).
+"""
+
+from repro.parallel.clean import ParallelContext, parallel_relax_fd
+from repro.parallel.pool import (
+    POOL_KINDS,
+    POOL_PROCESS,
+    POOL_SERIAL,
+    POOL_THREAD,
+    ExecutorPool,
+    ForkProcessPool,
+    SerialPool,
+    ThreadPool,
+    fork_available,
+    make_pool,
+    validate_pool_kind,
+)
+from repro.parallel.shards import RelationShard, ShardSet
+
+__all__ = [
+    "POOL_KINDS",
+    "POOL_PROCESS",
+    "POOL_SERIAL",
+    "POOL_THREAD",
+    "ExecutorPool",
+    "ForkProcessPool",
+    "ParallelContext",
+    "RelationShard",
+    "SerialPool",
+    "ShardSet",
+    "ThreadPool",
+    "fork_available",
+    "make_pool",
+    "parallel_relax_fd",
+    "validate_pool_kind",
+]

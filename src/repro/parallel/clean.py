@@ -1,0 +1,173 @@
+"""Shard-parallel cleaning: fan an FD scope's relaxation out over shards.
+
+:class:`ParallelContext` is the session-scoped handle the operators receive:
+it owns the lazily created :class:`~repro.parallel.pool.ExecutorPool`, the
+per-table :class:`~repro.parallel.shards.ShardSet` routers, and the knobs
+(``workers``, ``num_shards``).  ``clean_sigma`` uses it two ways:
+
+* **FD scopes** — :func:`parallel_relax_fd` routes the answer tids to shards
+  by tid range and runs one Algorithm 1 relaxation closure per shard
+  concurrently (closures are read-only over the shared column view).
+  Relaxation closures distribute over unions — ``closure(A ∪ B) =
+  closure(A) ∪ closure(B)`` because a closure covers entire correlated
+  clusters — so merging the per-shard results with set unions reproduces the
+  serial scope, consultation set, and repair delta byte-for-byte.
+* **DC checks** — the theta-join matrix's candidate cells fan out over the
+  same pool (see :meth:`repro.detection.thetajoin.ThetaJoinMatrix.check_cells`).
+
+Work accounting stays a deterministic oracle: the per-shard tasks charge
+throwaway counters, and after the merge the table's real counter is charged
+exactly what the serial columnar relaxation would have charged (per
+discovered extra/consult tuple).  A correlated cluster spanning several
+shards is closed once per touching shard — that duplicated frontier work is
+parallelization overhead, not model work, so it never skews the work-unit
+totals the benchmarks and the cost model reason about.  The same reasoning
+caps the merged ``iterations`` at the per-shard maximum (a cluster seeded
+from several shards can need more rounds per shard than the union-seeded
+serial pass).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.constraints.analysis import FilterSide
+from repro.constraints.dc import FunctionalDependency
+from repro.core.relaxation import RelaxationResult, relax_fd
+from repro.engine.stats import WorkCounter
+from repro.parallel.pool import ExecutorPool, make_pool, validate_pool_kind
+from repro.parallel.shards import ShardSet
+from repro.relation.columnview import ColumnView
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.state import TableState
+
+
+class ParallelContext:
+    """Session-scoped parallel execution state: pool + shard routers.
+
+    The pool is created lazily on first use and must be released with
+    :meth:`close` (the owning :class:`repro.api.Session` does this);
+    shard routers are cached per table state — tid membership is stable
+    across Daisy's in-place repairs, so a router built once keeps routing
+    correctly for the session's whole lifetime.
+    """
+
+    def __init__(self, kind: str, workers: int, num_shards: int = 0):
+        validate_pool_kind(kind)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if num_shards < 0:
+            raise ValueError("num_shards must be >= 0")
+        self.kind = kind
+        self.workers = workers
+        self.num_shards = num_shards or workers
+        self._pool: Optional[ExecutorPool] = None
+        #: id(state) -> (state, router).  The held state reference both
+        #: validates the entry (a recycled id from a re-registered table
+        #: cannot alias a stale router) and keys the router's lifetime to
+        #: the state it was built for.
+        self._shard_sets: dict[int, tuple[object, ShardSet]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether fan-out is active (one worker means pure serial paths)."""
+        return self.workers > 1
+
+    @property
+    def pool(self) -> ExecutorPool:
+        if self._pool is None:
+            self._pool = make_pool(self.kind, self.workers)
+        return self._pool
+
+    def shards_for(self, state: "TableState") -> ShardSet:
+        """The (cached) shard router of one table state."""
+        key = id(state)
+        entry = self._shard_sets.get(key)
+        if entry is not None and entry[0] is state:
+            return entry[1]
+        shard_set = ShardSet.split(state.relation, self.num_shards)
+        self._shard_sets[key] = (state, shard_set)
+        return shard_set
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelContext({self.kind}, workers={self.workers}, "
+            f"shards={self.num_shards})"
+        )
+
+
+def parallel_relax_fd(
+    state: "TableState",
+    answer: Iterable[int],
+    fd: FunctionalDependency,
+    filter_side: FilterSide,
+    view: ColumnView,
+    context: ParallelContext,
+) -> RelaxationResult:
+    """Algorithm 1 relaxation, sharded by tid range and merged (see module
+    docstring).  Requires the columnar view; byte-identical to
+    :func:`repro.core.relaxation.relax_fd` in scope, consultation set, and
+    the work units charged to ``state.counter``.
+    """
+    answer_set = set(answer)
+    seen = state.seen_for(fd)
+    parts = context.shards_for(state).route_tids(answer_set)
+    if len(parts) <= 1 or not context.enabled:
+        return relax_fd(
+            state.relation, answer_set, fd, filter_side=filter_side,
+            counter=state.counter, skip_tids=seen, view=view,
+        )
+
+    relation = state.relation
+    seen_snapshot = set(seen)
+
+    def task_for(part: set[int]):
+        def task() -> RelaxationResult:
+            return relax_fd(
+                relation, part, fd, filter_side=filter_side,
+                counter=WorkCounter(), skip_tids=seen_snapshot, view=view,
+            )
+
+        return task
+
+    results = context.pool.run([task_for(part) for part in parts.values()])
+
+    merged = RelaxationResult()
+    extra: set[int] = set()
+    consult: set[int] = set()
+    for result in results:
+        extra |= result.extra_tids
+        consult |= result.consult_tids
+        merged.iterations = max(merged.iterations, result.iterations)
+    # A shard's closure may discover another shard's answer tuples as
+    # "extra" (they are answer, not extra, in the union run) — the set
+    # subtraction makes the merge exactly the serial scope/consult split.
+    extra -= answer_set
+    consult -= answer_set
+    consult -= extra
+    merged.extra_tids = extra
+    merged.consult_tids = consult
+
+    # Serial-equivalent work accounting over the merged sets.
+    counter = state.counter
+    if filter_side is FilterSide.RHS:
+        merged.iterations = 1
+        counter.charge_scan(len(extra))
+        counter.charge_scan(len(consult))
+        merged.scanned_tuples = len(extra) + len(consult)
+    else:
+        pos_map = view.pos_of_tid
+        skip_count = sum(
+            1 for tid in (seen_snapshot - answer_set) if tid in pos_map
+        )
+        counter.charge_scan(len(extra))
+        if skip_count:
+            counter.charge_scan(skip_count)
+        merged.scanned_tuples = len(extra) + skip_count
+    return merged

@@ -1,0 +1,191 @@
+"""Executor pools: one interface over serial, threaded, and process fan-out.
+
+The paper runs Daisy on a 7-node Spark cluster; our single-process substrate
+gets its concurrency from an :class:`ExecutorPool` — a minimal "run these
+independent tasks, give me the results in task order" abstraction that the
+detection and cleaning layers fan work out over.  Three implementations:
+
+* :class:`SerialPool` — runs tasks inline.  The default and the semantics
+  oracle: every parallel code path must produce byte-identical results to a
+  serial run.
+* :class:`ThreadPool` — a persistent :class:`~concurrent.futures.ThreadPoolExecutor`.
+  Threads share the engine state directly (tasks must only *read* shared
+  state); under CPython's GIL they overlap I/O and C-level work but not pure
+  Python compute.
+* :class:`ForkProcessPool` — per-run worker processes forked from the
+  current process.  Tasks are ordinary closures: the fork inherits the
+  parent's state (relations, matrices, column views) copy-on-write, so no
+  task pickling is needed — only the *results* cross the process boundary
+  and must be picklable.  This is the pool that buys real CPU scaling for
+  the theta-join cell checks.
+
+Tasks must be independent and must not mutate shared engine state; each
+task returns its partial result (typically a list of violations plus a
+local :class:`~repro.engine.stats.WorkCounter`), and the caller merges the
+partials deterministically in task order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+
+#: Supported pool kinds for :func:`make_pool` / ``DaisyConfig.pool``.
+POOL_SERIAL = "serial"
+POOL_THREAD = "thread"
+POOL_PROCESS = "process"
+POOL_KINDS = (POOL_SERIAL, POOL_THREAD, POOL_PROCESS)
+
+#: One task: a no-argument callable returning a picklable partial result.
+Task = Callable[[], Any]
+
+
+def validate_pool_kind(name: str) -> str:
+    if name not in POOL_KINDS:
+        raise ValueError(f"unknown pool kind {name!r}; expected one of {POOL_KINDS}")
+    return name
+
+
+class ExecutorPool:
+    """Common interface of every pool: ordered fan-out of independent tasks.
+
+    ``run(tasks)`` executes the tasks (possibly concurrently) and returns
+    their results **in task order**, which is what makes downstream merges
+    deterministic regardless of completion order.  Pools are context
+    managers; :meth:`close` releases workers and is idempotent.
+    """
+
+    kind: str = POOL_SERIAL
+    workers: int = 1
+
+    def run(self, tasks: Sequence[Task]) -> list[Any]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialPool(ExecutorPool):
+    """Run tasks inline, one after another (the oracle pool)."""
+
+    kind = POOL_SERIAL
+    workers = 1
+
+    def run(self, tasks: Sequence[Task]) -> list[Any]:
+        return [task() for task in tasks]
+
+
+class ThreadPool(ExecutorPool):
+    """A persistent thread pool; tasks share state and must only read it."""
+
+    kind = POOL_THREAD
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def run(self, tasks: Sequence[Task]) -> list[Any]:
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        executor = self._ensure()
+        futures: list[Future] = [executor.submit(task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+#: Task table a forked worker inherits; indexed by the submitted task id.
+#: Only valid between a ForkProcessPool.run's fork and its shutdown, and
+#: guarded by _FORK_LOCK — concurrent process-pool runs from different
+#: threads would otherwise fork each other's task tables.
+_FORK_TASKS: Sequence[Task] = ()
+_FORK_LOCK = threading.Lock()
+
+
+def _run_forked_task(index: int) -> Any:
+    return _FORK_TASKS[index]()
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the fork start method (Linux: yes)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ForkProcessPool(ExecutorPool):
+    """Fork worker processes per run; tasks are inherited, results pickled.
+
+    A fresh :class:`~concurrent.futures.ProcessPoolExecutor` is created per
+    :meth:`run` so the forked children see the *current* engine state (the
+    matrices and views the tasks close over); the fork is copy-on-write, so
+    no explicit serialization of the inputs happens.  Mutations a task makes
+    (e.g. lazily built per-stripe sort caches) stay in the child — tasks
+    must treat shared state as read-only and return everything the caller
+    needs.
+    """
+
+    kind = POOL_PROCESS
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not fork_available():  # pragma: no cover - platform dependent
+            raise RuntimeError(
+                "process pool requires the fork start method; "
+                "use pool='thread' on this platform"
+            )
+        self.workers = workers
+
+    def run(self, tasks: Sequence[Task]) -> list[Any]:
+        global _FORK_TASKS
+        if len(tasks) <= 1 or self.workers == 1:
+            return [task() for task in tasks]
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_TASKS = tasks
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks)), mp_context=context
+                ) as executor:
+                    # Workers are forked on first submit, after _FORK_TASKS
+                    # is set, so every child inherits the full task table.
+                    return list(executor.map(_run_forked_task, range(len(tasks))))
+            finally:
+                _FORK_TASKS = ()
+
+
+def make_pool(kind: str, workers: int) -> ExecutorPool:
+    """Build a pool of the given kind; ``workers <= 1`` is always serial.
+
+    ``process`` silently degrades to ``thread`` on platforms without fork
+    (the fork-inheritance contract cannot be met there).
+    """
+    validate_pool_kind(kind)
+    if workers <= 1 or kind == POOL_SERIAL:
+        return SerialPool()
+    if kind == POOL_PROCESS:
+        if fork_available():
+            return ForkProcessPool(workers)
+        return ThreadPool(workers)  # pragma: no cover - platform dependent
+    return ThreadPool(workers)

@@ -1,0 +1,155 @@
+"""Partition-aware relations: row-range shards over a :class:`Relation`.
+
+A :class:`ShardSet` splits a relation into ``num_shards`` contiguous
+row-range shards (tids are assigned in row order, so row ranges are tid
+ranges on every generated dataset).  Each :class:`RelationShard` carries its
+own sub-relation and a **lazily built** :class:`~repro.relation.columnview.ColumnView`
+slice — the shard's sorted/hash indexes are derived on first use, exactly
+like a full relation's — so shard-local scans and filters never touch rows
+outside the shard.
+
+The shard *router* maps a scope's tids back to shards: cleaning operators
+partition a query answer with :meth:`ShardSet.route_tids` and fan the
+per-shard sub-scopes out over an :class:`~repro.parallel.pool.ExecutorPool`.
+Routing relies only on tid membership, which is stable across Daisy's
+in-place repairs (updates replace cells, never rows), so a ShardSet built at
+registration time keeps routing correctly over the gradually cleaned
+relation.  The per-shard *views* are snapshots of the relation the split
+saw, for read-only scan/filter work over that version — repairs produce new
+Relation objects and do not patch shard views, which is exactly why the
+parallel cleaning path partitions *tids* with the router and reads cell
+values through the live table's own (incrementally patched) view.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+from repro.relation.columnview import ColumnView
+from repro.relation.relation import Relation
+
+
+class RelationShard:
+    """One contiguous row-range slice of a relation.
+
+    ``relation`` holds only the shard's rows; :meth:`view` materializes the
+    shard's own columnar view on first use (per-shard sorted/hash indexes
+    build lazily from there).  ``tid_lo`` / ``tid_hi`` summarize the tid
+    range for range-based pruning; membership checks use :attr:`tids`.
+    """
+
+    __slots__ = ("index", "relation", "tid_lo", "tid_hi", "tids", "_view")
+
+    def __init__(self, index: int, relation: Relation):
+        self.index = index
+        self.relation = relation
+        tids = [row.tid for row in relation.rows]
+        self.tids = frozenset(tids)
+        self.tid_lo = min(tids) if tids else 0
+        self.tid_hi = max(tids) if tids else -1
+        self._view: Optional[ColumnView] = None
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def view(self) -> ColumnView:
+        """The shard's own columnar view (built lazily, then cached).
+
+        A **snapshot** of the relation the split saw: in-place repairs
+        produce new Relation objects and do not patch shard views — use the
+        router for anything that must track the live table.
+        """
+        if self._view is None:
+            self._view = ColumnView.from_relation(self.relation)
+        return self._view
+
+    def filter_tids(self, attr: str, op: str, value: Any) -> set[int]:
+        """Shard-local selection via the shard view's lazy indexes
+        (snapshot semantics — see :meth:`view`)."""
+        return self.view().filter_tids(attr, op, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationShard(#{self.index}, {len(self)} rows, "
+            f"tids [{self.tid_lo}, {self.tid_hi}])"
+        )
+
+
+class ShardSet:
+    """A relation split into contiguous row-range shards, plus the router.
+
+    Build with :meth:`split`.  ``route_tids`` partitions any tid iterable by
+    owning shard (unknown tids are dropped — they cannot contribute to any
+    shard-local computation, mirroring how the serial operators skip absent
+    tids); ``shard_of_tid`` exposes the raw routing map.
+    """
+
+    __slots__ = ("relation", "shards", "_shard_of_tid")
+
+    def __init__(self, relation: Relation, shards: list[RelationShard]):
+        self.relation = relation
+        self.shards = shards
+        self._shard_of_tid: dict[int, int] = {}
+        for shard in shards:
+            for tid in shard.tids:
+                self._shard_of_tid[tid] = shard.index
+
+    @classmethod
+    def split(cls, relation: Relation, num_shards: int) -> "ShardSet":
+        """Split ``relation`` into ``num_shards`` contiguous row ranges.
+
+        Shards are balanced to within one row; fewer shards than requested
+        are produced when the relation is smaller than ``num_shards``.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        rows = relation.rows
+        n = len(rows)
+        per = max(1, math.ceil(n / num_shards)) if n else 1
+        shards: list[RelationShard] = []
+        if n == 0:
+            shards.append(RelationShard(0, relation.empty_like()))
+        else:
+            for index, start in enumerate(range(0, n, per)):
+                sub = Relation(
+                    relation.schema, rows[start:start + per], name=relation.name
+                )
+                shards.append(RelationShard(index, sub))
+        return cls(relation, shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def shard_of_tid(self, tid: int) -> Optional[int]:
+        return self._shard_of_tid.get(tid)
+
+    def route_tids(self, tids: Iterable[int]) -> dict[int, set[int]]:
+        """Partition ``tids`` by owning shard index (ascending shard order).
+
+        Tids not present in any shard are dropped; the returned dict only
+        has entries for shards that received at least one tid.
+        """
+        routed: dict[int, set[int]] = {}
+        lookup = self._shard_of_tid
+        for tid in tids:
+            shard = lookup.get(tid)
+            if shard is None:
+                continue
+            routed.setdefault(shard, set()).add(tid)
+        return {index: routed[index] for index in sorted(routed)}
+
+    def filter_tids(self, attr: str, op: str, value: Any) -> set[int]:
+        """Union of per-shard selections — equals the unsharded filter over
+        the relation snapshot the split saw (repairs land in new Relation
+        objects; re-split to filter repaired values)."""
+        out: set[int] = set()
+        for shard in self.shards:
+            out |= shard.filter_tids(attr, op, value)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ShardSet({len(self.shards)} shards over {len(self.relation)} rows)"

@@ -18,6 +18,7 @@ from typing import Any, Optional
 
 from repro.core.operators import CleanReport, clean_join, clean_sigma
 from repro.core.state import TableState
+from repro.parallel.clean import ParallelContext
 from repro.errors import PlanError, QueryError
 from repro.probabilistic.lineage import join_with_lineage
 from repro.probabilistic.value import cell_compare
@@ -66,11 +67,15 @@ class Executor:
         catalog: PlannerCatalog,
         cleaning_enabled: bool = True,
         dc_error_threshold: float = 0.2,
+        parallel: Optional[ParallelContext] = None,
     ):
         self.states = states
         self.catalog = catalog
         self.cleaning_enabled = cleaning_enabled
         self.dc_error_threshold = dc_error_threshold
+        #: Optional sharded/pooled execution context for the clean operators
+        #: (owned by the session; None keeps the serial oracle paths).
+        self.parallel = parallel
 
     # -- filter evaluation ----------------------------------------------------------
 
@@ -183,6 +188,7 @@ class Executor:
                     where_attrs=node.where_attrs,
                     projection=node.projection_attrs,
                     dc_error_threshold=self.dc_error_threshold,
+                    parallel=self.parallel,
                 )
                 report.merge(sub)
                 # Newly qualifying tuples can only come from the repaired scope.
@@ -347,6 +353,7 @@ class Executor:
                         row, right_state.relation, right_conditions,
                         query.connector, False,
                     ),
+                    parallel=self.parallel,
                 )
                 report.merge(sub)
                 acc = self._reapply_side_filters(

@@ -385,6 +385,76 @@ class TestCostModelState:
         assert model.dataset_size == 5
 
 
+class TestPlanCache:
+    """The session's cross-query plan cache (prepare's benefit for ad-hoc
+    execute calls): structure-keyed, constants erased, invalidated by rule
+    registration."""
+
+    def test_same_structure_different_constants_hits(self):
+        d = make_engine()
+        with d.connect() as session:
+            r1 = session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            assert (session.plan_cache_hits, session.plan_cache_misses) == (0, 1)
+            r2 = session.execute("SELECT zip FROM cities WHERE city = 'New York'")
+            assert (session.plan_cache_hits, session.plan_cache_misses) == (1, 1)
+            assert len(r1) == 3 and len(r2) == 2  # cleaning relaxed tid 3 in
+
+    def test_cached_plan_results_match_uncached_session(self):
+        queries = [
+            "SELECT zip FROM cities WHERE city = 'Los Angeles'",
+            "SELECT zip FROM cities WHERE city = 'San Francisco'",
+            "SELECT zip FROM cities WHERE city = 'New York'",
+        ]
+        d_cached, d_uncached = make_engine(), make_engine()
+        with d_cached.connect() as cached, d_uncached.connect() as uncached:
+            for sql in queries:
+                via_cache = cached.execute(sql)
+                uncached._plan_cache.clear()  # force replanning every time
+                direct = uncached.execute(sql)
+                assert relations_identical(via_cache.relation, direct.relation)
+            assert cached.plan_cache_hits == 2
+            assert uncached.plan_cache_hits == 0
+        assert relations_identical(
+            d_cached.table("cities"), d_uncached.table("cities")
+        )
+
+    def test_different_structure_misses(self):
+        d = make_engine()
+        with d.connect() as session:
+            session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            session.execute("SELECT city FROM cities WHERE zip = 9001")
+            session.execute("SELECT zip FROM cities WHERE city != 'Los Angeles'")
+            assert session.plan_cache_hits == 0
+            assert session.plan_cache_misses == 3
+
+    def test_rule_registration_invalidates(self):
+        d = Daisy(config=DaisyConfig(use_cost_model=False))
+        d.register_table("cities", cities_rel())
+        with d.connect() as session:
+            session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            d.add_rule("cities", "zip -> city", name="phi")
+            # Same structure, but the rules epoch moved: the stale rule-free
+            # plan must not be reused — the new plan carries the clean node.
+            result = session.execute(
+                "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+            )
+            assert session.plan_cache_hits == 0
+            assert session.plan_cache_misses == 2
+            assert result.report.errors_fixed > 0
+
+    def test_ast_queries_share_cache_with_sql(self):
+        d = make_engine()
+        query = Query(
+            tables=["cities"],
+            projection=[ColumnRef("zip")],
+            conditions=[Condition(ColumnRef("city"), "=", "New York")],
+        )
+        with d.connect() as session:
+            session.execute("SELECT zip FROM cities WHERE city = 'Los Angeles'")
+            session.execute(query)
+            assert session.plan_cache_hits == 1
+
+
 class TestDeprecationShims:
     def test_execute_warns_and_works(self):
         d = make_engine()

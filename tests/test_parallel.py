@@ -1,0 +1,423 @@
+"""Sharded parallel execution: pool/shard units and serial-parity suites.
+
+The contract under test: every parallel path — theta-join cell fan-out,
+shard-routed FD relaxation, the batch API's shard-partitioned shared pass —
+is **byte-identical** to the serial oracle: same violations (as ordered
+lists), same repairs and repaired relations (PValue candidates included),
+and the same work-unit totals after merging per-worker counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Daisy, DaisyConfig
+from repro.constraints import DenialConstraint, Predicate
+from repro.datasets import airquality, hospital
+from repro.datasets.errors import inject_numeric_errors
+from repro.parallel import (
+    ForkProcessPool,
+    ParallelContext,
+    SerialPool,
+    ShardSet,
+    ThreadPool,
+    fork_available,
+    make_pool,
+)
+from repro.detection.thetajoin import ThetaJoinMatrix
+from repro.engine.stats import WorkCounter
+from repro.relation import ColumnType, Relation
+
+
+# ---------------------------------------------------------------------------
+# Executor pools
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorPool:
+    def test_make_pool_single_worker_is_serial(self):
+        assert isinstance(make_pool("thread", 1), SerialPool)
+        assert isinstance(make_pool("process", 1), SerialPool)
+        assert isinstance(make_pool("serial", 8), SerialPool)
+
+    def test_make_pool_kinds(self):
+        with make_pool("thread", 3) as pool:
+            assert isinstance(pool, ThreadPool)
+            assert pool.workers == 3
+        with pytest.raises(ValueError):
+            make_pool("fleet", 2)
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_results_in_task_order(self, kind):
+        if kind == "process" and not fork_available():
+            pytest.skip("no fork on this platform")
+        tasks = [(lambda k=k: k * k) for k in range(13)]
+        with make_pool(kind, 4) as pool:
+            assert pool.run(tasks) == [k * k for k in range(13)]
+
+    def test_thread_pool_propagates_exceptions(self):
+        def boom():
+            raise RuntimeError("task failed")
+
+        with make_pool("thread", 2) as pool:
+            with pytest.raises(RuntimeError, match="task failed"):
+                pool.run([lambda: 1, boom, lambda: 3])
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_fork_pool_inherits_closures(self):
+        payload = {"base": 40}
+        with ForkProcessPool(2) as pool:
+            got = pool.run([lambda: payload["base"] + 1, lambda: payload["base"] + 2])
+        assert got == [41, 42]
+
+    def test_close_is_idempotent(self):
+        pool = make_pool("thread", 2)
+        pool.run([lambda: 1, lambda: 2])
+        pool.close()
+        pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Relation shards
+# ---------------------------------------------------------------------------
+
+
+def _numbers_relation(n: int = 20) -> Relation:
+    return Relation.from_rows(
+        [("k", ColumnType.INT), ("v", ColumnType.INT)],
+        [(i, i % 5) for i in range(n)],
+        name="numbers",
+    )
+
+
+class TestShardSet:
+    def test_split_covers_all_rows_contiguously(self):
+        rel = _numbers_relation(20)
+        shards = ShardSet.split(rel, 4)
+        assert len(shards) == 4
+        assert [len(s) for s in shards] == [5, 5, 5, 5]
+        seen: list[int] = []
+        for shard in shards:
+            assert shard.tid_lo == min(shard.tids)
+            assert shard.tid_hi == max(shard.tids)
+            seen.extend(sorted(shard.tids))
+        assert seen == list(range(20))
+
+    def test_more_shards_than_rows(self):
+        shards = ShardSet.split(_numbers_relation(3), 8)
+        assert len(shards) == 3
+        assert all(len(s) == 1 for s in shards)
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows([("k", ColumnType.INT)], [], name="empty")
+        shards = ShardSet.split(rel, 4)
+        assert len(shards) == 1
+        assert shards.route_tids([1, 2]) == {}
+
+    def test_router(self):
+        shards = ShardSet.split(_numbers_relation(20), 4)
+        routed = shards.route_tids([0, 4, 5, 19, 99])
+        assert routed == {0: {0, 4}, 1: {5}, 3: {19}}
+        assert shards.shard_of_tid(7) == 1
+        assert shards.shard_of_tid(99) is None
+
+    def test_shard_filter_union_matches_full_filter(self):
+        rel = _numbers_relation(23)
+        shards = ShardSet.split(rel, 4)
+        expected = rel.column_view().filter_tids("v", "=", 3)
+        assert shards.filter_tids("v", "=", 3) == expected
+        expected_range = rel.column_view().filter_tids("k", ">=", 11)
+        assert shards.filter_tids("k", ">=", 11) == expected_range
+
+    def test_shard_views_are_lazy_and_cached(self):
+        shard = ShardSet.split(_numbers_relation(10), 2).shards[0]
+        assert shard._view is None
+        view = shard.view()
+        assert view is shard.view()
+        assert len(view) == len(shard)
+
+
+# ---------------------------------------------------------------------------
+# Theta-join cell fan-out
+# ---------------------------------------------------------------------------
+
+
+def _dc_relation(n: int = 240) -> tuple[Relation, DenialConstraint]:
+    raw = [(i, 100.0 + i * 10.0, round(0.01 + i * 0.0001, 6)) for i in range(n)]
+    rel = Relation.from_rows(
+        [
+            ("orderkey", ColumnType.INT),
+            ("extended_price", ColumnType.FLOAT),
+            ("discount", ColumnType.FLOAT),
+        ],
+        raw,
+        name="lineorder",
+    )
+    dirty, _ = inject_numeric_errors(
+        rel, "discount", cell_fraction=0.05, magnitude=3.0, seed=7
+    )
+    dc = DenialConstraint(
+        [
+            Predicate(0, "extended_price", "<", 1, "extended_price"),
+            Predicate(0, "discount", ">", 1, "discount"),
+        ],
+        name="dc_price_discount",
+    )
+    return dirty, dc
+
+
+class TestMatrixFanOut:
+    @pytest.mark.parametrize("backend", ["columnar", "rowstore"])
+    def test_check_full_parallel_identical(self, backend):
+        rel, dc = _dc_relation()
+        serial = ThetaJoinMatrix(rel, dc, sqrt_p=6, counter=WorkCounter(), backend=backend)
+        fanned = ThetaJoinMatrix(rel, dc, sqrt_p=6, counter=WorkCounter(), backend=backend)
+        expected = serial.check_full()
+        with make_pool("thread", 4) as pool:
+            got = fanned.check_full(pool=pool)
+        # List equality, not set equality: per-cell canonical order plus
+        # cell-order merging makes the violation order deterministic.
+        assert got == expected
+        assert fanned.counter.as_dict() == serial.counter.as_dict()
+        assert fanned.checked_cells == serial.checked_cells
+
+    def test_check_partial_parallel_identical(self):
+        rel, dc = _dc_relation()
+        serial = ThetaJoinMatrix(rel, dc, sqrt_p=6, counter=WorkCounter())
+        fanned = ThetaJoinMatrix(rel, dc, sqrt_p=6, counter=WorkCounter())
+        tids = set(range(0, 60))
+        expected_first = serial.check_partial(tids)
+        with make_pool("thread", 3) as pool:
+            got_first = fanned.check_partial(tids, pool=pool)
+            assert got_first == expected_first
+            # Incremental second call: already-checked cells stay skipped.
+            more = set(range(60, 150))
+            assert fanned.check_partial(more, pool=pool) == serial.check_partial(more)
+        assert fanned.counter.as_dict() == serial.counter.as_dict()
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork")
+    def test_check_full_process_pool_identical(self):
+        rel, dc = _dc_relation(160)
+        serial = ThetaJoinMatrix(rel, dc, sqrt_p=4, counter=WorkCounter())
+        fanned = ThetaJoinMatrix(rel, dc, sqrt_p=4, counter=WorkCounter())
+        expected = serial.check_full()
+        with make_pool("process", 2) as pool:
+            got = fanned.check_full(pool=pool)
+        assert got == expected
+        assert fanned.counter.as_dict() == serial.counter.as_dict()
+
+    def test_per_worker_counters_reconcile_with_serial(self):
+        """Per-cell WorkCounters merged via WorkCounter.merged == serial ±0."""
+        rel, dc = _dc_relation(200)
+        serial = ThetaJoinMatrix(rel, dc, sqrt_p=5, counter=WorkCounter())
+        serial.check_full()
+        fanned = ThetaJoinMatrix(rel, dc, sqrt_p=5, counter=WorkCounter())
+        per_cell = []
+        for i, j in fanned.candidate_cells():
+            local = WorkCounter()
+            fanned._check_cell(i, j, counter=local)
+            per_cell.append(local)
+        merged = WorkCounter.merged(per_cell)
+        assert merged.as_dict() == serial.counter.as_dict()
+        assert merged.total() == serial.counter.total()
+
+    def test_serial_order_is_canonical(self):
+        """The serial path itself returns the canonical (cell, t1, t2) order."""
+        rel, dc = _dc_relation(120)
+        matrix = ThetaJoinMatrix(rel, dc, sqrt_p=4, counter=WorkCounter())
+        cells = matrix.candidate_cells()
+        per_cell = [matrix._check_cell(i, j) for i, j in cells]
+        for violations in per_cell:
+            assert violations == sorted(violations, key=lambda v: (v.t1, v.t2))
+        flat = [v for chunk in per_cell for v in chunk]
+        matrix2 = ThetaJoinMatrix(rel, dc, sqrt_p=4, counter=WorkCounter())
+        assert matrix2.check_full() == flat
+
+
+# ---------------------------------------------------------------------------
+# End-to-end parity: serial vs threaded vs sharded sessions
+# ---------------------------------------------------------------------------
+
+
+def _relation_fingerprint(rel: Relation) -> list[tuple]:
+    """Rows with exact cells (PValue candidates included, via __eq__/repr)."""
+    return [(row.tid, tuple(repr(c) for c in row.values)) for row in rel.rows]
+
+
+def _run_workload(make_daisy, table: str, queries, batch: bool = False):
+    daisy = make_daisy()
+    with daisy.connect() as session:
+        if batch:
+            batch_result = session.execute_batch(list(queries))
+            rows = [r.relation.to_plain_rows() for r in batch_result.results]
+        else:
+            rows = [session.execute(q).relation.to_plain_rows() for q in queries]
+        log = [(e.errors_fixed, e.extra_tuples, e.result_size) for e in session.query_log]
+    return {
+        "rows": rows,
+        "log": log,
+        "relation": _relation_fingerprint(daisy.table(table)),
+        "work": daisy.work_counter(table).as_dict(),
+        "pcells": daisy.probabilistic_cells(table),
+    }
+
+
+def _hospital_queries() -> list[str]:
+    zips = [10000, 10400, 10800, 11200, 11600]
+    out = []
+    for lo, hi in zip(zips, zips[1:]):
+        out.append(
+            f"SELECT city, zip FROM hospital WHERE zip >= {lo} AND zip < {hi}"
+        )
+    out.append("SELECT hospital_name, zip FROM hospital WHERE city = 'city_3'")
+    return out
+
+
+def _hospital_daisy(**config_kwargs):
+    instance = hospital.generate_instance(num_rows=400, seed=11)
+
+    def make() -> Daisy:
+        daisy = Daisy(config=DaisyConfig(use_cost_model=False, **config_kwargs))
+        # Re-generate per engine: cleaning mutates the relation in place.
+        fresh = hospital.generate_instance(num_rows=400, seed=11)
+        daisy.register_table("hospital", fresh.dirty)
+        for fd in fresh.rules:
+            daisy.add_rule("hospital", fd)
+        return daisy
+
+    assert len(instance.dirty) == 400
+    return make
+
+
+class TestSessionParity:
+    def test_hospital_sharded_threaded_byte_identical(self):
+        queries = _hospital_queries()
+        serial = _run_workload(_hospital_daisy(), "hospital", queries)
+        threaded = _run_workload(
+            _hospital_daisy(parallelism=2, pool="thread"), "hospital", queries
+        )
+        sharded = _run_workload(
+            _hospital_daisy(parallelism=2, pool="thread", num_shards=4),
+            "hospital",
+            queries,
+        )
+        for parallel in (threaded, sharded):
+            assert parallel["rows"] == serial["rows"]
+            assert parallel["relation"] == serial["relation"]
+            assert parallel["work"] == serial["work"]
+            assert parallel["log"] == serial["log"]
+            assert parallel["pcells"] == serial["pcells"]
+
+    def test_airquality_batch_sharded_byte_identical(self):
+        num_states = 8
+
+        def make(**config_kwargs):
+            def build() -> Daisy:
+                daisy = Daisy(
+                    config=DaisyConfig(use_cost_model=False, **config_kwargs)
+                )
+                fresh = airquality.generate_instance(
+                    num_rows=900, num_states=num_states, violation_level="low",
+                    seed=17,
+                )
+                daisy.register_table("airquality", fresh.dirty)
+                daisy.add_rule("airquality", fresh.fd)
+                return daisy
+
+            return build
+
+        queries = airquality.state_co_queries(num_states)
+        serial = _run_workload(make(), "airquality", queries, batch=True)
+        sharded = _run_workload(
+            make(parallelism=2, pool="thread", num_shards=3),
+            "airquality",
+            queries,
+            batch=True,
+        )
+        assert sharded["rows"] == serial["rows"]
+        assert sharded["relation"] == serial["relation"]
+        assert sharded["work"] == serial["work"]
+        assert sharded["pcells"] == serial["pcells"]
+
+    def test_dc_workload_sharded_byte_identical(self):
+        def make(**config_kwargs):
+            def build() -> Daisy:
+                rel, dc = _dc_relation(200)
+                daisy = Daisy(
+                    config=DaisyConfig(use_cost_model=False, **config_kwargs)
+                )
+                daisy.register_table("lineorder", rel)
+                daisy.add_rule("lineorder", dc)
+                return daisy
+
+            return build
+
+        queries = [
+            f"SELECT orderkey, discount FROM lineorder WHERE extended_price < {hi}"
+            for hi in (400.0, 900.0, 1600.0, 2600.0)
+        ]
+        serial = _run_workload(make(), "lineorder", queries)
+        fanned = _run_workload(
+            make(parallelism=4, pool="thread"), "lineorder", queries
+        )
+        assert fanned["rows"] == serial["rows"]
+        assert fanned["relation"] == serial["relation"]
+        assert fanned["work"] == serial["work"]
+        assert fanned["log"] == serial["log"]
+
+    def test_session_close_releases_pool(self):
+        daisy = _hospital_daisy(parallelism=2, pool="thread")()
+        session = daisy.connect()
+        context = session.parallel
+        assert context is not None
+        session.execute(_hospital_queries()[0])
+        session.close()
+        assert context._pool is None
+        assert session.closed
+
+    def test_serial_session_has_no_context(self):
+        daisy = _hospital_daisy()()
+        with daisy.connect() as session:
+            assert session.parallel is None
+
+
+class TestParallelContext:
+    def test_shard_router_cached_per_state(self):
+        daisy = _hospital_daisy()()
+        state = daisy.states["hospital"]
+        context = ParallelContext("thread", 2, num_shards=3)
+        try:
+            first = context.shards_for(state)
+            assert context.shards_for(state) is first
+            assert len(first) == 3
+        finally:
+            context.close()
+
+    def test_reregistered_table_gets_fresh_router(self):
+        """A new TableState must never alias a stale cached ShardSet."""
+        daisy = _hospital_daisy()()
+        context = ParallelContext("thread", 2, num_shards=3)
+        try:
+            old_router = context.shards_for(daisy.states["hospital"])
+            daisy.register_table("hospital", _numbers_relation(12))
+            new_state = daisy.states["hospital"]
+            new_router = context.shards_for(new_state)
+            assert new_router is not old_router
+            assert new_router.route_tids(range(12)).keys() == {0, 1, 2}
+        finally:
+            context.close()
+
+    def test_defaults_shards_to_workers(self):
+        context = ParallelContext("serial", 4)
+        assert context.num_shards == 4
+        context.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelContext("bogus", 2)
+        with pytest.raises(ValueError):
+            ParallelContext("thread", 0)
+        with pytest.raises(ValueError):
+            DaisyConfig(parallelism=0)
+        with pytest.raises(ValueError):
+            DaisyConfig(pool="bogus")
