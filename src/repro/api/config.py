@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.detection.maintenance import MAINTENANCE_AUTO, validate_maintenance_mode
 from repro.parallel.pool import POOL_THREAD, validate_pool_kind
 from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
 
@@ -58,6 +59,16 @@ class DaisyConfig:
         Pool kind: ``"thread"`` (default; shares engine state directly),
         ``"process"`` (fork-based workers — real CPU scaling for the cell
         checks, requires a fork-capable platform), or ``"serial"``.
+    matrix_maintenance:
+        How theta-join detection matrices follow external data updates
+        (``Daisy.update_table`` / ``update_rows``): ``"auto"`` (default)
+        lets the per-batch cost hook pick patch-vs-rebuild, ``"patch"``
+        forces positional stripe patching (falling back to a rebuild only
+        when the striped-row set itself changes), ``"rebuild"`` re-derives
+        every stripe wholesale on each sync — the maintenance oracle.  The
+        strategies are byte-identical in structure, checked-cell
+        invalidation, violations, repairs, and work units; they differ only
+        in maintenance cost.
     """
 
     use_cost_model: bool = True
@@ -69,10 +80,12 @@ class DaisyConfig:
     parallelism: int = 1
     num_shards: int = 0
     pool: str = POOL_THREAD
+    matrix_maintenance: str = MAINTENANCE_AUTO
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
         validate_pool_kind(self.pool)
+        validate_maintenance_mode(self.matrix_maintenance)
         if self.expected_queries < 1:
             raise ValueError("expected_queries must be >= 1")
         if not 0.0 <= self.dc_error_threshold <= 1.0:

@@ -16,7 +16,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import QueryError
-from repro.query.ast import Condition, Parameter, Query
+from repro.query.ast import Condition, Parameter, Query, sql_for_log
 from repro.query.logical import PlanNode
 from repro.query.planner import ResolvedQuery
 
@@ -58,7 +58,7 @@ class PreparedQuery:
         self.query = query
         self.resolved = resolved
         self.plan = plan
-        self.sql = sql_text if sql_text is not None else query.to_sql()
+        self.sql = sql_text if sql_text is not None else sql_for_log(query)
         self._registration_version = session.engine.registration_version
         params = query.parameters()
         indices = [p.index for p in params]

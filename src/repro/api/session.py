@@ -33,7 +33,7 @@ from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError, SessionError
 from repro.parallel.clean import ParallelContext
-from repro.query.ast import Parameter, Query
+from repro.query.ast import Parameter, Query, sql_for_log
 from repro.query.executor import Executor, QueryResult
 from repro.query.logical import CleanJoinNode, CleanSigmaNode, PlanNode, plan_contains
 from repro.query.planner import build_plan, explain as explain_plan, resolve_query
@@ -60,12 +60,24 @@ def _plan_structure_key(query: Query) -> tuple:
     compares against — the same property that lets prepared queries share
     one plan across ``?`` bindings.  Two queries with equal structure keys
     therefore share one logical plan.
+
+    Constants are erased as an opaque ``None`` marker — never as the value
+    itself, so constants that hash/compare equal across types (``1`` vs
+    ``1.0`` vs ``True``) cannot perturb the key, and two queries differing
+    only in constants intentionally alias (their plans are identical).
+    Parameters keep their index: queries with different placeholder
+    wiring — e.g. one ``?`` bound twice vs two distinct ``?``s — are
+    structurally different and must not share a cache slot.
     """
     return (
         tuple(query.tables),
         query.connector.value,
         tuple(
-            (c.column.qualified(), c.op, isinstance(c.value, Parameter))
+            (
+                c.column.qualified(),
+                c.op,
+                ("?", c.value.index) if isinstance(c.value, Parameter) else None,
+            )
             for c in query.conditions
         ),
         tuple(
@@ -104,7 +116,8 @@ class Session:
         self.catalog = engine.catalog
         self.query_log: list[QueryLogEntry] = []
         self.cost_models: dict[str, Optional[CostModel]] = {}
-        self._cost_model_versions: dict[str, int] = {}
+        #: (registration version, data version) each cost model was built at.
+        self._cost_model_versions: dict[str, tuple[int, int]] = {}
         self._parallel: Optional[ParallelContext] = None
         if self.config.parallelism > 1:
             self._parallel = ParallelContext(
@@ -207,7 +220,7 @@ class Session:
             sql_text = query
         else:
             parsed = query
-            sql_text = parsed.to_sql()
+            sql_text = sql_for_log(parsed)
         resolved = resolve_query(parsed, self.catalog)
         plan = self._cached_plan(parsed)
         if plan is None:
@@ -274,7 +287,7 @@ class Session:
         self._check_open()
         prepared.refresh_if_stale()
         bound_query, bound_resolved = prepared.bind(*params)
-        sql_text = bound_query.to_sql() if params else prepared.sql
+        sql_text = sql_for_log(bound_query) if params else prepared.sql
         return self._run(
             bound_query,
             sql_text,
@@ -362,11 +375,16 @@ class Session:
 
         Rebuilt from the engine's precomputed statistics whenever *this
         table's* registration changed (a new rule resets the projection,
-        matching the old per-``add_rule`` refresh); registrations on other
-        tables leave the model — and its accumulated observations — alone.
+        matching the old per-``add_rule`` refresh) **or its data epoch
+        moved** (an external update rebuilt the statistics the model
+        projects from); registrations and updates on other tables leave the
+        model — and its accumulated observations — alone.
         """
         state = self._state(table)
-        version = self._engine.table_versions.get(table, 0)
+        version = (
+            self._engine.table_versions.get(table, 0),
+            state.data_epoch,
+        )
         if (
             table in self.cost_models
             and self._cost_model_versions.get(table) == version
@@ -395,6 +413,21 @@ class Session:
         """Clean a whole table now (bypass the query-driven path)."""
         self._check_open()
         return clean_full_table(self._state(table), rules, parallel=self._parallel)
+
+    # -- external data updates ----------------------------------------------------------
+
+    def update_table(self, table: str, updates: dict[tuple[int, str], Any]):
+        """Apply external cell updates through the engine (see
+        :meth:`repro.Daisy.update_table`).  The session's cached plans stay
+        valid — plan structure never depends on cell values — while its
+        cost models refresh from the rebuilt statistics on next use."""
+        self._check_open()
+        return self._engine.update_table(table, updates)
+
+    def update_rows(self, table: str, rows) -> Any:
+        """Apply external row replacements (see :meth:`repro.Daisy.update_rows`)."""
+        self._check_open()
+        return self._engine.update_rows(table, rows)
 
     # -- introspection -----------------------------------------------------------------
 

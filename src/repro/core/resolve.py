@@ -47,7 +47,7 @@ def resolve_with(
             if isinstance(cell, PValue):
                 chosen = _concretize(chooser(row.tid, attr, cell))
                 updates[(row.tid, attr)] = chosen
-    return relation.update_cells(updates), updates
+    return relation.update_cells(updates, origin="resolve"), updates
 
 
 def resolve_most_probable(

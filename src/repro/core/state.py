@@ -18,20 +18,52 @@ turn probabilistic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
+from repro.constraints.analysis import rule_attributes
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
 from repro.core.statistics import FdStatistics, TableStatistics, build_fd_statistics
+from repro.detection.maintenance import (
+    MaintenancePolicy,
+    MaintenanceReport,
+    sync_matrix,
+)
 from repro.detection.thetajoin import ThetaJoinMatrix
 from repro.engine.stats import WorkCounter
-from repro.relation.columnview import BACKEND_COLUMNAR, ColumnView, validate_backend
-from repro.relation.relation import Relation
+from repro.relation.columnview import (
+    BACKEND_COLUMNAR,
+    PATCH_DATA,
+    ColumnView,
+    validate_backend,
+)
+from repro.relation.relation import Relation, Row
 from repro.repair.provenance import ProvenanceStore
+
+
+#: Pending patch batches tolerated before lagging matrices are force-synced
+#: (bounds the patch log on long-running evolving-data engines).
+_PATCH_LOG_SOFT_LIMIT = 64
+
+#: Maintenance reports retained for introspection.
+_MAINTENANCE_LOG_LIMIT = 256
 
 
 def rule_key(rule: Rule) -> str:
     """A stable identifier for a rule (its name, else its string form)."""
     return rule.name or str(rule)
+
+
+@dataclass
+class UpdateReport:
+    """What one external update (:meth:`TableState.apply_updates`) did."""
+
+    epoch: int = 0
+    cells_requested: int = 0
+    cells_applied: int = 0
+    attrs_touched: set[str] = field(default_factory=set)
+    rules_invalidated: list[str] = field(default_factory=list)
+    stats_rebuilt: list[str] = field(default_factory=list)
+    provenance_forgotten: int = 0
 
 
 @dataclass
@@ -52,6 +84,21 @@ class TableState:
     #: Execution backend for the detection/cleaning hot path ("columnar"
     #: by default; "rowstore" is the per-Row semantics oracle).
     backend: str = BACKEND_COLUMNAR
+    #: Patch-vs-rebuild policy for incremental matrix maintenance.
+    maintenance: MaintenancePolicy = field(default_factory=MaintenancePolicy)
+    #: Data epoch: bumped by every external update batch that changed a
+    #: cell.  Mirrors the session plan cache's registration epoch, but for
+    #: *data* — plans survive data updates, matrices and statistics do not.
+    data_epoch: int = 0
+    #: The table's pending patch stream: (epoch, applied updates) batches,
+    #: trimmed once every matrix has synced past them.
+    patch_log: list[tuple[int, dict[tuple[int, str], Any]]] = field(
+        default_factory=list
+    )
+    #: Per-matrix synced data epoch (key: rule key).
+    matrix_epochs: dict[str, int] = field(default_factory=dict)
+    #: Maintenance actions taken so far (patch/rebuild decisions + stats).
+    maintenance_log: list[MaintenanceReport] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
@@ -79,6 +126,7 @@ class TableState:
                 self.relation, dc, sqrt_p=self.sqrt_partitions,
                 counter=self.counter, backend=self.backend,
             )
+            self.matrix_epochs[rule_key(rule)] = self.data_epoch
 
     def fd_rules(self) -> list[FunctionalDependency]:
         return [fd for rule in self.rules if (fd := as_fd(rule)) is not None]
@@ -90,13 +138,52 @@ class TableState:
         return self.statistics.get(rule_key(rule))
 
     def matrix_for(self, dc: DenialConstraint) -> ThetaJoinMatrix:
+        """The (lazily built, lazily synced) matrix of one DC.
+
+        A matrix built before external updates is brought up to date here by
+        replaying the coalesced pending patch batches through
+        :func:`repro.detection.maintenance.sync_matrix` — the patch-vs-
+        rebuild decision and its outcome land in :attr:`maintenance_log`.
+        """
         key = rule_key(dc)
-        if key not in self.matrices:
-            self.matrices[key] = ThetaJoinMatrix(
+        matrix = self.matrices.get(key)
+        if matrix is None:
+            matrix = ThetaJoinMatrix(
                 self.relation, dc, sqrt_p=self.sqrt_partitions,
                 counter=self.counter, backend=self.backend,
             )
-        return self.matrices[key]
+            self.matrices[key] = matrix
+            self.matrix_epochs[key] = self.data_epoch
+            return matrix
+        self._sync_matrix(key, matrix)
+        return matrix
+
+    def _sync_matrix(self, key: str, matrix: ThetaJoinMatrix) -> None:
+        synced = self.matrix_epochs.get(key, 0)
+        if synced >= self.data_epoch:
+            return
+        merged: dict[tuple[int, str], Any] = {}
+        for epoch, updates in self.patch_log:
+            if epoch > synced:
+                merged.update(updates)
+        report = sync_matrix(matrix, merged, policy=self.maintenance)
+        report.rule = key
+        report.epoch = self.data_epoch
+        self.matrix_epochs[key] = self.data_epoch
+        self.maintenance_log.append(report)
+        if len(self.maintenance_log) > _MAINTENANCE_LOG_LIMIT:
+            del self.maintenance_log[:-_MAINTENANCE_LOG_LIMIT]
+        self._trim_patch_log()
+
+    def _trim_patch_log(self) -> None:
+        """Drop patch batches every existing matrix has synced past."""
+        if not self.patch_log:
+            return
+        if not self.matrices:
+            self.patch_log.clear()
+            return
+        floor = min(self.matrix_epochs.get(k, 0) for k in self.matrices)
+        self.patch_log = [e for e in self.patch_log if e[0] > floor]
 
     def seen_for(self, rule: Rule) -> set[int]:
         """Tuples already processed by ``rule`` in earlier queries."""
@@ -116,6 +203,132 @@ class TableState:
     def replace_relation(self, relation: Relation) -> None:
         """Install an updated relation (after applying a repair delta)."""
         self.relation = relation
+
+    def apply_updates(
+        self, updates: dict[tuple[int, str], Any]
+    ) -> UpdateReport:
+        """Apply an *external* cell-update batch (the data itself evolved).
+
+        Unlike the repair path — whose rewrites keep the matrices valid via
+        provenance — an external update changes ground truth, so every
+        cache derived from the old values must be patched or invalidated:
+
+        * the relation (and its columnar view, patched positionally) is
+          replaced; the applied batch is emitted on the view's patch stream
+          (:meth:`ColumnView.subscribe` observers see an origin-tagged
+          :class:`PatchBatch`) and appended to :attr:`patch_log` under a
+          fresh :attr:`data_epoch`;
+        * theta-join matrices sync lazily on next :meth:`matrix_for` —
+          re-sorting only touched stripes and invalidating only affected
+          cells (or rebuilding, per the maintenance policy);
+        * FD statistics of rules mentioning a touched attribute are rebuilt
+          and those rules lose their fully-cleaned flag, their checked-group
+          marks, and the touched tids from their seen sets;
+        * provenance originals of the updated cells are forgotten (the new
+          cell is the new ground truth).
+
+        Updates addressing absent tids are ignored, mirroring
+        ``Relation.update_cells``.
+        """
+        report = UpdateReport(
+            epoch=self.data_epoch, cells_requested=len(updates)
+        )
+        if not updates:
+            return report
+
+        # Drop updates that do not change the cell (same-value re-sends are
+        # common in idempotent upsert streams) and updates addressing absent
+        # tids — mirroring Relation.cell_diff, so the cell form and the row
+        # form (:meth:`apply_row_updates`) invalidate identically.  One
+        # exception: an update to a *repaired* cell always applies, even
+        # when it re-sends the current value — the external source is
+        # confirming the repair as ground truth, which must still forget
+        # the (now obsolete) provenance original and advance the matrices'
+        # source snapshots.
+        applied = self.relation.changed_cells(updates)
+        present = (
+            self.relation._colview.pos_of_tid
+            if self.relation._colview is not None
+            else self.relation.tid_index()
+        )
+        for (tid, attr), value in updates.items():
+            key = (tid, attr)
+            if key not in applied and tid in present and (
+                self.provenance.is_repaired(tid, attr)
+            ):
+                applied[key] = value
+        if not applied:
+            return report
+
+        # Columnar backend: make sure the view exists *before* the update so
+        # update_cells patches it positionally (preserving shared indexes)
+        # and the patch batch is emitted for any stream subscribers.
+        self.column_view()
+        updated = self.relation.update_cells(applied, origin=PATCH_DATA)
+        self.replace_relation(updated)
+        report.cells_applied = len(applied)
+
+        self.data_epoch += 1
+        report.epoch = self.data_epoch
+        self.patch_log.append((self.data_epoch, applied))
+        if len(self.patch_log) > _PATCH_LOG_SOFT_LIMIT:
+            # A matrix nobody queries anymore would pin the log forever;
+            # sync every matrix now so the log trims back to empty.
+            for key, matrix in self.matrices.items():
+                self._sync_matrix(key, matrix)
+        report.attrs_touched = {attr for (_tid, attr) in applied}
+
+        for tid, attr in applied:
+            if self.provenance.is_repaired(tid, attr):
+                self.provenance.forget_cell(tid, attr)
+                report.provenance_forgotten += 1
+
+        for rule in self.rules:
+            attrs = rule_attributes(rule)
+            if not (attrs & report.attrs_touched):
+                continue
+            key = rule_key(rule)
+            report.rules_invalidated.append(key)
+            touched_tids = {
+                tid for (tid, attr) in applied if attr in attrs
+            }
+            seen = self.seen_tids.get(key)
+            if seen:
+                seen -= touched_tids
+            self.fully_cleaned_rules.discard(key)
+            # Conservative: checked-group marks may cover groups the update
+            # rewired; forget them all for this rule rather than track keys.
+            self.provenance.reset_rule(key)
+            fd = as_fd(rule)
+            if fd is not None:
+                self.statistics.add(
+                    key, build_fd_statistics(updated, fd, counter=self.counter)
+                )
+                report.stats_rebuilt.append(key)
+        self._trim_patch_log()
+        return report
+
+    def apply_row_updates(self, delta: dict[int, Row]) -> UpdateReport:
+        """Apply an external row-replacement batch (``tid -> new Row``).
+
+        Reduced to the cell diff the delta amounts to, then handled exactly
+        like :meth:`apply_updates` — the patch stream always carries
+        ``(tid, attr) -> value`` batches.  A replacement row asserts *every*
+        cell as ground truth, so repaired cells it merely confirms are kept
+        in the batch even though their value matches — the cell form and
+        the row form must invalidate identically (apply_updates has the
+        same repaired-cell exception for the cell form).
+        """
+        updates = self.relation.cell_diff(delta)
+        names = self.relation.schema.names
+        for tid, row in delta.items():
+            if len(row.values) != len(names):
+                continue  # absent tid with malformed row: cell_diff skipped it
+            for attr, value in zip(names, row.values):
+                key = (tid, attr)
+                if key not in updates and self.provenance.is_repaired(tid, attr):
+                    updates[key] = value
+        return self.apply_updates(updates)
 
     def probabilistic_cells(self) -> int:
         return self.relation.probabilistic_cell_count()

@@ -25,7 +25,7 @@ keep working unchanged.
 from __future__ import annotations
 
 import warnings
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.api.config import DaisyConfig
 from repro.api.reporting import QueryLogEntry, WorkloadReport  # noqa: F401 - re-export
@@ -34,7 +34,8 @@ from repro.constraints.dc import Rule
 from repro.constraints.parser import parse_rule
 from repro.core.costmodel import CostModel
 from repro.core.operators import CleanReport
-from repro.core.state import TableState
+from repro.core.state import TableState, UpdateReport
+from repro.detection.maintenance import MaintenancePolicy
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError
 from repro.parallel.pool import POOL_THREAD
@@ -43,7 +44,7 @@ from repro.query.executor import QueryResult
 from repro.query.planner import PlannerCatalog
 from repro.query.sql import parse_sql
 from repro.relation.columnview import BACKEND_COLUMNAR
-from repro.relation.relation import Relation
+from repro.relation.relation import Relation, Row
 
 __all__ = ["Daisy", "QueryLogEntry", "WorkloadReport"]
 
@@ -160,7 +161,11 @@ class Daisy:
     def register_table(self, name: str, relation: Relation) -> TableState:
         """Register a (dirty) table.  Returns its mutable state."""
         relation.name = relation.name or name
-        state = TableState(relation=relation, backend=self.config.backend)
+        state = TableState(
+            relation=relation,
+            backend=self.config.backend,
+            maintenance=MaintenancePolicy(mode=self.config.matrix_maintenance),
+        )
         self.states[name] = state
         self.catalog.add_table(name, relation.schema)
         self.registration_version += 1
@@ -192,6 +197,37 @@ class Daisy:
             return self.states[table]
         except KeyError:
             raise PlanError(f"table {table!r} is not registered") from None
+
+    # -- external data updates -----------------------------------------------------------
+
+    def update_table(
+        self, table: str, updates: dict[tuple[int, str], Any]
+    ) -> UpdateReport:
+        """Apply external cell updates (``(tid, attr) -> value``) to a table.
+
+        The ground truth evolved: the relation (and its columnar view) is
+        patched in place, FD statistics and per-rule progress covering the
+        touched attributes are invalidated, and each DC's theta-join matrix
+        is brought up to date lazily — on its next use — by replaying the
+        update off the ColumnView patch stream, re-sorting only touched
+        stripes and invalidating only affected cells (see
+        :mod:`repro.detection.maintenance` and the
+        ``DaisyConfig.matrix_maintenance`` knob).  Bumps the table's data
+        epoch (``TableState.data_epoch`` — the data analogue of the
+        plan-cache registration epoch); cached plans survive (plans never
+        depend on cell values), session cost models refresh.
+        """
+        return self._state(table).apply_updates(updates)
+
+    def update_rows(self, table: str, rows: Iterable[Row]) -> UpdateReport:
+        """Apply external row replacements (rows carry their tids).
+
+        Reduced to the cell diff the replacement amounts to, then handled
+        exactly like :meth:`update_table`.
+        """
+        return self._state(table).apply_row_updates(
+            {row.tid: row for row in rows}
+        )
 
     # -- deprecated execution shims ------------------------------------------------------
 

@@ -277,10 +277,18 @@ class ThetaJoinMatrix:
     # -- construction -----------------------------------------------------------
 
     def rebuild(self, relation: Relation) -> None:
-        """(Re)derive stripes and bounding boxes from the relation."""
+        """(Re)derive stripes and bounding boxes from the relation.
+
+        The stable sort by primary value is order-equivalent to sorting by
+        ``(value, relation row position)``; :attr:`_relpos` records each
+        tid's row position so the incremental maintenance layer
+        (:mod:`repro.detection.maintenance`) can re-insert re-routed tids at
+        exactly the position a cold rebuild would give them.
+        """
         self.relation = relation
         self.indexes = {a: relation.schema.index_of(a) for a in self.attrs}
         primary_idx = self.indexes[self.primary_attr]
+        self._relpos = {row.tid: pos for pos, row in enumerate(relation.rows)}
         keyed = [
             (v, row)
             for row in relation.rows

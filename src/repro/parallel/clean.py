@@ -63,11 +63,13 @@ class ParallelContext:
         self.workers = workers
         self.num_shards = num_shards or workers
         self._pool: Optional[ExecutorPool] = None
-        #: id(state) -> (state, router).  The held state reference both
-        #: validates the entry (a recycled id from a re-registered table
-        #: cannot alias a stale router) and keys the router's lifetime to
-        #: the state it was built for.
-        self._shard_sets: dict[int, tuple[object, ShardSet]] = {}
+        #: id(state) -> (state, data_epoch, router).  The held state
+        #: reference validates the entry (a recycled id from a re-registered
+        #: table cannot alias a stale router); the data epoch re-splits
+        #: after external updates, so shard *snapshots* never serve
+        #: pre-update values (tid routing alone would survive, but the
+        #: shard views are part of the public surface).
+        self._shard_sets: dict[int, tuple[object, int, ShardSet]] = {}
 
     @property
     def enabled(self) -> bool:
@@ -81,13 +83,19 @@ class ParallelContext:
         return self._pool
 
     def shards_for(self, state: "TableState") -> ShardSet:
-        """The (cached) shard router of one table state."""
+        """The (cached) shard router of one table state.
+
+        Re-split when the table's data epoch moved: external updates change
+        cell values (never tid membership), so the router would keep
+        routing correctly but the per-shard view snapshots would go stale.
+        """
         key = id(state)
+        epoch = getattr(state, "data_epoch", 0)
         entry = self._shard_sets.get(key)
-        if entry is not None and entry[0] is state:
-            return entry[1]
+        if entry is not None and entry[0] is state and entry[1] == epoch:
+            return entry[2]
         shard_set = ShardSet.split(state.relation, self.num_shards)
-        self._shard_sets[key] = (state, shard_set)
+        self._shard_sets[key] = (state, epoch, shard_set)
         return shard_set
 
     def close(self) -> None:

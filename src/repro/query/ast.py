@@ -47,17 +47,49 @@ class Parameter:
 def _sql_literal(value: Any) -> str:
     """Render a condition constant back into SQL-literal form.
 
-    Strings containing a single quote use the tokenizer's double-quoted
-    form so the rendering stays parseable (a string holding both quote
-    kinds cannot round-trip — the grammar has no escape sequences).
+    Every rendering round-trips through :func:`repro.query.sql.parse_sql`
+    to an equal constant: strings escape single quotes by doubling them
+    (SQL-standard), ``None`` renders as ``NULL``, bools as ``TRUE`` /
+    ``FALSE`` (checked before ``int`` — ``True`` *is* an ``int``), and
+    floats via ``repr`` (the tokenizer accepts exponent notation, so e.g.
+    ``1e+20`` parses back to the same float).  Non-finite floats have no
+    literal form and raise :class:`~repro.errors.QueryError`.
     """
     if isinstance(value, Parameter):
         return "?"
     if isinstance(value, str):
-        if "'" in value and '"' not in value:
-            return f'"{value}"'
-        return f"'{value}'"
-    return str(value)
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise QueryError(
+                f"non-finite float {value!r} has no SQL literal form"
+            )
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    raise QueryError(
+        f"cannot render {type(value).__name__} constant {value!r} as a SQL literal"
+    )
+
+
+def sql_for_log(query: "Query") -> str:
+    """Best-effort SQL text for query logging.
+
+    :meth:`Query.to_sql` guarantees a parseable round-trip and *raises* for
+    constants with no literal form (non-finite floats, arbitrary objects).
+    Logging must never gate execution — such queries still run fine through
+    the executor's Python comparisons — so callers that only need a log
+    string fall back to a marker here.
+    """
+    try:
+        return query.to_sql()
+    except QueryError:
+        return f"<unrenderable query over {', '.join(query.tables)}>"
 
 
 @dataclass(frozen=True)

@@ -25,8 +25,8 @@ from repro.query.ast import (
 _TOKEN_RE = re.compile(
     r"""
     \s*(
-        '[^']*' | "[^"]*" |                    # string literals
-        -?\d+\.\d+ | -?\d+ |                   # numbers
+        '(?:[^']|'')*' | "[^"]*" |             # strings ('' escapes a quote)
+        -?\d+(?:\.\d+)?(?:[eE][-+]?\d+)? |     # numbers (incl. exponent form)
         [A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)? |  # identifiers
         <> | != | <= | >= | = | < | > |
         \( | \) | , | \* | \?
@@ -38,6 +38,7 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "select", "from", "where", "group", "by", "and", "or", "as",
     "count", "sum", "avg", "min", "max",
+    "null", "true", "false",
 }
 
 _AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
@@ -104,10 +105,19 @@ def _is_identifier(token: str) -> bool:
 
 
 def _parse_value(token: str) -> Any:
-    if token.startswith(("'", '"')):
+    if token.startswith("'"):
+        return token[1:-1].replace("''", "'")
+    if token.startswith('"'):
         return token[1:-1]
+    lowered = token.lower()
+    if lowered == "null":
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
     try:
-        if "." in token:
+        if "." in token or "e" in lowered:
             return float(token)
         return int(token)
     except ValueError:

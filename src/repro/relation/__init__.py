@@ -6,6 +6,7 @@ from repro.relation.columnview import (
     BACKEND_ROWSTORE,
     BACKENDS,
     ColumnView,
+    PatchBatch,
     validate_backend,
 )
 from repro.relation.relation import Relation, Row
@@ -19,6 +20,7 @@ __all__ = [
     "Column",
     "ColumnType",
     "ColumnView",
+    "PatchBatch",
     "Schema",
     "Relation",
     "Row",

@@ -28,8 +28,10 @@ rebuilding O(n·m) state after every repaired cell.
 
 from __future__ import annotations
 
+import logging
 import math
 from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.engine.stats import WorkCounter
@@ -37,6 +39,13 @@ from repro.probabilistic.value import PValue, cell_compare, plain
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.relation.relation import Relation
+
+logger = logging.getLogger(__name__)
+
+#: Origin tags for the patch stream (see :class:`PatchBatch`).
+PATCH_DATA = "data"        # an external update: the ground truth changed
+PATCH_REPAIR = "repair"    # a cleaning repair: originals live in provenance
+PATCH_RESOLVE = "resolve"  # PValue resolution: probabilistic cells collapsed
 
 #: Supported execution backends for the detection/cleaning hot path.
 BACKEND_COLUMNAR = "columnar"
@@ -158,6 +167,30 @@ class PValueBoundsSidecar:
         return clone
 
 
+@dataclass(frozen=True)
+class PatchBatch:
+    """One step of a view's patch stream: what changed between two versions.
+
+    ``updates`` is the exact ``(tid, attr) -> new cell`` map the patch
+    applied (absent tids already dropped), ``touched`` the per-attribute row
+    positions it rewrote, and ``origin`` one of :data:`PATCH_DATA` /
+    :data:`PATCH_REPAIR` / :data:`PATCH_RESOLVE` — consumers that maintain
+    derived state over the *ground* data (e.g. incremental theta-join matrix
+    maintenance) react to ``data`` batches and ignore repair/resolve
+    batches, whose originals the provenance store already tracks.
+    """
+
+    base_version: int
+    version: int
+    origin: str
+    updates: dict[tuple[int, str], Any]
+    touched: dict[str, tuple[int, ...]]
+
+
+#: A patch-stream subscriber: called with (new_view, batch) after each patch.
+PatchListener = Callable[["ColumnView", PatchBatch], None]
+
+
 class ColumnView:
     """Columnar snapshot of one relation (see module docstring)."""
 
@@ -166,11 +199,14 @@ class ColumnView:
         "tids",
         "columns",
         "version",
+        "last_patch",
+        "derived_evictions",
         "_pvalue_positions",
         "_pos_of_tid",
         "_sorted",
         "_hash",
         "_derived",
+        "_patch_listeners",
     )
 
     def __init__(
@@ -185,11 +221,20 @@ class ColumnView:
         self.tids = tids
         self.columns = columns
         self.version = version
+        #: The :class:`PatchBatch` that produced this view from its parent
+        #: (None for a cold-built view) — the walkable patch stream.
+        self.last_patch: Optional[PatchBatch] = None
+        #: Cumulative count of derived payloads evicted (rather than
+        #: patched) along this view's patch chain.
+        self.derived_evictions: int = 0
         self._pvalue_positions = pvalue_positions
         self._pos_of_tid: Optional[dict[int, int]] = None
         self._sorted: dict[str, Any] = {}
         self._hash: dict[str, Any] = {}
         self._derived: dict[Any, tuple[frozenset[str], Any]] = {}
+        #: Patch-stream listeners; the *list object* is shared with every
+        #: patched descendant, so one subscription observes the whole stream.
+        self._patch_listeners: list[PatchListener] = []
 
     # -- construction -----------------------------------------------------------
 
@@ -427,22 +472,52 @@ class ColumnView:
 
     # -- incremental patching ---------------------------------------------------------
 
-    def patched(self, updates: dict[tuple[int, str], Any]) -> "ColumnView":
+    def subscribe(self, listener: PatchListener) -> Callable[[], None]:
+        """Subscribe to this view's patch stream; returns an unsubscriber.
+
+        The listener is called with ``(new_view, batch)`` after every
+        subsequent :meth:`patched` call — on this view *or any view patched
+        from it* (the listener list is carried across patches), so one
+        subscription observes a table's whole update stream.  Listeners must
+        not mutate the views they receive.
+        """
+        self._patch_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._patch_listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def patched(
+        self, updates: dict[tuple[int, str], Any], origin: str = PATCH_DATA
+    ) -> "ColumnView":
         """A new view reflecting cell replacements, sharing untouched state.
 
         ``updates`` maps (tid, attr) -> new cell — the exact shape of
         ``Relation.update_cells``.  Tids absent from the view are ignored
         (mirroring the row-store behaviour).  Only the touched columns are
         copied; sorted/hash indexes and derived caches survive for columns
-        the patch does not mention.
+        the patch does not mention.  Derived payloads over a touched
+        attribute are either patched positionally (when they expose
+        ``patched_for_view``) or **explicitly evicted** — counted in
+        :attr:`derived_evictions` and logged — never silently dropped.
+
+        ``origin`` tags the emitted :class:`PatchBatch` (see module
+        constants); the new view records it as :attr:`last_patch` and every
+        subscribed listener is notified.
         """
         by_attr: dict[str, list[tuple[int, Any]]] = {}
+        applied: dict[tuple[int, str], Any] = {}
         pos_map = self.pos_of_tid
         for (tid, attr), cell in updates.items():
             pos = pos_map.get(tid)
             if pos is None:
                 continue
             by_attr.setdefault(attr, []).append((pos, cell))
+            applied[(tid, attr)] = cell
         if not by_attr:
             return self
 
@@ -468,6 +543,7 @@ class ColumnView:
             version=self.version + 1,
         )
         view._pos_of_tid = self._pos_of_tid
+        view.derived_evictions = self.derived_evictions
         touched = set(by_attr)
         view._sorted = {
             a: idx for a, idx in self._sorted.items() if a not in touched
@@ -482,8 +558,30 @@ class ColumnView:
                 continue
             patcher = getattr(payload, "patched_for_view", None)
             if patcher is None:
-                continue  # evict: payload cannot be patched incrementally
+                # Evict: the payload cannot be patched incrementally.  The
+                # next access rebuilds it from the patched view; make the
+                # cache miss visible instead of silent.
+                view.derived_evictions += 1
+                logger.debug(
+                    "ColumnView v%d: evicted derived payload %r (attrs %s "
+                    "touched by patch)", view.version, key, sorted(attrs & touched),
+                )
+                continue
             view._derived[key] = (attrs, patcher(view, touched_positions))
+
+        view.last_patch = PatchBatch(
+            base_version=self.version,
+            version=view.version,
+            origin=origin,
+            updates=applied,
+            touched={
+                attr: tuple(positions)
+                for attr, positions in touched_positions.items()
+            },
+        )
+        view._patch_listeners = self._patch_listeners
+        for listener in list(self._patch_listeners):
+            listener(view, view.last_patch)
         return view
 
     def __repr__(self) -> str:

@@ -21,7 +21,9 @@ from repro.relation.relation import Relation
 
 _PROB_MARK = "\x01P\x01"  # sentinel prefix marking an encoded PValue cell
 _NULL_MARK = "\x01N\x01"  # sentinel for SQL NULL (distinct from empty string)
-_RANGE_MARK = "R:"
+# Sentinel-framed like the marks above: a plain string cell that merely
+# *starts with* an ordinary prefix (e.g. "R:") must not decode as a range.
+_RANGE_MARK = "\x01R\x01"
 
 
 def _encode_scalar(value: Any) -> str:

@@ -423,12 +423,85 @@ class Relation:
 
     # -- updates ---------------------------------------------------------------
 
-    def apply_delta(self, delta: dict[int, Row]) -> "Relation":
+    @staticmethod
+    def _cell_changed(old_cell: Any, new_cell: Any) -> bool:
+        """One changed-cell policy for every diff: ``!=`` with an
+        incomparable-means-changed fallback."""
+        if new_cell is old_cell:
+            return False
+        try:
+            return bool(new_cell != old_cell)
+        except Exception:
+            return True
+
+    def cell_diff(self, delta: dict[int, Row]) -> dict[tuple[int, str], Any]:
+        """The ``(tid, attr) -> new cell`` patch a row delta amounts to.
+
+        Only cells that actually changed (per :meth:`_cell_changed`) are
+        included — the exact shape :meth:`update_cells` and
+        :meth:`ColumnView.patched` consume, and the patch stream the
+        incremental maintenance layers subscribe to.  A replacement row
+        whose arity does not match the schema raises ``SchemaError`` rather
+        than silently truncating the comparison.
+        """
+        names = self.schema.names
+        cell_updates: dict[tuple[int, str], Any] = {}
+        for old_row in self._rows:
+            new_row = delta.get(old_row.tid)
+            if new_row is None or new_row is old_row:
+                continue
+            if len(new_row.values) != len(names):
+                raise SchemaError(
+                    f"replacement row for tid {old_row.tid} has arity "
+                    f"{len(new_row.values)}, schema has {len(names)}"
+                )
+            for attr, new_cell, old_cell in zip(
+                names, new_row.values, old_row.values
+            ):
+                if self._cell_changed(old_cell, new_cell):
+                    cell_updates[(old_row.tid, attr)] = new_cell
+        return cell_updates
+
+    def changed_cells(
+        self, updates: dict[tuple[int, str], Any]
+    ) -> dict[tuple[int, str], Any]:
+        """``updates`` restricted to present tids whose cell really changes.
+
+        The cell-form twin of :meth:`cell_diff` (same comparison policy),
+        served from the cached columnar view's positional arrays when one
+        exists.
+        """
+        if self._colview is not None:
+            view = self._colview
+            pos_map = view.pos_of_tid
+            out: dict[tuple[int, str], Any] = {}
+            for (tid, attr), value in updates.items():
+                self.schema.index_of(attr)  # same SchemaError as the row path
+                pos = pos_map.get(tid)
+                if pos is None:
+                    continue
+                if self._cell_changed(view.columns[attr][pos], value):
+                    out[(tid, attr)] = value
+            return out
+        tid_rows = self.tid_index()
+        out = {}
+        for (tid, attr), value in updates.items():
+            idx = self.schema.index_of(attr)
+            row = tid_rows.get(tid)
+            if row is None:
+                continue
+            if self._cell_changed(row.values[idx], value):
+                out[(tid, attr)] = value
+        return out
+
+    def apply_delta(self, delta: dict[int, Row], origin: str = "data") -> "Relation":
         """Replace rows by tid (the paper's in-place dataset update).
 
         ``delta`` maps tid -> replacement Row (same tid).  Rows absent from
         the delta are kept untouched.  This implements "we isolate the changes
-        and apply the delta to the original dataset".
+        and apply the delta to the original dataset".  ``origin`` tags the
+        patch batch emitted on the cached columnar view's patch stream (see
+        :mod:`repro.relation.columnview`).
         """
         if not delta:
             return self
@@ -438,28 +511,24 @@ class Relation:
             # Patch the cached columnar view with only the cells the delta
             # actually changed — replacing a whole row must not invalidate
             # the untouched columns' indexes and derived caches.
-            names = self.schema.names
-            cell_updates: dict[tuple[int, Any], Any] = {}
-            for old_row in self._rows:
-                new_row = delta.get(old_row.tid)
-                if new_row is None or new_row is old_row:
-                    continue
-                for attr, new_cell, old_cell in zip(
-                    names, new_row.values, old_row.values
-                ):
-                    if new_cell is old_cell:
-                        continue
-                    try:
-                        changed = new_cell != old_cell
-                    except Exception:
-                        changed = True
-                    if changed:
-                        cell_updates[(old_row.tid, attr)] = new_cell
-            updated._colview = self._colview.patched(cell_updates)
+            updated._colview = self._colview.patched(
+                self.cell_diff(delta), origin=origin
+            )
         return updated
 
-    def update_cells(self, updates: dict[tuple[int, str], Any]) -> "Relation":
-        """Replace individual cells addressed by (tid, attribute)."""
+    def update_rows(self, delta: dict[int, Row], origin: str = "data") -> "Relation":
+        """Alias of :meth:`apply_delta` for the external-update API surface."""
+        return self.apply_delta(delta, origin=origin)
+
+    def update_cells(
+        self, updates: dict[tuple[int, str], Any], origin: str = "data"
+    ) -> "Relation":
+        """Replace individual cells addressed by (tid, attribute).
+
+        ``origin`` tags the patch batch emitted on the cached columnar
+        view's patch stream ("data" for external ground-truth updates,
+        "repair"/"resolve" for cleaning-internal rewrites).
+        """
         if not updates:
             return self
         by_tid: dict[int, dict[int, Any]] = {}
@@ -477,7 +546,7 @@ class Relation:
                 rows.append(Row(row.tid, tuple(vals)))
         updated = Relation(self.schema, rows, name=self.name)
         if self._colview is not None:
-            updated._colview = self._colview.patched(updates)
+            updated._colview = self._colview.patched(updates, origin=origin)
         return updated
 
     # -- introspection -----------------------------------------------------------

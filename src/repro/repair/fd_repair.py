@@ -408,4 +408,4 @@ def apply_fd_delta(
                 for rule in fix.rules or {"?"}:
                     provenance.record_original(fix.tid, fix.attr, fix.original, rule)
     counter.charge_update(len(updates))
-    return relation.update_cells(updates)
+    return relation.update_cells(updates, origin="repair")

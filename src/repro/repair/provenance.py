@@ -63,6 +63,11 @@ class ProvenanceStore:
     def is_repaired(self, tid: int, attr: str) -> bool:
         return (tid, attr) in self._cells
 
+    def forget_cell(self, tid: int, attr: str) -> None:
+        """Drop a cell's provenance (an external update replaced its ground
+        truth, so the pre-repair original no longer describes anything)."""
+        self._cells.pop((tid, attr), None)
+
     # -- per-rule progress ---------------------------------------------------------
 
     def mark_checked(self, rule: str, keys: set[Hashable]) -> None:

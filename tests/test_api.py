@@ -455,6 +455,197 @@ class TestPlanCache:
             assert session.plan_cache_hits == 1
 
 
+class TestPlanCacheAliasing:
+    """Constants-erased keys must not alias structurally different queries
+    — and where aliasing is intentional (constants only), a cache hit must
+    never replay the earlier query's constants."""
+
+    @staticmethod
+    def _key(query):
+        from repro.api.session import _plan_structure_key
+
+        return _plan_structure_key(query)
+
+    def _zip_query(self, value):
+        return Query(
+            tables=["cities"],
+            projection=[ColumnRef("city")],
+            conditions=[Condition(ColumnRef("zip"), "=", value)],
+        )
+
+    def test_parameter_arity_does_not_alias(self):
+        from repro.query.ast import Parameter
+
+        one_param_twice = Query(
+            tables=["cities"],
+            projection=[ColumnRef("city")],
+            conditions=[
+                Condition(ColumnRef("zip"), ">=", Parameter(0)),
+                Condition(ColumnRef("zip"), "<=", Parameter(0)),
+            ],
+        )
+        two_params = Query(
+            tables=["cities"],
+            projection=[ColumnRef("city")],
+            conditions=[
+                Condition(ColumnRef("zip"), ">=", Parameter(0)),
+                Condition(ColumnRef("zip"), "<=", Parameter(1)),
+            ],
+        )
+        assert self._key(one_param_twice) != self._key(two_params)
+
+    def test_parameter_vs_constant_does_not_alias(self):
+        from repro.query.ast import Parameter
+
+        with_param = self._zip_query(Parameter(0))
+        with_constant = self._zip_query(9001)
+        assert self._key(with_param) != self._key(with_constant)
+
+    def test_cross_type_constants_alias_safely(self):
+        """1 vs 1.0 vs True hash equal; erased constants must alias to the
+        *same opaque marker*, and the shared plan must serve each query its
+        own constants."""
+        assert self._key(self._zip_query(9001)) == self._key(
+            self._zip_query(9001.0)
+        )
+        assert self._key(self._zip_query(9001)) == self._key(
+            self._zip_query(True)
+        )
+        d_cached, d_cold = make_engine(), make_engine()
+        with d_cached.connect() as cached, d_cold.connect() as cold:
+            by_int = cached.execute(self._zip_query(10001))
+            by_float = cached.execute(self._zip_query(9001.0))
+            assert cached.plan_cache_hits == 1  # aliased on purpose
+            # The hit served the *new* constants, not the cached query's:
+            # results match a session that re-plans every query.
+            cold_int = cold.execute(self._zip_query(10001))
+            cold._plan_cache.clear()
+            cold_float = cold.execute(self._zip_query(9001.0))
+            assert relations_identical(by_int.relation, cold_int.relation)
+            assert relations_identical(by_float.relation, cold_float.relation)
+            assert by_int.plain_rows() != by_float.plain_rows()
+
+    def test_cache_hit_never_replays_cached_constants(self):
+        d = make_engine()
+        with d.connect() as session:
+            la = session.execute(
+                "SELECT zip FROM cities WHERE city = 'Los Angeles'"
+            )
+            ny = session.execute(
+                "SELECT zip FROM cities WHERE city = 'New York'"
+            )
+            assert session.plan_cache_hits == 1
+            assert la.plain_rows() != ny.plain_rows()
+            assert all(z == (10001,) for z in ny.plain_rows())
+
+
+class TestSqlLiteralRoundTrip:
+    """Query.to_sql() renderings must parse back to equal constants."""
+
+    @staticmethod
+    def _round_trip(value):
+        from repro.query.sql import parse_sql
+
+        query = Query(
+            tables=["t"],
+            projection=[ColumnRef("a")],
+            conditions=[Condition(ColumnRef("a"), "=", value)],
+        )
+        back = parse_sql(query.to_sql())
+        got = back.conditions[0].value
+        # Idempotence: rendering the parsed query again is stable.
+        assert parse_sql(back.to_sql()).conditions[0].value == got
+        return got
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "plain",
+            "o'brien",                  # single quote -> doubled-quote escape
+            'he said "hi"',             # double quote inside single quotes
+            "both \" and ' quotes",     # previously unparseable
+            "",                         # empty string
+            0,
+            -17,
+            3.25,
+            -0.5,
+            1e20,                       # repr() uses exponent notation
+            2.5e-07,
+            True,
+            False,
+            None,                       # renders as NULL
+        ],
+    )
+    def test_literal_round_trips(self, value):
+        got = self._round_trip(value)
+        assert got == value
+        assert type(got) is type(value)
+
+    def test_non_finite_floats_are_rejected(self):
+        import math
+
+        query = Query(
+            tables=["t"],
+            select_star=True,
+            conditions=[Condition(ColumnRef("a"), "<", math.inf)],
+        )
+        with pytest.raises(QueryError, match="non-finite"):
+            query.to_sql()
+
+    def test_unrenderable_types_are_rejected(self):
+        query = Query(
+            tables=["t"],
+            select_star=True,
+            conditions=[Condition(ColumnRef("a"), "=", object())],
+        )
+        with pytest.raises(QueryError, match="cannot render"):
+            query.to_sql()
+
+    def test_query_log_records_parseable_sql_for_ast_queries(self):
+        from repro.query.sql import parse_sql
+
+        d = make_engine()
+        query = Query(
+            tables=["cities"],
+            projection=[ColumnRef("zip")],
+            conditions=[Condition(ColumnRef("city"), "=", "L'Aquila")],
+        )
+        with d.connect() as session:
+            session.execute(query)
+            sql = session.query_log[-1].sql
+        assert parse_sql(sql).conditions[0].value == "L'Aquila"
+
+    def test_unrenderable_constants_do_not_gate_execution(self):
+        """to_sql() raising must never block the execute path: the query
+        log falls back to a marker and the query still runs."""
+        from decimal import Decimal
+
+        rel = Relation.from_rows(
+            [("a", ColumnType.FLOAT)], [(1.5,), (2.5,)], name="t"
+        )
+        d = Daisy(config=DaisyConfig(use_cost_model=False))
+        d.register_table("t", rel)
+        query = Query(
+            tables=["t"],
+            select_star=True,
+            conditions=[Condition(ColumnRef("a"), "=", Decimal("1.5"))],
+        )
+        with d.connect() as session:
+            result = session.execute(query)
+            assert result.plain_rows() == [(1.5,)]
+            assert "unrenderable" in session.query_log[-1].sql
+
+    def test_prepared_binding_renders_parseable_log_sql(self):
+        from repro.query.sql import parse_sql
+
+        d = make_engine()
+        with d.connect() as session:
+            prepared = session.prepare("SELECT zip FROM cities WHERE city = ?")
+            prepared.execute("O'Fallon")
+            sql = session.query_log[-1].sql
+        assert parse_sql(sql).conditions[0].value == "O'Fallon"
+
+
 class TestDeprecationShims:
     def test_execute_warns_and_works(self):
         d = make_engine()

@@ -169,6 +169,58 @@ class TestPatching:
         view3.derived("dk", ("k",), build_k)
         assert built == ["k", "k"]
 
+    def test_eviction_is_explicit_counted_and_logged(self, caplog):
+        """Payloads without ``patched_for_view`` must not vanish silently:
+        the eviction bumps a counter and emits a debug log record."""
+        import logging
+
+        rel = make_relation()
+        view = rel.column_view()
+        view.derived("dk", ("k",), lambda: {"which": "k"})
+        view.derived("dv", ("v",), lambda: {"which": "v"})
+        assert view.derived_evictions == 0
+        with caplog.at_level(logging.DEBUG, logger="repro.relation.columnview"):
+            view2 = rel.update_cells({(1, "k"): 7}).column_view()
+        assert view2.derived_evictions == 1  # dk evicted, dv survived
+        assert any("evicted derived payload" in r.message for r in caplog.records)
+        # The counter is cumulative along the patch chain.
+        rel2 = rel.update_cells({(1, "k"): 7})
+        view3 = rel2.update_cells({(2, "v"): 99}).column_view()
+        assert view3.derived_evictions == 2
+
+    def test_group_index_matches_cold_rebuild_after_patch(self):
+        """Regression: the group index is evicted (it is a plain tuple) when
+        a patch touches its key attribute — the rebuilt index must equal a
+        cold rebuild's, not answer with pre-patch groups."""
+        rel = make_relation()
+        view = rel.column_view()
+        _order, groups = view.group_index(("s",))
+        assert groups[("a",)] == [0, 2]
+        updated = rel.update_cells({(0, "s"): "b", (4, "s"): "a"})
+        patched = updated.column_view()
+        cold = ColumnView.from_relation(updated)
+        assert patched.group_index(("s",)) == cold.group_index(("s",))
+        _order2, groups2 = patched.group_index(("s",))
+        assert groups2[("a",)] == [2, 4]
+        assert groups2[("b",)] == [0, 1]
+        # Multi-key index over a touched attr rebuilds correctly too.
+        assert patched.group_index(("s", "k")) == cold.group_index(("s", "k"))
+
+    def test_hash_index_matches_cold_rebuild_after_patch(self):
+        rel = make_relation()
+        view = rel.column_view()
+        assert view.hash_column("v")[20] == [1]
+        updated = rel.update_cells({(1, "v"): 30, (4, "v"): 20})
+        patched = updated.column_view()
+        cold = ColumnView.from_relation(updated)
+        assert patched.hash_column("v") == cold.hash_column("v")
+        assert patched.hash_column("v")[30] == [1, 2]
+        assert patched.hash_column("v")[20] == [4]
+        # Untouched column's index object is shared, not rebuilt.
+        view.sorted_column("k")
+        patched_k = rel.update_cells({(1, "v"): 31}).column_view()
+        assert patched_k._sorted["k"] is view._sorted["k"]
+
 
 class TestIndexColumnarConstruction:
     """HashIndex/GroupIndex built from a view equal their row-built twins."""
