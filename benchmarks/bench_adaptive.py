@@ -1,0 +1,292 @@
+"""Adaptive cost model vs hand-tuned configurations (BENCH_adaptive.json).
+
+Three workload shapes from the paper's experiment grid, each run under a
+grid of forced configurations and under full auto mode
+(``DaisyConfig(parallelism="auto", batch_strategy="auto")``):
+
+* **fig07-style** — the strategy-switch FD workload (lineorder,
+  random-selectivity queries, cost model on), across forced pool shapes;
+* **fig09-style** — the rule-sharing batch workload, across forced batch
+  strategies (shared / sequential) and pool shapes;
+* **fig12-style** — a DC detection workload (price/discount theta-join,
+  partial + full checks), across forced pool shapes.
+
+Two gates (binding at full scale):
+
+1. **Parity** — auto's work units equal the forced oracle its decisions
+   correspond to exactly (pool choices never change work units; uniform
+   batch choices have a forced twin).
+2. **Competitiveness** — auto's work units are within 1.2× of the *best*
+   hand-tuned configuration of each workload, i.e. the model never pays
+   more than 20% over the per-workload optimum for not being hand-tuned.
+
+``BENCH_adaptive.json`` additionally records every run's wall clock, the
+decision counts by (kind, choice), and the planner's modeled-vs-observed
+cost per decision kind, so regressions in the pricing itself are visible.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from _harness import RunResult, bench_scale, print_series, record_benchmark, scaled
+from repro import Daisy, DaisyConfig
+from repro.constraints import DenialConstraint, Predicate
+from repro.datasets import ssb, workloads
+from repro.datasets.errors import inject_numeric_errors
+from repro.parallel import fork_available
+from repro.relation import ColumnType, Relation
+
+NUM_ROWS = 2400
+NUM_ORDERKEYS = 300
+NUM_SUPPKEYS = 300
+NUM_QUERIES = 45
+ERROR_GROUP_FRACTION = 0.25
+
+DC_ROWS = 1200
+DC_CELL_FRACTION = 0.02
+
+AUTO_WORKERS = 4
+WORK_RATIO_GATE = 1.2
+
+
+def _fd_inputs():
+    dirty, fd, _ = ssb.dirty_lineorder(
+        scaled(NUM_ROWS), scaled(NUM_ORDERKEYS), scaled(NUM_SUPPKEYS),
+        error_group_fraction=ERROR_GROUP_FRACTION, seed=103,
+    )
+    queries = workloads.random_selectivity_queries(
+        "lineorder", "orderkey", scaled(NUM_ORDERKEYS),
+        scaled(NUM_QUERIES, minimum=5), seed=103,
+        projection="orderkey, suppkey",
+    )
+    return dirty, [fd], queries
+
+
+def _dc_inputs():
+    n = scaled(DC_ROWS, minimum=200)
+    raw = [(i, 100.0 + i * 10.0, round(0.01 + i * 0.0001, 6)) for i in range(n)]
+    rel = Relation.from_rows(
+        [
+            ("orderkey", ColumnType.INT),
+            ("extended_price", ColumnType.FLOAT),
+            ("discount", ColumnType.FLOAT),
+        ],
+        raw,
+        name="lineorder",
+    )
+    dirty, _ = inject_numeric_errors(
+        rel, "discount", cell_fraction=DC_CELL_FRACTION, magnitude=3.0, seed=105
+    )
+    dc = DenialConstraint(
+        [
+            Predicate(0, "extended_price", "<", 1, "extended_price"),
+            Predicate(0, "discount", ">", 1, "discount"),
+        ],
+        name="dc_price_discount",
+    )
+    step = max(1, n // 6)
+    queries = [
+        f"SELECT orderkey, discount FROM lineorder "
+        f"WHERE orderkey >= {lo} AND orderkey < {lo + step}"
+        for lo in range(0, n, step * 2)
+    ]
+    queries.append("SELECT orderkey FROM lineorder WHERE extended_price > 0")
+    return dirty, [dc], queries
+
+
+def _decision_summary(decisions) -> dict:
+    counts = Counter((d.kind, d.choice) for d in decisions)
+    observed = [
+        d for d in decisions if d.observed_cost is not None and d.raw_units > 0
+    ]
+    ratios = {}
+    for kind in {d.pass_kind for d in observed}:
+        of_kind = [d for d in observed if d.pass_kind == kind]
+        ratios[kind] = sum(d.observed_cost / d.raw_units for d in of_kind) / len(
+            of_kind
+        )
+    return {
+        "choices": {f"{kind}:{choice}": n for (kind, choice), n in sorted(counts.items())},
+        "observed_over_raw_by_pass_kind": ratios,
+    }
+
+
+def _run_config(
+    make_inputs, label: str, batch: bool, use_cost_model: bool, **config_kwargs
+) -> RunResult:
+    relation, rules, queries = make_inputs()
+    daisy = Daisy(
+        config=DaisyConfig(
+            use_cost_model=use_cost_model,
+            expected_queries=len(queries),
+            **config_kwargs,
+        )
+    )
+    daisy.register_table("lineorder", relation)
+    for rule in rules:
+        daisy.add_rule("lineorder", rule)
+    with daisy.connect() as session:
+        started = time.perf_counter()
+        if batch:
+            report = session.execute_batch(list(queries)).report
+        else:
+            report = session.execute_workload(list(queries))
+        seconds = time.perf_counter() - started
+        decisions = list(session.planner.decisions)
+    return RunResult(
+        label=label,
+        seconds=seconds,
+        work_units=daisy.total_work(),
+        cumulative_seconds=report.cumulative_seconds(),
+        switch_index=report.switch_query_index,
+        extras={"decisions": _decision_summary(decisions)},
+    )
+
+
+def _forced_pool_grid() -> list[tuple[str, dict]]:
+    grid = [
+        ("serial", {}),
+        ("thread:2", {"parallelism": 2, "pool": "thread"}),
+        ("thread:4", {"parallelism": 4, "pool": "thread"}),
+    ]
+    if fork_available():
+        grid.append(("process:2", {"parallelism": 2, "pool": "process"}))
+    return grid
+
+
+def _series_payload(results: dict[str, RunResult]) -> dict:
+    return {
+        name: {
+            "seconds": r.seconds,
+            "work_units": r.work_units,
+            "switch_index": r.switch_index,
+            **r.extras,
+        }
+        for name, r in results.items()
+    }
+
+
+def _gate(results: dict[str, RunResult], auto_name: str = "auto") -> dict:
+    forced = {k: v for k, v in results.items() if k != auto_name}
+    best_name = min(forced, key=lambda k: forced[k].work_units)
+    best = forced[best_name].work_units
+    auto = results[auto_name].work_units
+    return {
+        "best_forced": best_name,
+        "best_forced_work_units": best,
+        "auto_work_units": auto,
+        "auto_over_best_work_ratio": auto / best if best else float("inf"),
+    }
+
+
+def test_fig07_strategy_switch_grid(benchmark):
+    def run_all():
+        results: dict[str, RunResult] = {}
+        for name, kwargs in _forced_pool_grid():
+            results[name] = _run_config(
+                _fd_inputs, f"fig07 {name}", batch=False,
+                use_cost_model=True, **kwargs,
+            )
+        results["auto"] = _run_config(
+            _fd_inputs, "fig07 auto", batch=False, use_cost_model=True,
+            parallelism="auto", auto_max_workers=AUTO_WORKERS,
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_series("Adaptive — fig07 strategy-switch grid", list(results.values()))
+    gate = _gate(results)
+    record_benchmark(
+        "adaptive",
+        {"fig07_strategy_switch": {**_series_payload(results), "gate": gate}},
+    )
+    # Pool choices never change work units or the switch point: auto is
+    # byte-identical to every forced pool shape (binding at every scale).
+    serial = results["serial"]
+    for name, result in results.items():
+        assert result.work_units == serial.work_units, name
+        assert result.switch_index == serial.switch_index, name
+    assert gate["auto_over_best_work_ratio"] <= WORK_RATIO_GATE
+
+
+def test_fig09_batch_strategy_grid(benchmark):
+    def run_all():
+        results: dict[str, RunResult] = {}
+        for name, kwargs in (
+            ("shared", {"batch_strategy": "shared"}),
+            ("sequential", {"batch_strategy": "sequential"}),
+            ("shared+thread:4", {
+                "batch_strategy": "shared", "parallelism": 4, "pool": "thread",
+            }),
+        ):
+            results[name] = _run_config(
+                _fd_inputs, f"fig09 batch {name}", batch=True,
+                use_cost_model=False, **kwargs,
+            )
+        results["auto"] = _run_config(
+            _fd_inputs, "fig09 batch auto", batch=True, use_cost_model=False,
+            batch_strategy="auto", parallelism="auto",
+            auto_max_workers=AUTO_WORKERS,
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_series("Adaptive — fig09 batch-strategy grid", list(results.values()))
+    gate = _gate(results)
+    record_benchmark(
+        "adaptive",
+        {"fig09_batch_strategy": {**_series_payload(results), "gate": gate}},
+    )
+    # The auto run's recorded choices must match one forced twin exactly.
+    choices = {
+        key.split(":", 1)[1]
+        for key in results["auto"].extras["decisions"]["choices"]
+        if key.startswith("batch_strategy:")
+    }
+    if choices == {"shared"}:
+        # Pool shape doesn't move work units, so the plain shared run is
+        # the work-unit oracle regardless of auto's pool choices.
+        assert results["auto"].work_units == results["shared"].work_units
+    elif choices == {"sequential"}:
+        assert results["auto"].work_units == results["sequential"].work_units
+    if bench_scale() >= 1.0:
+        assert gate["auto_over_best_work_ratio"] <= WORK_RATIO_GATE
+
+
+def test_fig12_dc_detection_grid(benchmark):
+    def run_all():
+        results: dict[str, RunResult] = {}
+        for name, kwargs in _forced_pool_grid():
+            results[name] = _run_config(
+                _dc_inputs, f"fig12 {name}", batch=False,
+                use_cost_model=False, **kwargs,
+            )
+        results["auto"] = _run_config(
+            _dc_inputs, "fig12 auto", batch=False, use_cost_model=False,
+            parallelism="auto", auto_max_workers=AUTO_WORKERS,
+        )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_series("Adaptive — fig12 DC detection grid", list(results.values()))
+    gate = _gate(results)
+    auto_choices = results["auto"].extras["decisions"]["choices"]
+    record_benchmark(
+        "adaptive",
+        {"fig12_dc_detection": {**_series_payload(results), "gate": gate}},
+    )
+    serial = results["serial"]
+    for name, result in results.items():
+        assert result.work_units == serial.work_units, name
+    assert gate["auto_over_best_work_ratio"] <= WORK_RATIO_GATE
+    # The decision log shows real escalation: at full scale the big checks
+    # leave serial (the 1.2M-pair full-matrix estimate prices far above
+    # the fan-out overheads).
+    if bench_scale() >= 1.0 and fork_available():
+        escalated = sum(
+            n for key, n in auto_choices.items()
+            if key.startswith("pool:") and not key.endswith(":serial")
+        )
+        assert escalated > 0

@@ -30,16 +30,17 @@ def main() -> None:
 
     queries = airquality.state_co_queries(inst.num_states)[: 12]
     print(f"\nPer-state CO trend (first 3 states shown):")
-    for i, sql in enumerate(queries):
-        result = daisy.execute(sql)
-        if i < 3:
-            print(f"\n  {sql}")
-            for row in sorted(result.relation.rows, key=lambda r: r.values[0]):
-                year, avg_co = row.values
-                print(f"    {year}: avg CO = {avg_co:.3f}")
+    with daisy.connect() as session:
+        for i, sql in enumerate(queries):
+            result = session.execute(sql)
+            if i < 3:
+                print(f"\n  {sql}")
+                for row in sorted(result.relation.rows, key=lambda r: r.values[0]):
+                    year, avg_co = row.values
+                    print(f"    {year}: avg CO = {avg_co:.3f}")
+        fixed = sum(e.errors_fixed for e in session.query_log)
 
     cleaned = daisy.probabilistic_cells("airquality")
-    fixed = sum(e.errors_fixed for e in daisy.query_log)
     total_work = daisy.total_work()
     print(f"\nAfter {len(queries)} queries:")
     print(f"  cells repaired (probabilistic): {cleaned}")

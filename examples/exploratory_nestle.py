@@ -32,7 +32,8 @@ def main() -> None:
 
     queries = nestle.coffee_queries(15)
     started = time.perf_counter()
-    report = daisy.execute_workload(queries)
+    with daisy.connect() as session:
+        report = session.execute_workload(queries)
     daisy_seconds = time.perf_counter() - started
 
     print(f"\nDaisy: {len(queries)} category queries in {daisy_seconds:.2f}s")

@@ -25,8 +25,9 @@ def daisy_clean(inst, rules):
     daisy.register_table("hospital", inst.dirty)
     for rule in rules:
         daisy.add_rule("hospital", rule)
-    daisy.execute("SELECT * FROM hospital WHERE zip >= 0 AND zip < 99999")
-    daisy.clean_table("hospital")
+    with daisy.connect() as session:
+        session.execute("SELECT * FROM hospital WHERE zip >= 0 AND zip < 99999")
+        session.clean_table("hospital")
     return daisy.table("hospital")
 
 

@@ -34,7 +34,8 @@ def run_daisy(use_cost_model: bool) -> tuple[list[float], int | None]:
     daisy.register_table("supplier", supplier)
     daisy.add_rule("lineorder", phi)
     daisy.add_rule("supplier", psi)
-    report = daisy.execute_workload(queries)
+    with daisy.connect() as session:
+        report = session.execute_workload(queries)
     return report.cumulative_seconds(), report.switch_query_index
 
 

@@ -17,8 +17,9 @@ Public API highlights:
 * :mod:`repro.parallel` — sharded parallel execution: executor pools
   (serial/thread/process), row-range relation shards with per-shard column
   views, and the session-owned :class:`repro.ParallelContext`
-  (``DaisyConfig(parallelism=N)``); parallel runs are byte-identical to
-  serial.
+  (``DaisyConfig(parallelism=N)``, or ``parallelism="auto"`` to let the
+  :class:`repro.core.AdaptivePlanner` price pool/worker/shard shapes per
+  pass); parallel runs are byte-identical to serial.
 * :mod:`repro.baselines` — the offline full-dataset cleaner and the
   HoloClean-like inference baseline.
 * :mod:`repro.datasets` — synthetic SSB / hospital / Nestlé / air-quality
@@ -55,7 +56,7 @@ from repro.daisy import Daisy
 from repro.errors import ReproError
 from repro.parallel import ExecutorPool, ParallelContext, ShardSet, make_pool
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchResult",

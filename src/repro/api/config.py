@@ -6,16 +6,41 @@ take as loose ``Daisy(...)`` keyword arguments, plus the batching knobs of
 session's behaviour stable for its whole lifetime: two sessions connected
 with different configs can run side by side over the same registered tables
 without trampling each other's strategy state.
+
+Two knobs accept ``"auto"`` — ``parallelism`` and ``batch_strategy`` — and
+hand the choice to the session's :class:`repro.core.AdaptivePlanner`, which
+prices the alternatives per pass from table statistics plus calibrated
+observed work (see ``docs/cost-model.md``).  Every adaptive choice is
+byte-identical to the corresponding forced configuration in violations,
+repairs, and merged work units; only wall-clock cost depends on it.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Union
 
 from repro.detection.maintenance import MAINTENANCE_AUTO, validate_maintenance_mode
 from repro.parallel.pool import POOL_THREAD, validate_pool_kind
 from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
+
+#: ``parallelism="auto"``: the planner picks pool kind / workers / shards per pass.
+PARALLELISM_AUTO = "auto"
+
+#: ``batch_strategy`` values for :meth:`repro.api.Session.execute_batch`.
+BATCH_SHARED = "shared"
+BATCH_SEQUENTIAL = "sequential"
+BATCH_AUTO = "auto"
+BATCH_STRATEGIES = (BATCH_SHARED, BATCH_SEQUENTIAL, BATCH_AUTO)
+
+
+def validate_batch_strategy(name: str) -> str:
+    if name not in BATCH_STRATEGIES:
+        raise ValueError(
+            f"unknown batch strategy {name!r}; expected one of {BATCH_STRATEGIES}"
+        )
+    return name
 
 
 @dataclass(frozen=True)
@@ -37,28 +62,50 @@ class DaisyConfig:
         oracle — both return identical results).
     batch_rule_sharing:
         When true (default), :meth:`repro.api.Session.execute_batch` groups
-        the batch's plans by the rules their clean-nodes touch and runs one
-        shared relaxation/detection pass per rule group before answering
+        the batch's plans by the rules their clean-nodes touch and can run
+        one shared relaxation/detection pass per rule group before answering
         the member queries.  When false, ``execute_batch`` degrades to the
-        sequential per-query path (useful for A/B measurements).
+        sequential per-query path regardless of ``batch_strategy`` (useful
+        for A/B measurements).
+    batch_strategy:
+        Per-rule-group arbitration inside ``execute_batch``: ``"shared"``
+        (default — every rule group runs one shared pass, the pre-adaptive
+        behaviour), ``"sequential"`` (every query cleans incrementally on
+        its own, order preserved), or ``"auto"`` (the session's
+        :class:`~repro.core.AdaptivePlanner` prices "shared pass now"
+        against "incremental per query" per rule group from the members'
+        scope estimates plus calibrated observed work).  All three are
+        byte-identical in query results and repairs; they differ in work
+        units and in whether the Section 5.2.3 strategy switch sees the
+        member queries.
     batch_observe_cost_model:
         Whether queries executed inside a batch also feed the cost model.
         Off by default: the shared pass *is* the batch's cleaning strategy,
         and rule-group members report zero residual errors, which would
         only skew the model's per-query averages.
     parallelism:
-        Worker count for the session's executor pool.  ``1`` (default)
-        keeps every path on the serial oracle; ``> 1`` fans theta-join
-        matrix cells and shard-routed FD relaxation closures out over the
-        pool.  Parallel results are byte-identical to serial, in both
-        answers and work-unit totals.
+        Worker count for the session's executor pool, or ``"auto"``.  ``1``
+        (default) keeps every path on the serial oracle; ``> 1`` fans
+        theta-join matrix cells and shard-routed FD relaxation closures out
+        over the pool.  ``"auto"`` hands the choice to the adaptive
+        planner, which picks serial / thread / process and a worker count
+        *per pass* from the pass's estimated work: tiny scopes stay serial,
+        full-matrix-scale DC checks escalate to the process pool.  Every
+        choice is byte-identical to serial in answers and work-unit totals.
     num_shards:
         Row-range shard count for the per-table shard routers; ``0``
-        (default) means "same as ``parallelism``".
+        (default) means "same as the worker count" (fixed mode) or "let the
+        planner follow its chosen worker count" (auto mode).
     pool:
-        Pool kind: ``"thread"`` (default; shares engine state directly),
-        ``"process"`` (fork-based workers — real CPU scaling for the cell
-        checks, requires a fork-capable platform), or ``"serial"``.
+        Pool kind for fixed ``parallelism > 1``: ``"thread"`` (default;
+        shares engine state directly), ``"process"`` (fork-based workers —
+        real CPU scaling for the cell checks, requires a fork-capable
+        platform), or ``"serial"``.  Ignored under ``parallelism="auto"``,
+        where the planner picks the kind per pass.
+    auto_max_workers:
+        Worker-count ceiling for ``parallelism="auto"``; ``0`` (default)
+        means the host CPU count.  Benchmarks and tests pin it to make
+        auto-mode decisions host-independent.
     matrix_maintenance:
         How theta-join detection matrices follow external data updates
         (``Daisy.update_table`` / ``update_rows``): ``"auto"`` (default)
@@ -76,24 +123,40 @@ class DaisyConfig:
     dc_error_threshold: float = 0.2
     backend: str = BACKEND_COLUMNAR
     batch_rule_sharing: bool = True
+    batch_strategy: str = BATCH_SHARED
     batch_observe_cost_model: bool = False
-    parallelism: int = 1
+    parallelism: Union[int, str] = 1
     num_shards: int = 0
     pool: str = POOL_THREAD
+    auto_max_workers: int = 0
     matrix_maintenance: str = MAINTENANCE_AUTO
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
         validate_pool_kind(self.pool)
         validate_maintenance_mode(self.matrix_maintenance)
+        validate_batch_strategy(self.batch_strategy)
         if self.expected_queries < 1:
             raise ValueError("expected_queries must be >= 1")
         if not 0.0 <= self.dc_error_threshold <= 1.0:
             raise ValueError("dc_error_threshold must be within [0, 1]")
-        if self.parallelism < 1:
+        if isinstance(self.parallelism, str):
+            if self.parallelism != PARALLELISM_AUTO:
+                raise ValueError(
+                    f"parallelism must be an int >= 1 or {PARALLELISM_AUTO!r}, "
+                    f"got {self.parallelism!r}"
+                )
+        elif self.parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if self.num_shards < 0:
             raise ValueError("num_shards must be >= 0")
+        if self.auto_max_workers < 0:
+            raise ValueError("auto_max_workers must be >= 0")
+
+    @property
+    def adaptive_parallelism(self) -> bool:
+        """True when the planner picks the execution shape per pass."""
+        return self.parallelism == PARALLELISM_AUTO
 
     def replace(self, **changes) -> "DaisyConfig":
         """A copy with the given fields changed (re-validated)."""

@@ -44,6 +44,13 @@ class PreparedQuery:
     binds the placeholders positionally and runs the query through the
     session (cost-model accounting and query logging included), reusing the
     cached plan.
+
+    Staleness semantics mirror the session plan cache: the plan is rebuilt
+    when the engine's **registration version** moves (a new rule/table must
+    appear in the cleaning operators), but survives **data epochs**
+    (external updates via ``Daisy.update_table`` change cell values, and
+    plan structure never depends on cell values — only the session's cost
+    models refresh).
     """
 
     def __init__(

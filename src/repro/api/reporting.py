@@ -4,12 +4,23 @@ These used to live on the ``Daisy`` god-object's module; they are now part
 of the public API layer because sessions, prepared queries, and batches all
 produce them.  ``repro.daisy`` re-exports both names for backward
 compatibility.
+
+Workload-level reports also carry the **adaptive decision audit trail**:
+every choice the session's :class:`~repro.core.AdaptivePlanner` took while
+the workload ran — strategy switches, per-pass pool/worker/shard
+selections, per-rule-group batch arbitration — lands in
+:attr:`WorkloadReport.decisions` as
+:class:`~repro.core.costmodel.PassDecision` records (choice, the modeled
+cost of every alternative, and the observed work units once the pass ran),
+so benchmarks can audit the model against forced-choice runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.core.costmodel import PassDecision
 
 
 @dataclass
@@ -33,6 +44,8 @@ class WorkloadReport:
     total_seconds: float = 0.0
     total_work_units: int = 0
     switch_query_index: Optional[int] = None
+    #: Adaptive decisions taken while this workload ran, in order.
+    decisions: list[PassDecision] = field(default_factory=list)
 
     def cumulative_seconds(self) -> list[float]:
         out, acc = [], 0.0
@@ -47,3 +60,8 @@ class WorkloadReport:
             acc += entry.work_units
             out.append(acc)
         return out
+
+    def decisions_of_kind(self, kind: str) -> list[PassDecision]:
+        """The recorded decisions of one family (``"pool"``,
+        ``"batch_strategy"``, ``"strategy_switch"``)."""
+        return [d for d in self.decisions if d.kind == kind]

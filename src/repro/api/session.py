@@ -27,12 +27,19 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
 from repro.constraints.dc import Rule
-from repro.core.costmodel import CostModel, CostModelConfig, QueryObservation
+from repro.core.costmodel import (
+    AdaptivePlanner,
+    CostModel,
+    CostModelConfig,
+    QueryObservation,
+    available_cpus,
+)
 from repro.core.operators import CleanReport, clean_full_table
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError, SessionError
 from repro.parallel.clean import ParallelContext
+from repro.parallel.pool import fork_available
 from repro.query.ast import Parameter, Query, sql_for_log
 from repro.query.executor import Executor, QueryResult
 from repro.query.logical import CleanJoinNode, CleanSigmaNode, PlanNode, plan_contains
@@ -98,11 +105,20 @@ class Session:
     releases the session's executor pool (the engine and its table states
     outlive every session).
 
-    The session also owns two workload-scoped accelerators:
+    The session also owns three workload-scoped accelerators:
 
-    * the **parallel context** (``config.parallelism > 1``): an executor
-      pool plus per-table shard routers, created lazily and closed with the
-      session — see :mod:`repro.parallel`;
+    * the **adaptive planner** (:attr:`planner`, a
+      :class:`~repro.core.AdaptivePlanner`): the unified cost model that
+      prices the strategy switch, per-pass pool/worker/shard shapes
+      (``parallelism="auto"``), and per-rule-group batch arbitration
+      (``batch_strategy="auto"``) from table statistics plus calibrated
+      observed work; every decision is recorded and surfaced on workload
+      reports.  Invariant: whatever the planner picks is byte-identical to
+      the forced-choice oracle in violations, repairs, and merged work
+      units — adaptivity moves wall-clock time only;
+    * the **parallel context** (``config.parallelism > 1`` or ``"auto"``):
+      executor pools plus per-table shard routers, created lazily and
+      closed with the session — see :mod:`repro.parallel`;
     * the **cross-query plan cache**: ad-hoc :meth:`execute` calls reuse
       the logical plan of any earlier same-structure query (constants
       erased), giving them :meth:`prepare`'s skip-replanning benefit;
@@ -118,8 +134,26 @@ class Session:
         self.cost_models: dict[str, Optional[CostModel]] = {}
         #: (registration version, data version) each cost model was built at.
         self._cost_model_versions: dict[str, tuple[int, int]] = {}
+        #: The unified adaptive cost model: prices strategy switches, pool
+        #: shapes, and batch arbitration, and records every decision.
+        self.planner = AdaptivePlanner(
+            max_workers=(
+                self.config.auto_max_workers or available_cpus()
+                if self.config.adaptive_parallelism
+                else 0
+            ),
+            process_pool_available=fork_available(),
+        )
         self._parallel: Optional[ParallelContext] = None
-        if self.config.parallelism > 1:
+        if self.config.adaptive_parallelism:
+            self._parallel = ParallelContext(
+                self.config.pool,
+                self.planner.max_workers,
+                self.config.num_shards,
+                planner=self.planner,
+                adaptive=True,
+            )
+        elif self.config.parallelism > 1:
             self._parallel = ParallelContext(
                 self.config.pool,
                 self.config.parallelism,
@@ -259,6 +293,7 @@ class Session:
         self._check_open()
         report = WorkloadReport()
         started = time.perf_counter()
+        decision_mark = self.planner.mark()
         for i, query in enumerate(queries):
             self.execute(query)
             entry = self.query_log[-1]
@@ -267,6 +302,7 @@ class Session:
                 report.switch_query_index = i
         report.total_seconds = time.perf_counter() - started
         report.total_work_units = sum(e.work_units for e in report.entries)
+        report.decisions = self.planner.decisions_since(decision_mark)
         return report
 
     def execute_batch(self, queries: Sequence[BatchQuery]) -> BatchResult:
@@ -349,11 +385,20 @@ class Session:
                 pending = [
                     r for r in state.rules if not state.is_fully_cleaned(r)
                 ]
-                if pending and model.should_switch_to_full():
-                    started = time.perf_counter()
-                    clean_full_table(state, pending, parallel=self._parallel)
-                    result.elapsed_seconds += time.perf_counter() - started
-                    switched = True
+                if pending:
+                    # The planner evaluates the Section 5.2.3 inequality and
+                    # records the verdict (both projected costs included) on
+                    # the decision log the workload report slices.
+                    decision = self.planner.strategy_switch(table, model)
+                    if decision is not None and decision.choice == "full_clean_now":
+                        started = time.perf_counter()
+                        clean_before = state.counter.total()
+                        clean_full_table(state, pending, parallel=self._parallel)
+                        self.planner.observe(
+                            decision, state.counter.total() - clean_before
+                        )
+                        result.elapsed_seconds += time.perf_counter() - started
+                        switched = True
 
         work_after = {t: self.states[t].counter.total() for t in parsed.tables}
         entry = QueryLogEntry(

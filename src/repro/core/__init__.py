@@ -17,9 +17,14 @@ from repro.core.operators import (
     clean_sigma,
 )
 from repro.core.costmodel import (
+    AdaptivePlanner,
+    CostCalibration,
     CostModel,
     CostModelConfig,
+    PassDecision,
+    PoolPlan,
     QueryObservation,
+    available_cpus,
     incremental_query_cost,
     offline_cost,
 )
@@ -54,6 +59,11 @@ __all__ = [
     "CostModel",
     "CostModelConfig",
     "QueryObservation",
+    "AdaptivePlanner",
+    "CostCalibration",
+    "PassDecision",
+    "PoolPlan",
+    "available_cpus",
     "offline_cost",
     "incremental_query_cost",
     "FdStatistics",

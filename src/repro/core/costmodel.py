@@ -1,23 +1,52 @@
-"""The Section 5.2 cost model: offline vs incremental cleaning.
+"""The unified adaptive cost model: strategy × parallelism × batching.
 
-Implements the paper's cost formulas and the switch decision of
-Section 5.2.3:
+Three layers, bottom up:
 
-* offline (full) cleaning cost — detection + per-error repair + dataset
-  update, plus plain query execution for the workload;
-* incremental cleaning cost — per query: relaxation over the unknown
-  remainder, detection and repair over the enhanced result, and the
-  probabilistic dataset update;
-* the inequality that decides, while the workload executes, whether to keep
-  cleaning incrementally or to clean the remaining dirty part at once
-  (the Fig. 7 / Fig. 12 strategy switch).
+* **Section 5.2 formulas** (:func:`offline_cost`,
+  :func:`incremental_query_cost`) and the per-table :class:`CostModel` that
+  evaluates the Section 5.2.3 inequality — while the workload executes,
+  should Daisy keep cleaning incrementally or clean the remaining dirty
+  part at once (the Fig. 7 / Fig. 12 strategy switch)?  The model works on
+  observed per-query measurements plus the precomputed statistics (ε and p
+  estimates from :mod:`repro.core.statistics`).
+* **:class:`CostCalibration`** — a feedback loop from *observed*
+  :class:`~repro.engine.stats.WorkCounter` totals back into the estimates:
+  per pass kind (``"dc_check"``, ``"fd_relax"``, ``"batch"``) an EWMA of
+  the observed/estimated work ratio rescales every later estimate of that
+  kind, so the planner's prices track what passes actually cost on this
+  workload.
+* **:class:`AdaptivePlanner`** — the session-owned arbiter that prices
+  every remaining per-pass decision in the same work-unit currency:
 
-The model works on observed per-query measurements plus the precomputed
-statistics (ε and p estimates from :mod:`repro.core.statistics`).
+  1. the strategy switch (via :meth:`AdaptivePlanner.strategy_switch`,
+     wrapping :meth:`CostModel.switch_costs`),
+  2. per-pass pool kind / worker count / shard count
+     (:meth:`AdaptivePlanner.choose_pool` — ``DaisyConfig(parallelism="auto")``;
+     tiny scopes stay serial, mid-size passes take the thread pool,
+     full-matrix-scale checks escalate to the process pool),
+  3. per rule group, "shared pass now" vs "incremental per query" inside
+     :meth:`repro.api.Session.execute_batch`
+     (:meth:`AdaptivePlanner.choose_batch_strategy` —
+     ``DaisyConfig(batch_strategy="auto")``).
+
+  Every decision is recorded as a :class:`PassDecision` (choice, the
+  estimates of every alternative, and — once the pass ran — the observed
+  work units) and surfaced on
+  :attr:`repro.api.WorkloadReport.decisions` so benchmarks can audit the
+  model against the forced-choice oracles.
+
+**Invariant:** adaptive choices select *how* a pass executes, never *what*
+it computes — every alternative is byte-identical in violations, repairs,
+and merged work-unit totals (the pool/shard parity guarantee of
+:mod:`repro.parallel`, and the batch-vs-sequential equivalence pinned by
+``tests/test_api.py``), so a wrong price costs wall-clock time, not
+correctness.
 """
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -183,16 +212,383 @@ class CostModel:
         queries = remaining_queries * float(n)
         return d_full + repair + update + queries
 
-    def should_switch_to_full(
+    def switch_costs(
         self, remaining_queries: Optional[int] = None
-    ) -> bool:
-        """The Section 5.2.3 inequality, evaluated with current estimates."""
+    ) -> Optional[tuple[float, float]]:
+        """Both sides of the Section 5.2.3 inequality, or None when the
+        workload is projected to be over (no remaining queries to finish
+        either way).  Returns ``(incremental, full_clean_now)``."""
         if remaining_queries is None:
             remaining_queries = max(
                 0, self.config.expected_queries - len(self.observations)
             )
         if remaining_queries <= 0:
-            return False
+            return None
         incremental = self.projected_incremental_remaining(remaining_queries)
         full = self.full_clean_now_cost(remaining_queries)
+        return incremental, full
+
+    def switch_exceeds(self, incremental: float, full: float) -> bool:
+        """The Section 5.2.3 inequality over already-computed costs — the
+        single definition both :meth:`should_switch_to_full` and the
+        planner's recorded verdicts evaluate."""
         return incremental > full * self.config.hysteresis
+
+    def should_switch_to_full(
+        self, remaining_queries: Optional[int] = None
+    ) -> bool:
+        """The Section 5.2.3 inequality, evaluated with current estimates."""
+        costs = self.switch_costs(remaining_queries)
+        if costs is None:
+            return False
+        return self.switch_exceeds(*costs)
+
+
+# ---------------------------------------------------------------------------
+# Adaptive planning: calibration + the unified per-pass decision layer
+# ---------------------------------------------------------------------------
+
+#: Decision families recorded on :class:`PassDecision.kind`.
+DECISION_POOL = "pool"
+DECISION_BATCH = "batch_strategy"
+DECISION_STRATEGY = "strategy_switch"
+
+#: Calibration buckets (``PassDecision.pass_kind``): one observed/estimated
+#: ratio is maintained per kind of priced work.
+PASS_DC_CHECK = "dc_check"
+PASS_FD_RELAX = "fd_relax"
+PASS_BATCH = "batch"
+
+
+@dataclass
+class PassDecision:
+    """One adaptive choice: what was priced, what was picked, what it cost.
+
+    ``alternatives`` holds the modeled completion cost of every option the
+    planner considered (including the chosen one, under its ``choice`` key);
+    ``estimated_cost`` is the chosen option's modeled cost; ``raw_units`` is
+    the uncalibrated work estimate the model started from (the quantity
+    :class:`CostCalibration` learns to rescale); ``observed_cost`` is filled
+    in after the pass ran with the work units it actually charged — ``None``
+    for decisions whose outcome is not a measurable pass (e.g. a
+    ``continue_incremental`` strategy verdict).
+    """
+
+    kind: str
+    pass_kind: str
+    table: str
+    choice: str
+    estimated_cost: float
+    raw_units: float = 0.0
+    alternatives: dict[str, float] = field(default_factory=dict)
+    observed_cost: Optional[float] = None
+
+
+class CostCalibration:
+    """EWMA feedback from observed work units into future estimates.
+
+    For each pass kind the calibration tracks ``factor = EWMA(observed /
+    estimated)``; :meth:`calibrated` rescales a raw estimate by the current
+    factor.  With a stationary workload (constant true ratio ``r``) each
+    :meth:`observe` moves the factor geometrically toward ``r`` — the
+    absolute estimation error shrinks by ``(1 - alpha)`` per observation,
+    which is the monotone-improvement property ``tests/test_costmodel.py``
+    pins on replayed work logs.
+    """
+
+    def __init__(self, alpha: float = 0.3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._factors: dict[str, float] = {}
+        self._samples: dict[str, int] = {}
+
+    def factor(self, pass_kind: str) -> float:
+        """Current observed/estimated ratio for one pass kind (1.0 = raw)."""
+        return self._factors.get(pass_kind, 1.0)
+
+    def samples(self, pass_kind: str) -> int:
+        return self._samples.get(pass_kind, 0)
+
+    def calibrated(self, pass_kind: str, raw_units: float) -> float:
+        """``raw_units`` rescaled by the learned factor for this pass kind."""
+        return raw_units * self.factor(pass_kind)
+
+    def observe(self, pass_kind: str, raw_units: float, observed: float) -> None:
+        """Feed one (estimate, observation) pair back into the factor."""
+        if raw_units <= 0 or observed < 0 or not math.isfinite(observed):
+            return
+        ratio = observed / raw_units
+        previous = self._factors.get(pass_kind)
+        if previous is None:
+            # First sample: adopt the observed ratio outright (an EWMA from
+            # the arbitrary prior 1.0 would just slow convergence down).
+            self._factors[pass_kind] = ratio
+        else:
+            self._factors[pass_kind] = previous + self.alpha * (ratio - previous)
+        self._samples[pass_kind] = self._samples.get(pass_kind, 0) + 1
+
+
+@dataclass(frozen=True)
+class PoolPlan:
+    """A per-pass execution shape: pool kind, worker count, shard count."""
+
+    kind: str      # "serial" | "thread" | "process"
+    workers: int
+    shards: int
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1 and self.kind != "serial"
+
+    def label(self) -> str:
+        if not self.parallel:
+            return "serial"
+        return f"{self.kind}:{self.workers}/shards:{self.shards}"
+
+
+def available_cpus() -> int:
+    """Worker-count ceiling for auto mode (``os.cpu_count`` floor 1)."""
+    return os.cpu_count() or 1
+
+
+class AdaptivePlanner:
+    """Unified per-pass arbiter: strategy × parallelism × batching.
+
+    One instance per :class:`repro.api.Session`.  All prices are in the
+    deterministic work-unit currency of
+    :class:`~repro.engine.stats.WorkCounter` (comparisons, scans, …), so
+    decisions are reproducible across hosts; wall-clock enters only through
+    :class:`CostCalibration`-learned ratios of observed work to raw
+    estimates.
+
+    The completion-cost model for a pass of ``u`` (calibrated) units:
+
+    * serial — ``u``;
+    * thread pool, ``w`` workers — ``u / (1 + (w - 1) · eff_t) + c_t · w``
+      (``eff_t < 1``: under the GIL threads overlap C-level work only);
+    * process pool, ``w`` workers — ``u / w + c_p · w`` (fork + result
+      pickling make ``c_p ≫ c_t``).
+
+    The planner picks the argmin over {serial} ∪ {thread, process} ×
+    worker counts ≤ the cap — small scopes stay serial, mid-size passes
+    take threads, full-matrix-scale checks escalate to the process pool.
+    """
+
+    #: Modeled spawn/merge overhead per worker, in work units.
+    THREAD_OVERHEAD = 256.0
+    PROCESS_OVERHEAD = 4096.0
+    #: Effective extra-worker efficiency of the thread pool under the GIL.
+    THREAD_EFFICIENCY = 0.5
+    #: Modeled fixed setup cost of one cleaning pass (batch arbitration).
+    BATCH_PASS_OVERHEAD = 32.0
+    #: Modeled cleaning cost per scope tuple relative to one filter/routing
+    #: charge per answer tuple (a relaxation + detection + repair sweep
+    #: touches a tuple many times; an index-served filter once).
+    BATCH_CLEAN_WEIGHT = 8.0
+    #: Decision-log cap: long-lived sessions (e.g. the engine's cached
+    #: default session) must not grow memory linearly in queries executed.
+    MAX_DECISIONS = 4096
+
+    def __init__(
+        self,
+        cpu_count: Optional[int] = None,
+        max_workers: int = 0,
+        calibration: Optional[CostCalibration] = None,
+        process_pool_available: bool = True,
+    ):
+        self.cpu_count = cpu_count if cpu_count is not None else available_cpus()
+        self.max_workers = max_workers if max_workers > 0 else self.cpu_count
+        self.calibration = calibration if calibration is not None else CostCalibration()
+        self.process_pool_available = process_pool_available
+        #: The retained decision tail, oldest first (see :attr:`MAX_DECISIONS`).
+        self.decisions: list[PassDecision] = []
+        #: How many old decisions the cap has discarded (monotonic).
+        self.decisions_dropped = 0
+
+    # -- decision log ------------------------------------------------------------
+
+    def _append(self, decision: PassDecision) -> None:
+        self.decisions.append(decision)
+        overflow = len(self.decisions) - self.MAX_DECISIONS
+        if overflow > 0:
+            del self.decisions[:overflow]
+            self.decisions_dropped += overflow
+
+    def mark(self) -> int:
+        """Absolute slice point for reports (stable across cap trimming)."""
+        return len(self.decisions) + self.decisions_dropped
+
+    def decisions_since(self, mark: int) -> list[PassDecision]:
+        """Decisions appended since ``mark`` (minus any the cap discarded)."""
+        start = max(0, mark - self.decisions_dropped)
+        return list(self.decisions[start:])
+
+    def observe(self, decision: PassDecision, observed_units: float) -> None:
+        """Record a pass's actual work units and feed the calibration.
+
+        Strategy-switch verdicts only record: their estimate projects the
+        remaining workload's execution while the observation is the full
+        clean's counter delta — not commensurate quantities, so they must
+        not contaminate a calibration bucket.
+        """
+        decision.observed_cost = float(observed_units)
+        if decision.kind == DECISION_STRATEGY:
+            return
+        self.calibration.observe(
+            decision.pass_kind, decision.raw_units, float(observed_units)
+        )
+
+    # -- (2) per-pass pool / worker / shard selection ------------------------------
+
+    def _worker_candidates(self) -> list[int]:
+        cap = max(1, self.max_workers)
+        out = {2, max(2, cap // 2), cap}
+        return sorted(w for w in out if w >= 2 and w <= max(2, cap))
+
+    def pool_alternatives(self, pass_kind: str, raw_units: float) -> dict[str, float]:
+        """Modeled completion cost of every execution shape considered."""
+        units = self.calibration.calibrated(pass_kind, max(0.0, raw_units))
+        alternatives: dict[str, float] = {"serial": units}
+        if self.max_workers <= 1:
+            return alternatives
+        for w in self._worker_candidates():
+            thread_speedup = 1.0 + (w - 1) * self.THREAD_EFFICIENCY
+            alternatives[f"thread:{w}"] = units / thread_speedup + self.THREAD_OVERHEAD * w
+            if self.process_pool_available:
+                alternatives[f"process:{w}"] = units / w + self.PROCESS_OVERHEAD * w
+        return alternatives
+
+    def choose_pool(
+        self,
+        pass_kind: str,
+        table: str,
+        raw_units: float,
+        num_shards: int = 0,
+    ) -> tuple[PoolPlan, PassDecision]:
+        """Pick serial / thread / process (+ worker and shard counts) for one
+        pass estimated at ``raw_units`` uncalibrated work units.
+
+        ``num_shards > 0`` forces the shard count (the
+        ``DaisyConfig(num_shards=)`` override); otherwise shards follow the
+        chosen worker count.  The decision is appended to the log; call
+        :meth:`observe` with the pass's counter delta afterwards.
+        """
+        alternatives = self.pool_alternatives(pass_kind, raw_units)
+        choice = min(alternatives, key=lambda k: (alternatives[k], k))
+        if choice == "serial":
+            plan = PoolPlan("serial", 1, 1)
+        else:
+            kind, _, workers_text = choice.partition(":")
+            workers = int(workers_text)
+            plan = PoolPlan(kind, workers, num_shards or workers)
+        decision = PassDecision(
+            kind=DECISION_POOL,
+            pass_kind=pass_kind,
+            table=table,
+            choice=plan.label(),
+            estimated_cost=alternatives[choice],
+            raw_units=float(raw_units),
+            alternatives=alternatives,
+        )
+        self._append(decision)
+        return plan, decision
+
+    # -- (3) batch rule-group arbitration ------------------------------------------
+
+    def choose_batch_strategy(
+        self,
+        table: str,
+        members: int,
+        cleaning_members: int,
+        shared_units: float,
+        sequential_units: float,
+        routing_units: float = 0.0,
+    ) -> PassDecision:
+        """Price "one shared pass over the member union" against
+        "incremental cleaning per member query" for one rule group.
+
+        ``shared_units`` is the union-scope estimate (one relaxation +
+        detection sweep); ``sequential_units`` the sum of per-member scope
+        estimates (overlapping members re-pay their shared clusters);
+        ``routing_units`` the **extra** filtering the shared path performs —
+        each member's answer is filtered once for the pass union and once
+        more when the member query is routed over the cleaned state, where
+        the sequential path filters once inside normal execution.  Cleaning
+        a tuple costs ~:attr:`BATCH_CLEAN_WEIGHT`× one filter charge, so:
+
+        * heavy scope overlap (union ≪ sum) → the shared pass wins, the
+          cleaning savings dwarf the re-filtering;
+        * disjoint scopes (union ≈ sum) → sequential wins — sharing saves
+          no cleaning and still re-filters every member.
+
+        A single-member group always goes sequential (identical work, and
+        the per-query path keeps the Section 5.2.3 strategy switch and
+        cost-model observation in the loop — the ROADMAP's "the shared pass
+        is the strategy" gap); a group in which *no* member needs cleaning
+        always shares (the pass is a no-op and members route plainly).
+        """
+        overhead = self.BATCH_PASS_OVERHEAD
+        weight = self.BATCH_CLEAN_WEIGHT
+        shared_raw = shared_units * weight + routing_units
+        sequential_raw = sequential_units * weight
+        shared_est = (
+            self.calibration.calibrated(PASS_BATCH, shared_raw) + overhead
+        )
+        sequential_est = (
+            self.calibration.calibrated(PASS_BATCH, sequential_raw)
+            + overhead * max(1, cleaning_members)
+        )
+        if members <= 1:
+            choice = "sequential"
+        elif cleaning_members == 0:
+            choice = "shared"
+        else:
+            choice = "shared" if shared_est <= sequential_est else "sequential"
+        decision = PassDecision(
+            kind=DECISION_BATCH,
+            pass_kind=PASS_BATCH,
+            table=table,
+            choice=choice,
+            estimated_cost=shared_est if choice == "shared" else sequential_est,
+            raw_units=float(shared_raw if choice == "shared" else sequential_raw),
+            alternatives={"shared": shared_est, "sequential": sequential_est},
+        )
+        self._append(decision)
+        return decision
+
+    # -- (1) the Section 5.2.3 strategy switch --------------------------------------
+
+    def strategy_switch(
+        self,
+        table: str,
+        model: CostModel,
+        remaining_queries: Optional[int] = None,
+    ) -> Optional[PassDecision]:
+        """Evaluate the strategy-switch inequality and record the verdict.
+
+        Returns ``None`` when the workload is projected to be over (no
+        decision to take, matching :meth:`CostModel.should_switch_to_full`
+        returning False).  The caller performs the full clean when
+        ``choice == "full_clean_now"`` and then reports the clean's counter
+        delta via :meth:`observe`; ``continue_incremental`` verdicts keep
+        ``observed_cost`` as ``None`` — their outcome is the *next* queries'
+        incremental costs, which the per-table :class:`CostModel` already
+        accumulates.
+        """
+        costs = model.switch_costs(remaining_queries)
+        if costs is None:
+            return None
+        incremental, full = costs
+        switched = model.switch_exceeds(incremental, full)
+        decision = PassDecision(
+            kind=DECISION_STRATEGY,
+            pass_kind="strategy",
+            table=table,
+            choice="full_clean_now" if switched else "continue_incremental",
+            estimated_cost=full if switched else incremental,
+            raw_units=full if switched else incremental,
+            alternatives={"continue_incremental": incremental, "full_clean_now": full},
+        )
+        self._append(decision)
+        return decision

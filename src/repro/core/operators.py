@@ -22,6 +22,7 @@ from repro.constraints.analysis import FilterSide, filter_side, relevant_rules
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, as_dc, as_fd
 from repro.core.relaxation import relax_fd
 from repro.core.state import TableState, rule_key
+from repro.engine.stats import WorkCounter
 from repro.detection.estimator import decide_cleaning
 from repro.parallel.clean import ParallelContext, parallel_relax_fd
 from repro.probabilistic.lineage import JoinResult, incremental_join_update
@@ -125,7 +126,10 @@ def clean_sigma(
 
 
 def fd_scope_needs_cleaning(
-    state: TableState, answer: set[int], fd: FunctionalDependency
+    state: TableState,
+    answer: set[int],
+    fd: FunctionalDependency,
+    counter: Optional[WorkCounter] = None,
 ) -> bool:
     """Statistics pruning (Fig. 9) as a standalone test.
 
@@ -134,7 +138,13 @@ def fd_scope_needs_cleaning(
     statistics exist for the rule (then cleaning must look).  Shared by
     :func:`clean_sigma`'s FD path and by the batch executor, which prunes
     whole member queries out of a rule group's shared pass with it.
+
+    ``counter`` overrides the table counter the test charges — the batch
+    planner's *decision phase* passes a throwaway counter so pricing a rule
+    group never perturbs the work-unit totals the forced-choice oracles
+    charge (estimation is model overhead, not cleaning work).
     """
+    counter = counter if counter is not None else state.counter
     stats = state.statistics.get(rule_key(fd)) or state.statistics.get(fd.name or str(fd))
     if stats is None:
         return True
@@ -172,12 +182,12 @@ def fd_scope_needs_cleaning(
         present = tid_rows
 
     answer_keys = {key_of(tid) for tid in answer if tid in present}
-    state.counter.charge_comparisons(len(answer_keys))
+    counter.charge_comparisons(len(answer_keys))
     dirty_hit = any(stats.is_dirty_key(k) for k in answer_keys)
     # rhs-filtered queries may relax into dirty groups via rhs values, so
     # only prune when the rule has no dirty group at all overlapping the
     # answer AND the answer's rhs values don't appear in dirty groups.
-    return dirty_hit or _rhs_touches_dirty(state, answer, fd, stats)
+    return dirty_hit or _rhs_touches_dirty(state, answer, fd, stats, counter)
 
 
 def _clean_sigma_fd(
@@ -208,8 +218,14 @@ def _clean_sigma_fd(
         # general behaviour is the transitive closure.
         side = FilterSide.LHS
     seen = state.seen_for(fd)
-    if parallel is not None and parallel.enabled and view is not None:
-        relaxation = parallel_relax_fd(state, answer, fd, side, view, parallel)
+    plan = None
+    work_before = state.counter.total()
+    if parallel is not None and view is not None:
+        plan = parallel.plan_fd_relax(state, len(answer))
+    if plan is not None and plan.parallel:
+        relaxation = parallel_relax_fd(
+            state, answer, fd, side, view, parallel, plan=plan
+        )
     else:
         relaxation = relax_fd(
             state.relation, answer, fd, filter_side=side, counter=state.counter,
@@ -233,14 +249,24 @@ def _clean_sigma_fd(
         view=view,
     )
     report.detection_cost += len(scope) + len(relaxation.consult_tids)
+    if plan is not None and parallel is not None:
+        # Feed the whole FD pass's observed work (relaxation + detection)
+        # back into the fd_relax calibration bucket.
+        parallel.observe(plan.decision, state.counter.total() - work_before)
     return report, delta, repaired
 
 
 def _rhs_touches_dirty(
-    state: TableState, answer: set[int], fd: FunctionalDependency, stats
+    state: TableState,
+    answer: set[int],
+    fd: FunctionalDependency,
+    stats,
+    counter: Optional[WorkCounter] = None,
 ) -> bool:
     """Do any of the answer's rhs values co-occur with a dirty lhs group?"""
     from repro.probabilistic.value import PValue
+
+    counter = counter if counter is not None else state.counter
 
     dirty_rhs = stats.dirty_rhs_values
     view = state.column_view()
@@ -253,7 +279,7 @@ def _rhs_touches_dirty(
                 continue
             cell = rhs_col[pos]
             values = cell.concrete_values() if isinstance(cell, PValue) else (cell,)
-            state.counter.charge_comparisons()
+            counter.charge_comparisons()
             if any(v in dirty_rhs for v in values):
                 return True
         return False
@@ -266,7 +292,7 @@ def _rhs_touches_dirty(
             continue
         cell = row.values[rhs_idx]
         values = cell.concrete_values() if isinstance(cell, PValue) else (cell,)
-        state.counter.charge_comparisons()
+        counter.charge_comparisons()
         if any(v in dirty_rhs for v in values):
             return True
     return False
@@ -287,18 +313,31 @@ def _clean_sigma_dc(
     """
     report = CleanReport()
     matrix = state.matrix_for(dc)
-    pool = parallel.pool if parallel is not None and parallel.enabled else None
 
     decision = decide_cleaning(
         matrix, sorted(answer), state.relation, threshold=threshold,
         counter=state.counter,
     )
+    # Resolve the candidate cells first so the (free) pair-count estimate
+    # can price the pool choice: full-matrix-scale checks escalate to the
+    # process pool, small partial checks stay serial under "auto".
     if decision.full_cleaning:
-        violations = matrix.check_full(pool=pool)
+        cells = matrix.candidate_cells()
+    else:
+        cells = matrix.candidate_cells(answer)
+    plan = (
+        parallel.plan_dc_check(matrix, cells, state.relation.name or "")
+        if parallel is not None
+        else None
+    )
+    pool = plan.pool if plan is not None else None
+    work_before = state.counter.total()
+    violations = matrix.check_cells(cells, pool=pool)
+    if plan is not None and parallel is not None:
+        parallel.observe(plan.decision, state.counter.total() - work_before)
+    if decision.full_cleaning:
         report.used_full_matrix = True
         state.mark_fully_cleaned(dc)
-    else:
-        violations = matrix.check_partial(answer, pool=pool)
     report.detection_cost += float(len(violations))
 
     if not violations:

@@ -73,7 +73,14 @@ class Daisy:
         Sharded parallel execution knobs (see :class:`~repro.api.DaisyConfig`
         and :mod:`repro.parallel`): sessions with ``parallelism > 1`` fan
         theta-join cells and shard-routed FD relaxations out over a
-        session-owned worker pool; results stay byte-identical to serial.
+        session-owned worker pool; ``parallelism="auto"`` lets the session's
+        :class:`~repro.core.AdaptivePlanner` pick pool kind, worker count,
+        and shard count per pass from estimated work.  Results stay
+        byte-identical to serial either way.
+    batch_strategy:
+        Per-rule-group arbitration for :meth:`Session.execute_batch`:
+        ``"shared"`` (default), ``"sequential"``, or ``"auto"`` (the
+        planner prices "shared pass now" vs "incremental per query").
     config:
         A ready :class:`~repro.api.DaisyConfig`; overrides the loose
         keywords when given.
@@ -85,9 +92,10 @@ class Daisy:
         expected_queries: int = 50,
         dc_error_threshold: float = 0.2,
         backend: str = BACKEND_COLUMNAR,
-        parallelism: int = 1,
+        parallelism: "int | str" = 1,
         num_shards: int = 0,
         pool: str = POOL_THREAD,
+        batch_strategy: str = "shared",
         config: Optional[DaisyConfig] = None,
     ):
         if config is None:
@@ -99,6 +107,7 @@ class Daisy:
                 parallelism=parallelism,
                 num_shards=num_shards,
                 pool=pool,
+                batch_strategy=batch_strategy,
             )
         self.config = config
         self.states: dict[str, TableState] = {}

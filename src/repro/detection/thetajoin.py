@@ -623,6 +623,23 @@ class ThetaJoinMatrix:
         """
         return self.check_cells(self.candidate_cells(query_tids), pool=pool)
 
+    def estimate_cells_cost(self, cells: Sequence[tuple[int, int]]) -> float:
+        """Pair-count upper bound of checking ``cells`` (no work charged).
+
+        Diagonal cells check each unordered pair once per orientation
+        (|s|·|s| worst case); off-diagonal cells check both orientations of
+        stripe_i × stripe_j.  This is the raw unit the adaptive planner's
+        ``dc_check`` calibration bucket rescales into observed work —
+        cell-level and intra-cell pruning make the real cost smaller, by a
+        workload-dependent factor the calibration learns.
+        """
+        total = 0.0
+        for i, j in cells:
+            size_i = len(self.stripes[i])
+            size_j = len(self.stripes[j])
+            total += size_i * size_j * (1.0 if i == j else 2.0)
+        return total
+
     def support(self) -> float:
         """Fraction of diagonal-inclusive triangle cells checked so far.
 

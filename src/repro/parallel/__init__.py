@@ -13,10 +13,12 @@ three pieces that let one ``clean_sigma`` pass run sharded and concurrent:
 
 Every parallel path is byte-identical to its serial oracle — in results,
 repaired relations, and work-unit totals; the serial path stays the default
-(``DaisyConfig(parallelism=1)``).
+(``DaisyConfig(parallelism=1)``).  ``DaisyConfig(parallelism="auto")`` keeps
+the same guarantee while letting the session's
+:class:`~repro.core.AdaptivePlanner` pick the execution shape per pass.
 """
 
-from repro.parallel.clean import ParallelContext, parallel_relax_fd
+from repro.parallel.clean import ParallelContext, PassPlan, parallel_relax_fd
 from repro.parallel.pool import (
     POOL_KINDS,
     POOL_PROCESS,
@@ -40,6 +42,7 @@ __all__ = [
     "ExecutorPool",
     "ForkProcessPool",
     "ParallelContext",
+    "PassPlan",
     "RelationShard",
     "SerialPool",
     "ShardSet",

@@ -29,72 +29,213 @@ serial pass).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.constraints.analysis import FilterSide
 from repro.constraints.dc import FunctionalDependency
+from repro.core.costmodel import (
+    PASS_DC_CHECK,
+    PASS_FD_RELAX,
+    AdaptivePlanner,
+    PassDecision,
+    PoolPlan,
+)
 from repro.core.relaxation import RelaxationResult, relax_fd
 from repro.engine.stats import WorkCounter
-from repro.parallel.pool import ExecutorPool, make_pool, validate_pool_kind
+from repro.parallel.pool import (
+    POOL_SERIAL,
+    ExecutorPool,
+    make_pool,
+    validate_pool_kind,
+)
 from repro.parallel.shards import ShardSet
 from repro.relation.columnview import ColumnView
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.state import TableState
+    from repro.detection.thetajoin import ThetaJoinMatrix
+
+
+@dataclass(frozen=True)
+class PassPlan:
+    """One pass's resolved execution shape, handed to the operators.
+
+    ``pool`` is ``None`` for serial execution; ``shards`` is the shard
+    count FD relaxation should route over; ``decision`` is the recorded
+    :class:`~repro.core.costmodel.PassDecision` in adaptive mode (``None``
+    under a fixed configuration — there was nothing to decide).  Callers
+    report the pass's observed counter delta back through
+    :meth:`ParallelContext.observe`.
+    """
+
+    pool: Optional[ExecutorPool]
+    shards: int
+    decision: Optional[PassDecision] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.pool is not None
 
 
 class ParallelContext:
     """Session-scoped parallel execution state: pool + shard routers.
 
-    The pool is created lazily on first use and must be released with
+    Two modes:
+
+    * **fixed** (``DaisyConfig(parallelism=N)``) — one pool of ``N``
+      workers of one kind; every pass that can fan out does.
+    * **adaptive** (``parallelism="auto"``) — the context carries the
+      session's :class:`~repro.core.costmodel.AdaptivePlanner` and resolves
+      the execution shape *per pass* (:meth:`plan_fd_relax`,
+      :meth:`plan_dc_check`): serial for tiny scopes, the thread pool for
+      mid-size passes, the fork-process pool for full-matrix-scale checks.
+      Pools are created lazily per (kind, workers) and shared across
+      passes.  Whatever shape is chosen, results and merged work units are
+      byte-identical to serial — the choice only moves wall-clock time.
+
+    The pools are created lazily on first use and must be released with
     :meth:`close` (the owning :class:`repro.api.Session` does this);
     shard routers are cached per table state — tid membership is stable
     across Daisy's in-place repairs, so a router built once keeps routing
     correctly for the session's whole lifetime.
     """
 
-    def __init__(self, kind: str, workers: int, num_shards: int = 0):
+    def __init__(
+        self,
+        kind: str,
+        workers: int,
+        num_shards: int = 0,
+        planner: Optional[AdaptivePlanner] = None,
+        adaptive: bool = False,
+    ):
         validate_pool_kind(kind)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if num_shards < 0:
             raise ValueError("num_shards must be >= 0")
+        if adaptive and planner is None:
+            raise ValueError("adaptive mode requires a planner")
         self.kind = kind
         self.workers = workers
+        #: The raw knob: 0 means "follow the (chosen) worker count".
+        self._forced_shards = num_shards
         self.num_shards = num_shards or workers
+        self.adaptive = adaptive
+        self.planner = planner
         self._pool: Optional[ExecutorPool] = None
-        #: id(state) -> (state, data_epoch, router).  The held state
-        #: reference validates the entry (a recycled id from a re-registered
-        #: table cannot alias a stale router); the data epoch re-splits
-        #: after external updates, so shard *snapshots* never serve
+        #: (kind, workers) -> pool, for adaptive per-pass shapes.
+        self._pools: dict[tuple[str, int], ExecutorPool] = {}
+        #: (id(state), shard count) -> (state, data_epoch, router).  The held
+        #: state reference validates the entry (a recycled id from a
+        #: re-registered table cannot alias a stale router); the data epoch
+        #: re-splits after external updates, so shard *snapshots* never serve
         #: pre-update values (tid routing alone would survive, but the
         #: shard views are part of the public surface).
-        self._shard_sets: dict[int, tuple[object, int, ShardSet]] = {}
+        self._shard_sets: dict[tuple[int, int], tuple[object, int, ShardSet]] = {}
 
     @property
     def enabled(self) -> bool:
-        """Whether fan-out is active (one worker means pure serial paths)."""
+        """Whether fan-out is possible (one worker means pure serial paths)."""
         return self.workers > 1
 
     @property
     def pool(self) -> ExecutorPool:
+        """The fixed-mode pool (adaptive passes use :meth:`pool_of`)."""
         if self._pool is None:
             self._pool = make_pool(self.kind, self.workers)
         return self._pool
 
-    def shards_for(self, state: "TableState") -> ShardSet:
+    def pool_of(self, kind: str, workers: int) -> Optional[ExecutorPool]:
+        """A (cached) pool of the given shape; ``None`` for serial shapes."""
+        if workers <= 1 or kind == POOL_SERIAL:
+            return None
+        key = (kind, workers)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = self._pools[key] = make_pool(kind, workers)
+        return pool
+
+    # -- per-pass planning -------------------------------------------------------
+
+    def plan_fd_relax(self, state: "TableState", scope_size: int) -> PassPlan:
+        """Resolve the execution shape of one FD relaxation pass.
+
+        Fixed mode reproduces the pre-adaptive behaviour (always fan out
+        when ``workers > 1``); adaptive mode prices the scope size through
+        the planner.  ``scope_size`` is the answer-tid count — the raw unit
+        the ``fd_relax`` calibration bucket rescales into total pass work.
+        """
+        if not self.adaptive:
+            pool = self.pool if self.enabled else None
+            return PassPlan(pool=pool, shards=self.num_shards)
+        assert self.planner is not None
+        plan, decision = self.planner.choose_pool(
+            PASS_FD_RELAX,
+            state.relation.name or "",
+            raw_units=float(max(1, scope_size)),
+            num_shards=self._forced_shards,
+        )
+        return PassPlan(
+            pool=self._pool_for_plan(plan), shards=plan.shards, decision=decision
+        )
+
+    def plan_dc_check(
+        self, matrix: "ThetaJoinMatrix", cells, table: str
+    ) -> PassPlan:
+        """Resolve the execution shape of one theta-join cell check.
+
+        The raw unit is the matrix's pair-count estimate over the candidate
+        cells (:func:`repro.detection.estimator.estimate_check_cost`) — the
+        quantity that makes full-matrix checks escalate to the process pool
+        while small partial checks stay serial.
+        """
+        if not self.adaptive:
+            pool = self.pool if self.enabled else None
+            return PassPlan(pool=pool, shards=self.num_shards)
+        assert self.planner is not None
+        from repro.detection.estimator import estimate_check_cost
+
+        plan, decision = self.planner.choose_pool(
+            PASS_DC_CHECK,
+            table,
+            raw_units=estimate_check_cost(matrix, cells),
+        )
+        return PassPlan(
+            pool=self._pool_for_plan(plan), shards=plan.shards, decision=decision
+        )
+
+    def observe(self, decision: Optional[PassDecision], observed_units: float) -> None:
+        """Report a pass's counter delta back to the planner (no-op when the
+        pass ran under a fixed configuration)."""
+        if decision is not None and self.planner is not None:
+            self.planner.observe(decision, observed_units)
+
+    def _pool_for_plan(self, plan: PoolPlan) -> Optional[ExecutorPool]:
+        if not plan.parallel:
+            return None
+        return self.pool_of(plan.kind, plan.workers)
+
+    # -- shard routers -----------------------------------------------------------
+
+    def shards_for(
+        self, state: "TableState", num_shards: Optional[int] = None
+    ) -> ShardSet:
         """The (cached) shard router of one table state.
 
         Re-split when the table's data epoch moved: external updates change
         cell values (never tid membership), so the router would keep
         routing correctly but the per-shard view snapshots would go stale.
+        ``num_shards`` overrides the context default (adaptive passes route
+        over their plan's shard count).
         """
-        key = id(state)
+        shards = num_shards if num_shards else self.num_shards
+        key = (id(state), shards)
         epoch = getattr(state, "data_epoch", 0)
         entry = self._shard_sets.get(key)
         if entry is not None and entry[0] is state and entry[1] == epoch:
             return entry[2]
-        shard_set = ShardSet.split(state.relation, self.num_shards)
+        shard_set = ShardSet.split(state.relation, shards)
         self._shard_sets[key] = (state, epoch, shard_set)
         return shard_set
 
@@ -102,11 +243,15 @@ class ParallelContext:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
 
     def __repr__(self) -> str:
+        mode = "auto" if self.adaptive else "fixed"
         return (
             f"ParallelContext({self.kind}, workers={self.workers}, "
-            f"shards={self.num_shards})"
+            f"shards={self.num_shards}, mode={mode})"
         )
 
 
@@ -117,16 +262,25 @@ def parallel_relax_fd(
     filter_side: FilterSide,
     view: ColumnView,
     context: ParallelContext,
+    plan: Optional[PassPlan] = None,
 ) -> RelaxationResult:
     """Algorithm 1 relaxation, sharded by tid range and merged (see module
     docstring).  Requires the columnar view; byte-identical to
     :func:`repro.core.relaxation.relax_fd` in scope, consultation set, and
     the work units charged to ``state.counter``.
+
+    ``plan`` carries the pass's resolved shape (pool + shard count) from
+    :meth:`ParallelContext.plan_fd_relax`; without one, the context's fixed
+    configuration applies.
     """
     answer_set = set(answer)
     seen = state.seen_for(fd)
-    parts = context.shards_for(state).route_tids(answer_set)
-    if len(parts) <= 1 or not context.enabled:
+    pool = plan.pool if plan is not None else (
+        context.pool if context.enabled else None
+    )
+    shards = plan.shards if plan is not None else context.num_shards
+    parts = context.shards_for(state, shards).route_tids(answer_set)
+    if len(parts) <= 1 or pool is None:
         return relax_fd(
             state.relation, answer_set, fd, filter_side=filter_side,
             counter=state.counter, skip_tids=seen, view=view,
@@ -144,7 +298,7 @@ def parallel_relax_fd(
 
         return task
 
-    results = context.pool.run([task_for(part) for part in parts.values()])
+    results = pool.run([task_for(part) for part in parts.values()])
 
     merged = RelaxationResult()
     extra: set[int] = set()

@@ -18,6 +18,7 @@ from typing import Any, Optional
 
 from repro.core.operators import CleanReport, clean_join, clean_sigma
 from repro.core.state import TableState
+from repro.engine.stats import WorkCounter
 from repro.parallel.clean import ParallelContext
 from repro.errors import PlanError, QueryError
 from repro.probabilistic.lineage import join_with_lineage
@@ -103,7 +104,15 @@ class Executor:
         state: TableState,
         conditions: list[Condition],
         connector: Connector,
+        counter: Optional[WorkCounter] = None,
     ) -> set[int]:
+        """Tids of ``state`` satisfying ``conditions`` under ``connector``.
+
+        ``counter`` overrides the table counter the selection charges — the
+        batch planner's decision phase filters with a throwaway counter so
+        pricing a rule group leaves the work-unit totals untouched.
+        """
+        counter = counter if counter is not None else state.counter
         relation = state.relation
         view = state.column_view()
         if view is not None:
@@ -114,7 +123,7 @@ class Executor:
             # identical semantics to the per-row possible-worlds scan.
             sets = [
                 view.filter_tids(
-                    cond.column.name, cond.op, cond.value, counter=state.counter
+                    cond.column.name, cond.op, cond.value, counter=counter
                 )
                 for cond in conditions
             ]
@@ -130,7 +139,7 @@ class Executor:
             return out
         out = set()
         for row in relation.rows:
-            state.counter.charge_scan()
+            counter.charge_scan()
             if self._row_satisfies(row, relation, conditions, connector, False):
                 out.add(row.tid)
         return out

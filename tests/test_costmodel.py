@@ -1,8 +1,12 @@
-"""Tests for the Section 5.2 cost model and precomputed statistics."""
+"""Tests for the unified cost model: Section 5.2 formulas, statistics,
+calibration, and the adaptive planner's pricing."""
 
+import pytest
 
 from repro.constraints import FunctionalDependency
 from repro.core import (
+    AdaptivePlanner,
+    CostCalibration,
     CostModel,
     CostModelConfig,
     QueryObservation,
@@ -109,6 +113,125 @@ class TestCostModelDecision:
         model = self.make_model(errors=5)
         model.observe(QueryObservation(10, 0, 10, 10.0))
         assert model.remaining_errors() == 0
+
+    def test_switch_costs_expose_both_sides_of_the_inequality(self):
+        model = self.make_model()
+        model.observe(QueryObservation(20, 5, 2, 25.0))
+        costs = model.switch_costs()
+        assert costs is not None
+        incremental, full = costs
+        assert incremental == model.projected_incremental_remaining(
+            model.config.expected_queries - 1
+        )
+        assert full == model.full_clean_now_cost(model.config.expected_queries - 1)
+        # The boolean decision is exactly the inequality over these costs.
+        assert model.should_switch_to_full() == (incremental > full)
+
+    def test_switch_costs_none_when_workload_over(self):
+        model = self.make_model(expected=1)
+        model.observe(QueryObservation(20, 5, 2, 25.0))
+        assert model.switch_costs() is None
+        assert not model.should_switch_to_full()
+
+
+class TestCostCalibration:
+    def test_defaults_to_identity(self):
+        calibration = CostCalibration()
+        assert calibration.factor("dc_check") == 1.0
+        assert calibration.calibrated("dc_check", 500) == 500
+
+    def test_first_sample_adopts_observed_ratio(self):
+        calibration = CostCalibration()
+        calibration.observe("dc_check", 100, 700)
+        assert calibration.factor("dc_check") == pytest.approx(7.0)
+
+    def test_replayed_log_monotonically_improves_estimates(self):
+        """On a replayed work log with a stable observed/estimated ratio,
+        every calibration update shrinks the absolute estimation error —
+        the feedback loop never regresses on stationary workloads."""
+        calibration = CostCalibration(alpha=0.3)
+        # A replayed log: raw estimates with the true cost at 12.5x —
+        # seeded away from the truth by a misleading first observation.
+        calibration.observe("fd_relax", 100, 300)  # factor jumps to 3.0
+        log = [(80, 1000), (120, 1500), (100, 1250), (60, 750), (90, 1125)]
+        errors = []
+        for raw, observed in log:
+            errors.append(abs(calibration.calibrated("fd_relax", raw) / raw - 12.5))
+            calibration.observe("fd_relax", raw, observed)
+        errors.append(abs(calibration.factor("fd_relax") - 12.5))
+        assert all(b < a for a, b in zip(errors, errors[1:]))
+        assert calibration.factor("fd_relax") == pytest.approx(12.5, rel=0.35)
+
+    def test_buckets_are_independent(self):
+        calibration = CostCalibration()
+        calibration.observe("dc_check", 10, 100)
+        assert calibration.factor("fd_relax") == 1.0
+        assert calibration.samples("dc_check") == 1
+        assert calibration.samples("fd_relax") == 0
+
+    def test_ignores_degenerate_samples(self):
+        calibration = CostCalibration()
+        calibration.observe("dc_check", 0, 100)      # no raw estimate
+        calibration.observe("dc_check", 10, -5)      # negative observation
+        calibration.observe("dc_check", 10, float("nan"))
+        assert calibration.factor("dc_check") == 1.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            CostCalibration(alpha=0.0)
+        with pytest.raises(ValueError):
+            CostCalibration(alpha=1.5)
+
+
+class TestPlannerPricing:
+    def test_completion_cost_model_orders_alternatives_sensibly(self):
+        planner = AdaptivePlanner(cpu_count=4, max_workers=4)
+        small = planner.pool_alternatives("dc_check", 200)
+        assert min(small, key=small.get) == "serial"
+        huge = planner.pool_alternatives("dc_check", 5_000_000)
+        assert min(huge, key=huge.get) == "process:4"
+
+    def test_calibration_moves_the_serial_threshold(self):
+        planner = AdaptivePlanner(cpu_count=4, max_workers=4)
+        raw = 1200
+        plan, decision = planner.choose_pool("fd_relax", "t", raw)
+        assert plan.kind == "serial"
+        # Observing that passes of this kind cost ~20x their raw estimate
+        # pushes the same raw size over the fan-out threshold.
+        planner.observe(decision, 24_000)
+        plan2, _ = planner.choose_pool("fd_relax", "t", raw)
+        assert plan2.parallel
+
+    def test_strategy_verdicts_do_not_contaminate_calibration(self):
+        planner = AdaptivePlanner(cpu_count=2)
+        model = CostModel(
+            dataset_size=1000, estimated_errors=900, candidates_per_error=20.0,
+            config=CostModelConfig(expected_queries=100),
+        )
+        model.observe(QueryObservation(100, 700, 800, 800.0))
+        decision = planner.strategy_switch("t", model)
+        assert decision is not None and decision.choice == "full_clean_now"
+        # The estimate projects remaining-workload execution; the observed
+        # value is only the clean's counter delta — record, don't calibrate.
+        planner.observe(decision, 5000)
+        assert decision.observed_cost == 5000
+        assert planner.calibration.samples("strategy") == 0
+
+    def test_decision_log_is_capped(self):
+        planner = AdaptivePlanner(cpu_count=1)
+        cap = AdaptivePlanner.MAX_DECISIONS
+        mark = planner.mark()
+        for i in range(cap + 50):
+            planner.choose_pool("dc_check", f"t{i}", 10)
+        assert len(planner.decisions) == cap
+        assert planner.decisions_dropped == 50
+        # Marks are absolute: the slice loses only what the cap discarded.
+        since = planner.decisions_since(mark)
+        assert len(since) == cap
+        assert since[-1].table == f"t{cap + 49}"
+        late_mark = planner.mark()
+        planner.choose_pool("dc_check", "late", 10)
+        assert [d.table for d in planner.decisions_since(late_mark)] == ["late"]
 
 
 class TestFdStatistics:
