@@ -24,6 +24,7 @@ from typing import Union
 from repro.detection.maintenance import MAINTENANCE_AUTO, validate_maintenance_mode
 from repro.parallel.pool import POOL_THREAD, validate_pool_kind
 from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
+from repro.relation.kernels import COLUMN_AUTO, validate_column_backend
 
 #: ``parallelism="auto"``: the planner picks pool kind / workers / shards per pass.
 PARALLELISM_AUTO = "auto"
@@ -106,6 +107,19 @@ class DaisyConfig:
         Worker-count ceiling for ``parallelism="auto"``; ``0`` (default)
         means the host CPU count.  Benchmarks and tests pin it to make
         auto-mode decisions host-independent.
+    column_backend:
+        Kernel backend for the columnar substrate's index construction,
+        grouping, and linear scans: ``"numpy"`` (typed ndarray kernels —
+        argsort sorted-index construction, searchsorted join windows,
+        boundary-detection grouping, boolean-mask filters), ``"python"``
+        (the pure-list semantics oracle, dependency-free), or ``"auto"``
+        (default — the adaptive planner prices the choice per table from
+        its row count and the ``kernel`` calibration bucket; NumPy absent
+        forces ``"python"``).  Like ``backend`` this is data-scoped: it is
+        baked into each table at registration and a connecting session
+        must agree with it.  All choices are byte-identical in violations,
+        repairs, relations, sort orders, and work units (see
+        ``docs/kernels.md``); only wall-clock cost differs.
     matrix_maintenance:
         How theta-join detection matrices follow external data updates
         (``Daisy.update_table`` / ``update_rows``): ``"auto"`` (default)
@@ -129,10 +143,12 @@ class DaisyConfig:
     num_shards: int = 0
     pool: str = POOL_THREAD
     auto_max_workers: int = 0
+    column_backend: str = COLUMN_AUTO
     matrix_maintenance: str = MAINTENANCE_AUTO
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_column_backend(self.column_backend)
         validate_pool_kind(self.pool)
         validate_maintenance_mode(self.matrix_maintenance)
         validate_batch_strategy(self.batch_strategy)

@@ -45,6 +45,7 @@ from repro.query.executor import Executor, QueryResult
 from repro.query.logical import CleanJoinNode, CleanSigmaNode, PlanNode, plan_contains
 from repro.query.planner import build_plan, explain as explain_plan, resolve_query
 from repro.query.sql import parse_sql
+from repro.relation.kernels import COLUMN_AUTO
 from repro.relation.relation import Relation
 
 from repro.api.batch import BatchQuery, BatchResult, run_batch
@@ -175,6 +176,19 @@ class Session:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self._closed = False
+        # Price the column_backend="auto" knob for every registered table
+        # and pin the first concrete choice (data-scoped, like `backend`).
+        # Both alternatives are byte-identical in all outputs, so the
+        # decision — recorded in the planner log like any other — moves
+        # wall-clock time only; tables registered after connect resolve
+        # statically until another session connects.
+        if self.config.column_backend == COLUMN_AUTO:
+            for table_name, state in self.states.items():
+                if state.column_backend == COLUMN_AUTO:
+                    decision = self.planner.choose_column_backend(
+                        table_name, len(state.relation.rows)
+                    )
+                    state.pin_column_backend(decision.choice)
 
     # -- lifecycle -------------------------------------------------------------------
 

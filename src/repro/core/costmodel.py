@@ -252,12 +252,14 @@ class CostModel:
 DECISION_POOL = "pool"
 DECISION_BATCH = "batch_strategy"
 DECISION_STRATEGY = "strategy_switch"
+DECISION_COLUMN_BACKEND = "column_backend"
 
 #: Calibration buckets (``PassDecision.pass_kind``): one observed/estimated
 #: ratio is maintained per kind of priced work.
 PASS_DC_CHECK = "dc_check"
 PASS_FD_RELAX = "fd_relax"
 PASS_BATCH = "batch"
+PASS_KERNEL = "kernel"
 
 
 @dataclass
@@ -382,6 +384,14 @@ class AdaptivePlanner:
     THREAD_EFFICIENCY = 0.5
     #: Modeled fixed setup cost of one cleaning pass (batch arbitration).
     BATCH_PASS_OVERHEAD = 32.0
+    #: Kernel-backend pricing: fixed ndarray construction / dtype-inference
+    #: overhead per index build, and the modeled per-unit advantage of the
+    #: vectorized kernels over the pure-Python loops.  336 = 64·log2(64) ×
+    #: (1 − 1/KERNEL_SPEEDUP): the uncalibrated tipping point sits at the
+    #: same 64-row threshold the static ``column_backend="auto"`` resolver
+    #: uses (:data:`repro.relation.kernels.AUTO_MIN_ROWS`).
+    KERNEL_OVERHEAD = 336.0
+    KERNEL_SPEEDUP = 8.0
     #: Modeled cleaning cost per scope tuple relative to one filter/routing
     #: charge per answer tuple (a relaxation + detection + repair sweep
     #: touches a tuple many times; an index-served filter once).
@@ -493,6 +503,45 @@ class AdaptivePlanner:
         )
         self._append(decision)
         return plan, decision
+
+    # -- (2b) per-table column-kernel backend ---------------------------------------
+
+    def choose_column_backend(self, table: str, n_rows: int) -> PassDecision:
+        """Price the ``column_backend="auto"`` knob for one table.
+
+        Both alternatives are byte-identical in every output (the kernel
+        parity invariant), so this decision is pure wall-clock pricing: a
+        representative index build costs ``n·log2(n)`` units on the
+        pure-Python path, versus a fixed ndarray-construction overhead
+        plus the same units shrunk by the modeled vectorization speedup —
+        rescaled by the ``kernel`` calibration bucket as observations of
+        kernel-heavy passes arrive.  Tiny tables stay on the Python path
+        (the overhead dominates); NumPy being absent forces it.  The
+        decision lands in the log like any other strategy choice.
+        """
+        from repro.relation.kernels import COLUMN_NUMPY, COLUMN_PYTHON, HAVE_NUMPY
+
+        units = float(n_rows) * math.log2(max(2, n_rows))
+        python_est = self.calibration.calibrated(PASS_KERNEL, units)
+        numpy_raw = self.KERNEL_OVERHEAD + units / self.KERNEL_SPEEDUP
+        numpy_est = self.calibration.calibrated(PASS_KERNEL, numpy_raw)
+        alternatives = {COLUMN_PYTHON: python_est}
+        if HAVE_NUMPY:
+            alternatives[COLUMN_NUMPY] = numpy_est
+            choice = COLUMN_NUMPY if numpy_est <= python_est else COLUMN_PYTHON
+        else:
+            choice = COLUMN_PYTHON
+        decision = PassDecision(
+            kind=DECISION_COLUMN_BACKEND,
+            pass_kind=PASS_KERNEL,
+            table=table,
+            choice=choice,
+            estimated_cost=alternatives[choice],
+            raw_units=units,
+            alternatives=alternatives,
+        )
+        self._append(decision)
+        return decision
 
     # -- (3) batch rule-group arbitration ------------------------------------------
 

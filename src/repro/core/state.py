@@ -36,6 +36,11 @@ from repro.relation.columnview import (
     ColumnView,
     validate_backend,
 )
+from repro.relation.kernels import (
+    COLUMN_AUTO,
+    resolve_column_backend,
+    validate_column_backend,
+)
 from repro.relation.relation import Relation, Row
 from repro.repair.provenance import ProvenanceStore
 
@@ -84,6 +89,11 @@ class TableState:
     #: Execution backend for the detection/cleaning hot path ("columnar"
     #: by default; "rowstore" is the per-Row semantics oracle).
     backend: str = BACKEND_COLUMNAR
+    #: Kernel backend for columnar index construction / grouping / scans:
+    #: "numpy", "python", or "auto" (resolved per access on the table's
+    #: row count; a connecting session's planner may pin it).  Data-scoped
+    #: like :attr:`backend`; every choice is byte-identical in results.
+    column_backend: str = COLUMN_AUTO
     #: Patch-vs-rebuild policy for incremental matrix maintenance.
     maintenance: MaintenancePolicy = field(default_factory=MaintenancePolicy)
     #: Data epoch: bumped by every external update batch that changed a
@@ -102,12 +112,38 @@ class TableState:
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_column_backend(self.column_backend)
+
+    def resolved_column_backend(self) -> str:
+        """The concrete kernel backend ("numpy" or "python") for this table.
+
+        ``auto`` resolves statically on the row count (the planner-priced
+        resolution in :meth:`pin_column_backend` may have replaced it with
+        a concrete choice at session connect); ``numpy`` degrades to
+        ``python`` when NumPy is absent.
+        """
+        return resolve_column_backend(
+            self.column_backend, len(self.relation.rows)
+        )
+
+    def pin_column_backend(self, choice: str) -> None:
+        """Replace an ``auto`` knob with a planner-priced concrete choice.
+
+        Called by the first :class:`repro.api.Session` to connect; a no-op
+        once the backend is concrete (data-scoped, like :attr:`backend`).
+        Matrices built before the pin keep their resolved backend — both
+        backends are byte-identical, so mixing costs nothing but speed.
+        """
+        if self.column_backend == COLUMN_AUTO:
+            self.column_backend = validate_column_backend(choice)
 
     def column_view(self) -> Optional[ColumnView]:
         """The relation's columnar view, or None on the row-store backend."""
         if self.backend != BACKEND_COLUMNAR:
             return None
-        return self.relation.column_view()
+        view = self.relation.column_view()
+        view.column_backend = self.resolved_column_backend()
+        return view
 
     # -- rule management -----------------------------------------------------------
 
@@ -125,6 +161,7 @@ class TableState:
             self.matrices[rule_key(rule)] = ThetaJoinMatrix(
                 self.relation, dc, sqrt_p=self.sqrt_partitions,
                 counter=self.counter, backend=self.backend,
+                column_backend=self.resolved_column_backend(),
             )
             self.matrix_epochs[rule_key(rule)] = self.data_epoch
 
@@ -151,6 +188,7 @@ class TableState:
             matrix = ThetaJoinMatrix(
                 self.relation, dc, sqrt_p=self.sqrt_partitions,
                 counter=self.counter, backend=self.backend,
+                column_backend=self.resolved_column_backend(),
             )
             self.matrices[key] = matrix
             self.matrix_epochs[key] = self.data_epoch

@@ -157,6 +157,13 @@ class Daisy:
                 f"backend {self.config.backend!r}; the backend is fixed at "
                 "table registration — construct a separate Daisy for it"
             )
+        if config is not None and config.column_backend != self.config.column_backend:
+            raise ValueError(
+                f"session column_backend {config.column_backend!r} differs from "
+                f"the engine column_backend {self.config.column_backend!r}; the "
+                "kernel backend is fixed at table registration — construct a "
+                "separate Daisy for it"
+            )
         return Session(self, config)
 
     def default_session(self) -> Session:
@@ -173,6 +180,7 @@ class Daisy:
         state = TableState(
             relation=relation,
             backend=self.config.backend,
+            column_backend=self.config.column_backend,
             maintenance=MaintenancePolicy(mode=self.config.matrix_maintenance),
         )
         self.states[name] = state

@@ -17,6 +17,7 @@ from typing import Any, Iterable, Optional
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.probabilistic.value import PValue
+from repro.relation import kernels
 from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation
 
@@ -104,6 +105,10 @@ def detect_fd_violations(
         rhs_col = view.columns[fd.rhs]
         view_tids = view.tids
         counter.charge_scan(len(view_tids) if tids is None else len(positions))
+        if not originals:
+            report = _detect_view_vectorized(view, fd, positions, counter)
+            if report is not None:
+                return report
         for pos in positions:
             tid = view_tids[pos]
             key = tuple(
@@ -128,6 +133,59 @@ def detect_fd_violations(
         rhs_value = _cell_key(row.values[rhs_idx], originals.get((row.tid, fd.rhs)))
         groups.setdefault(key, []).append((row.tid, rhs_value))
     return _collect_groups(fd, groups, counter)
+
+
+def _detect_view_vectorized(
+    view: ColumnView,
+    fd: FunctionalDependency,
+    positions,
+    counter: WorkCounter,
+) -> Optional[FdViolationReport]:
+    """The numpy-backend twin of the columnar lhs-grouping scan.
+
+    Applicable only when every lhs/rhs column vectorizes exactly and every
+    *used* position is concrete (no nulls — ``None`` is a legitimate
+    grouping key the ndarray cannot carry — and no probabilistic cells,
+    whose ``originals``-aware collapsing the oracle handles).  One lexsort
+    by (lhs..., rhs) yields the groups, their first-occurrence order, and
+    each group's distinct-rhs count; keys/rhs values are fetched from the
+    raw columns so the report holds the exact objects the oracle emits.
+    Work charges match the oracle: one comparison per grouped row.
+    """
+    attrs = list(fd.lhs) + [fd.rhs]
+    typed_cols = [view.typed_column(a) for a in attrs]
+    if any(t is None for t in typed_cols):
+        return None
+    if isinstance(positions, range):
+        if any(not t.all_valid for t in typed_cols):  # type: ignore[union-attr]
+            return None
+        index = kernels.arange(len(view))
+        used = [t.values for t in typed_cols]  # type: ignore[union-attr]
+    else:
+        index = kernels.as_index(positions)
+        if index.size and any(
+            not bool(t.valid[index].all()) for t in typed_cols  # type: ignore[union-attr]
+        ):
+            return None
+        used = [t.values[index] for t in typed_cols]  # type: ignore[union-attr]
+    _group_count, violating = kernels.fd_violating_groups(
+        used[:-1], used[-1], index
+    )
+    counter.charge_comparisons(len(positions))
+    report = FdViolationReport(fd=fd)
+    view_tids = view.tids
+    lhs_raw = [view.columns[a] for a in fd.lhs]
+    rhs_raw = view.columns[fd.rhs]
+    for members in violating:
+        first = members[0]
+        report.groups.append(
+            ViolatingGroup(
+                lhs_key=tuple(col[first] for col in lhs_raw),
+                tids=tuple(map(view_tids.__getitem__, members)),
+                rhs_values=tuple(map(rhs_raw.__getitem__, members)),
+            )
+        )
+    return report
 
 
 def _collect_groups(

@@ -438,7 +438,10 @@ def sync_matrix(
         )
         if columnar:
             for attr in touched_attrs:
-                matrix._stripe_cols[s]._sorted.pop(attr, None)
+                # Drops both the cached sort order and the numpy backend's
+                # float-array mirror — patched stripes must re-derive the
+                # same lazy state a cold rebuild would start from.
+                matrix._stripe_cols[s].invalidate(attr)
         patched_stripes.add(s)
 
     matrix.relation = new_source
@@ -464,7 +467,10 @@ def _rederive_stripe(matrix: ThetaJoinMatrix, s: int, rows: list[Row]) -> None:
     matrix.stripes[s] = rows
     matrix.bboxes[s] = _stripe_bbox(rows, matrix.attrs, matrix.indexes)
     if matrix.backend == BACKEND_COLUMNAR:
-        matrix._stripe_cols[s] = _StripeColumns(rows, matrix.attrs, matrix.indexes)
+        matrix._stripe_cols[s] = _StripeColumns(
+            rows, matrix.attrs, matrix.indexes,
+            column_backend=matrix.column_backend,
+        )
 
 
 def _chunk_of(

@@ -51,11 +51,13 @@ from repro.constraints.predicate import Predicate
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.errors import ConstraintError
 from repro.probabilistic.value import PValue, plain
+from repro.relation import kernels
 from repro.relation.columnview import (
     BACKEND_COLUMNAR,
     SortedColumn,
     validate_backend,
 )
+from repro.relation.kernels import COLUMN_NUMPY, COLUMN_PYTHON
 from repro.relation.relation import Relation, Row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -190,14 +192,26 @@ class _StripeColumns:
     inequality join.
     """
 
-    __slots__ = ("rows", "numeric", "raw", "uncertain", "_sorted")
+    __slots__ = ("rows", "numeric", "raw", "uncertain", "column_backend",
+                 "_sorted", "_numeric_arrays")
 
-    def __init__(self, rows: Sequence[Row], attrs: Sequence[str], indexes: dict[str, int]):
+    def __init__(
+        self,
+        rows: Sequence[Row],
+        attrs: Sequence[str],
+        indexes: dict[str, int],
+        column_backend: str = COLUMN_PYTHON,
+    ):
         self.rows = rows
         self.numeric: dict[str, list[Optional[float]]] = {}
         self.raw: dict[str, list[Any]] = {}
         self.uncertain: dict[str, frozenset[int]] = {}
+        self.column_backend = column_backend
         self._sorted: dict[str, SortedColumn] = {}
+        #: Lazy float64 mirror of ``numeric`` (None -> NaN) the vectorized
+        #: intra-partition pruning scans; invalidated with the sort cache
+        #: whenever the maintenance layer patches stripe content.
+        self._numeric_arrays: dict[str, Any] = {}
         for attr in attrs:
             idx = indexes[attr]
             cells = [row.values[idx] for row in rows]
@@ -207,24 +221,51 @@ class _StripeColumns:
                 k for k, c in enumerate(cells) if isinstance(c, PValue)
             )
 
+    def invalidate(self, attr: str) -> None:
+        """Drop the lazy caches of one attribute after an in-place patch."""
+        self._sorted.pop(attr, None)
+        self._numeric_arrays.pop(attr, None)
+
+    def numeric_array(self, attr: str):
+        """``numeric[attr]`` as a NaN-padded float64 ndarray (numpy backend)."""
+        arr = self._numeric_arrays.get(attr)
+        if arr is None:
+            arr = kernels.numeric_array(self.numeric[attr])
+            self._numeric_arrays[attr] = arr
+        return arr
+
     def sorted_by(self, attr: str) -> SortedColumn:
         """Concrete numeric rows of the stripe in sorted order.
 
         Sorts the *raw* cell values (ints stay ints), so binary-search
         decisions are exact even where float collapsing would round.
+        Under the numpy backend the order comes from a stable argsort —
+        byte-identical to the pair sort whenever the raw values are
+        exactly representable, and falling back otherwise.
         """
         cached = self._sorted.get(attr)
         if cached is not None:
             return cached
         uncertain = self.uncertain[attr]
         numeric = self.numeric[attr]
-        pairs = [
-            (self.raw[attr][k], k)
-            for k in range(len(self.rows))
+        eligible = [
+            k for k in range(len(self.rows))
             if k not in uncertain and numeric[k] is not None
         ]
-        pairs.sort()
-        result = SortedColumn([v for v, _ in pairs], [k for _, k in pairs])
+        raw = self.raw[attr]
+        positions: Optional[list[int]] = None
+        exact = None
+        if self.column_backend == COLUMN_NUMPY:
+            sorted_pair = kernels.argsort_positions(
+                [raw[k] for k in eligible], eligible
+            )
+            if sorted_pair is not None:
+                positions, exact = sorted_pair
+        if positions is None:
+            pairs = [(raw[k], k) for k in eligible]
+            pairs.sort()
+            positions = [k for _, k in pairs]
+        result = SortedColumn([raw[k] for k in positions], positions, exact)
         self._sorted[attr] = result
         return result
 
@@ -246,6 +287,7 @@ class ThetaJoinMatrix:
         sqrt_p: int = 8,
         counter: Optional[WorkCounter] = None,
         backend: str = BACKEND_COLUMNAR,
+        column_backend: str = COLUMN_PYTHON,
     ):
         if dc.arity != 2:
             raise ConstraintError(
@@ -255,6 +297,12 @@ class ThetaJoinMatrix:
         self.sqrt_p = max(1, sqrt_p)
         self.counter = counter if counter is not None else GLOBAL_COUNTER
         self.backend = validate_backend(backend)
+        #: Resolved kernel backend for stripe sort orders and pruning masks
+        #: ("auto" resolves on the relation's row count; numpy degrades to
+        #: python when unavailable).  Byte-identical either way.
+        self.column_backend = kernels.resolve_column_backend(
+            column_backend, len(relation.rows)
+        )
         two_tuple_preds = [
             p for p in dc.predicates if not p.is_constant() and not p.is_single_tuple()
         ]
@@ -313,7 +361,10 @@ class ThetaJoinMatrix:
                 self._stripe_of_tid[row.tid] = i
         if self.backend == BACKEND_COLUMNAR:
             self._stripe_cols = [
-                _StripeColumns(stripe, self.attrs, self.indexes)
+                _StripeColumns(
+                    stripe, self.attrs, self.indexes,
+                    column_backend=self.column_backend,
+                )
                 for stripe in self.stripes
             ]
 
@@ -429,10 +480,38 @@ class ThetaJoinMatrix:
 
         Makes exactly the row-store pruning decisions (same collapsed
         values, same ``_row_may_qualify`` test), just without touching Row
-        objects per predicate.
+        objects per predicate.  The numpy backend evaluates each
+        predicate as one comparison over the stripe's NaN-padded float
+        array — NaN (a ``None`` value) fails every comparison, which is
+        the oracle's "``value is None`` → ``False``" first check.
         """
         cols = self._stripe_cols[stripe]
         n = len(cols.rows)
+        if self.column_backend == COLUMN_NUMPY and n:
+            mask = None
+            for p in self.two_tuple_preds:
+                attr = p.left_attr if left_side else p.right_attr
+                other_attr = p.right_attr if left_side else p.left_attr
+                arr = cols.numeric_array(attr)
+                op = p.op if left_side else _mirror(p.op)
+                try:
+                    lo, hi = box_other.range_of(other_attr)  # type: ignore[arg-type]
+                except KeyError:
+                    # Attr missing from the box: the oracle keeps every
+                    # non-null row, so only the validity check applies.
+                    pred_mask = kernels.numeric_mask_positions(
+                        arr, "!=", 0.0, 0.0, False
+                    )
+                else:
+                    pred_mask = kernels.numeric_mask_positions(
+                        arr, op, lo, hi, lo is math.inf
+                    )
+                mask = pred_mask if mask is None else mask & pred_mask
+                if not bool(mask.any()):
+                    return []
+            if mask is None:
+                return list(range(n))
+            return kernels.mask_to_positions(mask)
         alive = list(range(n))
         for p in self.two_tuple_preds:
             attr = p.left_attr if left_side else p.right_attr
@@ -490,6 +569,7 @@ class ThetaJoinMatrix:
             sorted_b = SortedColumn(
                 [v for v, k in zip(sorted_b.values, keep) if k],
                 [p for p, k in zip(sorted_b.positions, keep) if k],
+                kernels.subset_exact(sorted_b.exact, keep),
             )
         uncertain_b = [l for l in filtered_b if l in b_uncertain_all]
         a_uncertain = cols_a.uncertain[l_attr]
@@ -498,6 +578,33 @@ class ThetaJoinMatrix:
         # sorted-column helper answers "b_value op' bound", so probe with
         # the mirrored operator.
         mirrored_op = _mirror(op)
+
+        # Numpy backend: derive every probe's qualifying window in one
+        # searchsorted batch — bit-identical cuts to the per-probe bisect
+        # whenever both sides vectorize exactly.
+        window_of: Optional[dict[int, list[int]]] = None
+        if self.column_backend == COLUMN_NUMPY:
+            concrete_a = [k for k in filtered_a if k not in a_uncertain]
+            if concrete_a:
+                cuts = kernels.search_cuts(
+                    sorted_b.values,
+                    [a_raw[k] for k in concrete_a],
+                    mirrored_op,
+                    values_exact=sorted_b.exact,
+                )
+                if cuts is not None:
+                    spos = sorted_b.positions
+                    window_of = {}
+                    if mirrored_op == "=":
+                        lo_cuts, hi_cuts = cuts
+                        for i, k in enumerate(concrete_a):
+                            window_of[k] = spos[int(lo_cuts[i]):int(hi_cuts[i])]
+                    elif mirrored_op in ("<", "<="):
+                        for i, k in enumerate(concrete_a):
+                            window_of[k] = spos[: int(cuts[i])]
+                    else:
+                        for i, k in enumerate(concrete_a):
+                            window_of[k] = spos[int(cuts[i]):]
 
         for k in filtered_a:
             a = rows_a[k]
@@ -512,7 +619,10 @@ class ThetaJoinMatrix:
                         out.append(ViolationPair(a.tid, b.tid))
                 continue
             v = a_raw[k]
-            selected = sorted_b.range_positions(mirrored_op, v)
+            if window_of is not None:
+                selected = window_of[k]
+            else:
+                selected = sorted_b.range_positions(mirrored_op, v)
             if uncertain_b:
                 candidates = sorted(selected + uncertain_b)
             else:

@@ -36,6 +36,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.engine.stats import WorkCounter
 from repro.probabilistic.value import PValue, cell_compare, plain
+from repro.relation import kernels
+from repro.relation.kernels import COLUMN_NUMPY, COLUMN_PYTHON, TypedColumn
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.relation.relation import Relation
@@ -56,6 +58,9 @@ BACKENDS = (BACKEND_COLUMNAR, BACKEND_ROWSTORE)
 _UNSORTABLE = object()
 #: Sentinel marking a column as unhashable.
 _UNHASHABLE = object()
+#: Sentinel marking a typed-column cache miss (None is a valid cache value:
+#: "this column does not vectorize").
+_TYPED_MISSING = object()
 
 _EMPTY_SET: frozenset[int] = frozenset()
 
@@ -72,13 +77,21 @@ class SortedColumn:
     ``values[i]`` is the i-th smallest concrete value and ``positions[i]``
     its row position.  Probabilistic and ``None`` cells are excluded — they
     are handled by the caller through the PValue sidecar / null semantics.
+
+    ``exact`` optionally carries the numpy backend's pre-validated
+    int64/float64 ndarray of ``values`` (same order), so batch probes via
+    ``kernels.search_cuts`` skip values-side re-validation.  It is pure
+    cache: semantics are defined by ``values``/``positions`` alone.
     """
 
-    __slots__ = ("values", "positions")
+    __slots__ = ("values", "positions", "exact")
 
-    def __init__(self, values: list[Any], positions: list[int]):
+    def __init__(
+        self, values: list[Any], positions: list[int], exact: Any = None
+    ):
         self.values = values
         self.positions = positions
+        self.exact = exact
 
     def range_positions(self, op: str, value: Any) -> list[int]:
         """Positions whose value satisfies ``cell <op> value``.
@@ -201,10 +214,12 @@ class ColumnView:
         "version",
         "last_patch",
         "derived_evictions",
+        "column_backend",
         "_pvalue_positions",
         "_pos_of_tid",
         "_sorted",
         "_hash",
+        "_typed",
         "_derived",
         "_patch_listeners",
     )
@@ -227,10 +242,18 @@ class ColumnView:
         #: Cumulative count of derived payloads evicted (rather than
         #: patched) along this view's patch chain.
         self.derived_evictions: int = 0
+        #: Resolved kernel backend for this view's index construction and
+        #: linear scans: :data:`~repro.relation.kernels.COLUMN_PYTHON`
+        #: (the oracle, default) or
+        #: :data:`~repro.relation.kernels.COLUMN_NUMPY` — stamped by the
+        #: owning :class:`~repro.core.state.TableState`.  Both produce
+        #: byte-identical indexes and selections.
+        self.column_backend: str = COLUMN_PYTHON
         self._pvalue_positions = pvalue_positions
         self._pos_of_tid: Optional[dict[int, int]] = None
         self._sorted: dict[str, Any] = {}
         self._hash: dict[str, Any] = {}
+        self._typed: dict[str, Optional[TypedColumn]] = {}
         self._derived: dict[Any, tuple[frozenset[str], Any]] = {}
         #: Patch-stream listeners; the *list object* is shared with every
         #: patched descendant, so one subscription observes the whole stream.
@@ -277,11 +300,38 @@ class ColumnView:
 
     # -- lazy per-attribute indexes -----------------------------------------------
 
+    def typed_column(self, attr: str) -> Optional[TypedColumn]:
+        """The ndarray mirror of ``attr`` under the numpy backend.
+
+        ``None`` whenever the column does not vectorize exactly (see
+        :func:`repro.relation.kernels.build_typed_column`) or the view
+        runs the pure-Python backend — callers then use the oracle path.
+        Cached per attribute; patches drop the touched entries.
+        """
+        if self.column_backend != COLUMN_NUMPY or not kernels.HAVE_NUMPY:
+            return None
+        cached = self._typed.get(attr, _TYPED_MISSING)
+        if cached is not _TYPED_MISSING:
+            return cached
+        typed = kernels.build_typed_column(
+            self.columns[attr], self.pvalue_positions(attr)
+        )
+        self._typed[attr] = typed
+        return typed
+
     def sorted_column(self, attr: str) -> Optional[SortedColumn]:
         """The sorted concrete values of ``attr`` (None if incomparable)."""
         cached = self._sorted.get(attr)
         if cached is not None:
             return None if cached is _UNSORTABLE else cached
+        typed = self.typed_column(attr)
+        if typed is not None:
+            values, positions, exact = kernels.sorted_pairs(
+                typed, self.columns[attr]
+            )
+            col = SortedColumn(values, positions, exact)
+            self._sorted[attr] = col
+            return col
         pvals = self.pvalue_positions(attr)
         pairs = [
             (v, pos)
@@ -302,6 +352,11 @@ class ColumnView:
         cached = self._hash.get(attr)
         if cached is not None:
             return None if cached is _UNHASHABLE else cached
+        typed = self.typed_column(attr)
+        if typed is not None:
+            table = kernels.hash_groups(typed, self.columns[attr])
+            self._hash[attr] = table
+            return table
         pvals = self.pvalue_positions(attr)
         table: dict[Any, list[int]] = {}
         try:
@@ -349,6 +404,27 @@ class ColumnView:
                     }
                     order = sorted(groups, key=lambda key: groups[key][0])
                     return order, groups
+        typed_cols = [self.typed_column(k) for k in keys]
+        if all(t is not None and t.all_valid for t in typed_cols):
+            # Fully concrete, exactly-typed key columns: lexsort grouping
+            # reproduces the scan's dict-insertion order (groups by first
+            # occurrence, positions ascending); key tuples are fetched
+            # from the raw columns at each group's first position — the
+            # same objects the scan's first-inserted key tuple holds.
+            grouped = kernels.grouped_positions(
+                [t.values for t in typed_cols],  # type: ignore[union-attr]
+                kernels.arange(len(self)),
+            )
+            if grouped is not None:
+                raw_cols = [self.columns[k] for k in keys]
+                groups_np: dict[tuple[Any, ...], list[int]] = {}
+                order_np: list[tuple[Any, ...]] = []
+                for members in grouped:
+                    first = members[0]
+                    key = tuple(col[first] for col in raw_cols)
+                    groups_np[key] = members
+                    order_np.append(key)
+                return order_np, groups_np
         cols = [self.columns[k] for k in keys]
         groups: dict[tuple[Any, ...], list[int]] = {}
         order: list[tuple[Any, ...]] = []
@@ -400,11 +476,21 @@ class ColumnView:
 
         if not served:
             # Linear fallback over concrete cells ('!=', unsortable columns…).
-            for pos, cell in enumerate(column):
-                if pos in pvals:
-                    continue
-                if cell_compare(cell, op, value):
-                    out.add(pos)
+            # The numpy backend serves it as one boolean-mask pass when the
+            # column and probe vectorize exactly; either way the scan is
+            # charged at full column length.
+            masked: Optional[list[int]] = None
+            typed = self.typed_column(attr)
+            if typed is not None:
+                masked = kernels.mask_filter_positions(typed, op, value)
+            if masked is not None:
+                out.update(masked)
+            else:
+                for pos, cell in enumerate(column):
+                    if pos in pvals:
+                        continue
+                    if cell_compare(cell, op, value):
+                        out.add(pos)
             if counter is not None:
                 counter.charge_scan(len(column))
         elif counter is not None:
@@ -544,11 +630,13 @@ class ColumnView:
         )
         view._pos_of_tid = self._pos_of_tid
         view.derived_evictions = self.derived_evictions
+        view.column_backend = self.column_backend
         touched = set(by_attr)
         view._sorted = {
             a: idx for a, idx in self._sorted.items() if a not in touched
         }
         view._hash = {a: idx for a, idx in self._hash.items() if a not in touched}
+        view._typed = {a: t for a, t in self._typed.items() if a not in touched}
         touched_positions = {
             attr: [pos for pos, _cell in cells] for attr, cells in by_attr.items()
         }

@@ -54,8 +54,10 @@ def _extract_blocks(path: Path, language: str) -> list[tuple[int, str]]:
 
 
 def test_docs_exist():
-    """The four guides the README defers to are present."""
-    for name in ("architecture", "paper-mapping", "cost-model", "benchmarks"):
+    """The five guides the README defers to are present."""
+    for name in (
+        "architecture", "paper-mapping", "cost-model", "benchmarks", "kernels"
+    ):
         assert (REPO_ROOT / "docs" / f"{name}.md").exists(), name
 
 

@@ -1,0 +1,192 @@
+"""Property-based round-trip parity for the NumPy kernel backend.
+
+Hypothesis drives randomized columns — mixed int/float/str cells, nulls,
+big ints straddling the 2^53 exactness bound — through both column
+backends and asserts byte-identical sorted indexes, hash groups, filter
+selections and group indexes, then pushes random patch batches through the
+maintained views and asserts the patched numpy view equals both the
+python-backend twin and a cold rebuild from the patched relation.
+
+The suite skips when hypothesis or numpy is unavailable (the no-numpy CI
+job must stay green without either).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.stats import WorkCounter
+from repro.probabilistic.value import cell_compare
+from repro.relation import ColumnType, Relation
+from repro.relation.columnview import ColumnView
+from repro.relation.kernels import COLUMN_NUMPY, HAVE_NUMPY
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Cells deliberately straddle every exactness gate: small ints, ints past
+# the 2^53 float bound, ints past int64, finite floats, strings, nulls.
+int_cell = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=2**53 - 2, max_value=2**53 + 2),
+    st.integers(min_value=2**63 - 2, max_value=2**63 + 2),
+)
+float_cell = st.floats(allow_nan=False, allow_infinity=False, width=32)
+str_cell = st.text(alphabet="abAB é世", max_size=4)
+
+numeric_column = st.lists(
+    st.one_of(st.none(), int_cell, float_cell), min_size=0, max_size=40
+)
+string_column = st.lists(st.one_of(st.none(), str_cell), min_size=0, max_size=40)
+mixed_column = st.one_of(
+    numeric_column,
+    string_column,
+    st.lists(
+        st.one_of(st.none(), int_cell, float_cell, str_cell, st.booleans()),
+        max_size=40,
+    ),
+)
+
+
+def make_views(columns: dict[str, list]):
+    names = list(columns)
+    n = max((len(c) for c in columns.values()), default=0)
+    padded = {a: c + [None] * (n - len(c)) for a, c in columns.items()}
+    rel = Relation.from_rows(
+        [(a, ColumnType.INT) for a in names],
+        list(zip(*[padded[a] for a in names])) if n else [],
+        name="t",
+        validate=False,
+    )
+    v_py = ColumnView.from_relation(rel)
+    v_np = ColumnView.from_relation(rel)
+    v_np.column_backend = COLUMN_NUMPY
+    return rel, v_py, v_np
+
+
+def assert_view_parity(v_py: ColumnView, v_np: ColumnView, attrs) -> None:
+    for attr in attrs:
+        s_py, s_np = v_py.sorted_column(attr), v_np.sorted_column(attr)
+        if s_py is None or s_np is None:
+            assert s_py is None and s_np is None
+        else:
+            assert s_np.positions == s_py.positions
+            assert repr(s_np.values) == repr(s_py.values)
+        h_py, h_np = v_py.hash_column(attr), v_np.hash_column(attr)
+        if h_py is None or h_np is None:
+            assert h_py is None and h_np is None
+        else:
+            assert h_np == h_py
+            assert repr(list(h_np)) == repr(list(h_py))
+
+
+@SETTINGS
+@given(column=mixed_column, data=st.data())
+def test_roundtrip_sorted_hash_filter(column, data):
+    _, v_py, v_np = make_views({"k": column})
+    assert_view_parity(v_py, v_np, ["k"])
+    concrete = [v for v in column if v is not None]
+    probe = data.draw(
+        st.one_of(st.sampled_from(concrete), int_cell, float_cell, str_cell)
+        if concrete
+        else st.one_of(int_cell, float_cell, str_cell)
+    )
+    op = data.draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+    c_py, c_np = WorkCounter(), WorkCounter()
+    try:
+        want = v_py.filter_positions("k", op, probe, c_py)
+    except TypeError:
+        # unorderable mixed column + inequality: both backends must raise
+        with pytest.raises(TypeError):
+            v_np.filter_positions("k", op, probe, c_np)
+        return
+    got = v_np.filter_positions("k", op, probe, c_np)
+    assert got == want
+    assert c_np.total() == c_py.total()
+    oracle = {
+        pos for pos, cell in enumerate(column) if cell_compare(cell, op, probe)
+    }
+    assert got == oracle
+
+
+@SETTINGS
+@given(
+    col_a=st.lists(st.one_of(st.none(), st.integers(-5, 5)), max_size=40),
+    col_b=st.lists(
+        st.one_of(st.none(), st.integers(-3, 3), float_cell), max_size=40
+    ),
+)
+def test_roundtrip_group_index(col_a, col_b):
+    _, v_py, v_np = make_views({"a": col_a, "b": col_b})
+    for keys in (("a",), ("b",), ("a", "b")):
+        order_py, groups_py = v_py.group_index(keys)
+        order_np, groups_np = v_np.group_index(keys)
+        assert repr(order_np) == repr(order_py)
+        assert repr(groups_np) == repr(groups_py)
+
+
+@SETTINGS
+@given(
+    column=st.lists(
+        st.one_of(st.none(), st.integers(-20, 20), float_cell),
+        min_size=1,
+        max_size=30,
+    ),
+    data=st.data(),
+)
+def test_patch_batches_into_maintained_sort_orders(column, data):
+    rel, _, _ = make_views({"k": column})
+    rel_py, rel_np = rel, Relation.from_rows(
+        rel.schema, [tuple(r.values) for r in rel.rows], name="t", validate=False
+    )
+    v_py = rel_py.column_view()
+    v_np = rel_np.column_view()
+    v_np.column_backend = COLUMN_NUMPY
+    # Build the maintained indexes *before* patching so patches re-route
+    # through the incremental path, not a cold build.
+    assert_view_parity(v_py, v_np, ["k"])
+
+    n = len(column)
+    for _ in range(data.draw(st.integers(1, 3))):
+        batch = {
+            (tid, "k"): value
+            for tid, value in zip(
+                data.draw(
+                    st.lists(
+                        st.integers(0, n - 1), min_size=1, max_size=5, unique=True
+                    )
+                ),
+                data.draw(
+                    st.lists(
+                        st.one_of(st.none(), st.integers(-20, 20), float_cell),
+                        min_size=5,
+                        max_size=5,
+                    )
+                ),
+            )
+        }
+        rel_py = rel_py.update_cells(batch)
+        rel_np = rel_np.update_cells(batch)
+        v_py, v_np = rel_py.column_view(), rel_np.column_view()
+        assert v_np.column_backend == COLUMN_NUMPY  # carried through patches
+        assert_view_parity(v_py, v_np, ["k"])
+
+    # Cold rebuild vs patched under the numpy backend: same indexes.
+    cold = ColumnView.from_relation(rel_np)
+    cold.column_backend = COLUMN_NUMPY
+    s_patched, s_cold = v_np.sorted_column("k"), cold.sorted_column("k")
+    assert (s_patched is None) == (s_cold is None)
+    if s_patched is not None:
+        assert s_patched.positions == s_cold.positions
+        assert repr(s_patched.values) == repr(s_cold.values)
+    assert v_np.hash_column("k") == cold.hash_column("k")
