@@ -16,7 +16,7 @@ import platform
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro import Daisy, DaisyConfig
 from repro.baselines import OfflineCleaner
@@ -87,7 +87,7 @@ def compare_backends(
     """
     out: dict = {}
     for backend in BACKENDS:
-        best: Optional[RunResult] = None
+        best: RunResult | None = None
         for _ in range(max(1, repeats)):
             relation, rules, queries = make_inputs()
             result = run_daisy(
@@ -115,7 +115,7 @@ class RunResult:
     seconds: float
     work_units: int
     cumulative_seconds: list[float] = field(default_factory=list)
-    switch_index: Optional[int] = None
+    switch_index: int | None = None
     extras: dict = field(default_factory=dict)
 
     def row(self) -> str:
@@ -133,10 +133,10 @@ def run_daisy(
     queries: Sequence[str],
     table: str = "lineorder",
     use_cost_model: bool = True,
-    expected_queries: Optional[int] = None,
+    expected_queries: int | None = None,
     label: str = "Daisy",
-    extra_tables: Optional[dict[str, Relation]] = None,
-    extra_rules: Optional[dict[str, Sequence[Rule]]] = None,
+    extra_tables: dict[str, Relation] | None = None,
+    extra_rules: dict[str, Sequence[Rule]] | None = None,
     dc_error_threshold: float = 0.2,
     backend: str = BACKEND_COLUMNAR,
 ) -> RunResult:
@@ -169,8 +169,8 @@ def _make_daisy(
     rules: Sequence[Rule],
     table: str,
     config: DaisyConfig,
-    extra_tables: Optional[dict[str, Relation]] = None,
-    extra_rules: Optional[dict[str, Sequence[Rule]]] = None,
+    extra_tables: dict[str, Relation] | None = None,
+    extra_rules: dict[str, Sequence[Rule]] | None = None,
 ) -> Daisy:
     daisy = Daisy(config=config)
     daisy.register_table(table, relation)
@@ -230,8 +230,8 @@ def run_offline(
     queries: Sequence[str],
     table: str = "lineorder",
     label: str = "Full cleaning + queries",
-    extra_tables: Optional[dict[str, Relation]] = None,
-    extra_rules: Optional[dict[str, Sequence[Rule]]] = None,
+    extra_tables: dict[str, Relation] | None = None,
+    extra_rules: dict[str, Sequence[Rule]] | None = None,
     backend: str = BACKEND_COLUMNAR,
 ) -> RunResult:
     """Clean everything upfront (offline baseline), then run the workload."""

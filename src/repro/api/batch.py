@@ -36,9 +36,8 @@ prices and the observed work.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.constraints.dc import as_fd
 from repro.core.costmodel import PassDecision
@@ -46,6 +45,7 @@ from repro.core.operators import CleanReport, clean_sigma, fd_scope_needs_cleani
 from repro.core.state import TableState, rule_key
 from repro.engine.stats import WorkCounter
 from repro.errors import QueryError
+from repro.metrics.timing import clock
 from repro.query.ast import Query
 from repro.query.logical import CleanJoinNode, CleanSigmaNode, collect_nodes
 
@@ -55,10 +55,11 @@ from repro.api.reporting import WorkloadReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.session import Session
+    from repro.constraints.dc import Rule
     from repro.query.executor import QueryResult
 
 #: What ``execute_batch`` accepts per entry.
-BatchQuery = Union[str, Query, PreparedQuery]
+BatchQuery = str | Query | PreparedQuery
 
 
 @dataclass
@@ -81,7 +82,7 @@ class RuleGroupReport:
     work_units: int = 0
     seconds: float = 0.0
     strategy: str = BATCH_SHARED
-    decision: Optional[PassDecision] = None
+    decision: PassDecision | None = None
     report: CleanReport = field(default_factory=CleanReport)
 
 
@@ -102,7 +103,7 @@ class BatchResult:
     def __len__(self) -> int:
         return len(self.results)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[QueryResult]":
         return iter(self.results)
 
     def __getitem__(self, index: int) -> "QueryResult":
@@ -114,13 +115,13 @@ class _Group:
 
     __slots__ = ("node", "members", "projection", "report", "strategy", "decision")
 
-    def __init__(self, node: CleanSigmaNode):
+    def __init__(self, node: CleanSigmaNode) -> None:
         self.node = node
         self.members: list[int] = []
         self.projection: set[str] = set()
         self.report: RuleGroupReport | None = None
         self.strategy: str = BATCH_SHARED
-        self.decision: Optional[PassDecision] = None
+        self.decision: PassDecision | None = None
 
 
 def _prepare_all(
@@ -147,7 +148,10 @@ def _prepare_all(
 
 
 def _member_needs_cleaning(
-    state: TableState, tids: set, rules, counter: Optional[WorkCounter] = None
+    state: TableState,
+    tids: set[int],
+    rules: "Sequence[Rule]",
+    counter: WorkCounter | None = None,
 ) -> bool:
     """Does a member query's answer require any of the group's rules to run?
 
@@ -169,7 +173,7 @@ def _member_needs_cleaning(
 def _arbitrate_groups(
     session: "Session",
     prepared: list[PreparedQuery],
-    groups: dict[tuple, _Group],
+    groups: dict[tuple[Any, ...], _Group],
     share: list["_Group | None"],
 ) -> None:
     """``batch_strategy="auto"``: price each rule group's "one shared pass"
@@ -228,7 +232,7 @@ def _arbitrate_groups(
 def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
     """Execute ``queries`` as one batch (see module docstring)."""
     prepared = _prepare_all(session, queries)
-    started = time.perf_counter()
+    started = clock()
     work_before = session.total_work()
     decision_mark = session.planner.mark()
 
@@ -242,7 +246,7 @@ def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
 
     # -- analysis: group single-table cleaning plans by (table, rules, filter attrs)
     share: list[_Group | None] = [None] * len(prepared)
-    groups: dict[tuple, _Group] = {}
+    groups: dict[tuple[Any, ...], _Group] = {}
     if strategy != BATCH_SEQUENTIAL:
         for i, prep in enumerate(prepared):
             if prep.query.is_join_query():
@@ -286,7 +290,7 @@ def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
         node = group.node
         state = session.states[node.table]
         pass_before = state.counter.total()
-        pass_started = time.perf_counter()
+        pass_started = clock()
         union: set[int] = set()
         for i in group.members:
             prep = prepared[i]
@@ -322,7 +326,7 @@ def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
             query_indices=list(group.members),
             scope_size=len(report.scope_tids),
             work_units=state.counter.total() - pass_before,
-            seconds=time.perf_counter() - pass_started,
+            seconds=clock() - pass_started,
             strategy=BATCH_SHARED,
             decision=group.decision,
             report=report,
@@ -375,7 +379,7 @@ def run_batch(session: "Session", queries: Sequence[BatchQuery]) -> BatchResult:
         )
         session.planner.observe(group_report.decision, member_work)
 
-    workload.total_seconds = time.perf_counter() - started
+    workload.total_seconds = clock() - started
     workload.total_work_units = session.total_work() - work_before
     workload.decisions = session.planner.decisions_since(decision_mark)
     return BatchResult(results=results, report=workload, groups=group_reports)

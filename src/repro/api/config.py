@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Union
+from typing import Any
 
 from repro.detection.maintenance import MAINTENANCE_AUTO, validate_maintenance_mode
 from repro.parallel.pool import POOL_THREAD, validate_pool_kind
@@ -139,7 +139,7 @@ class DaisyConfig:
     batch_rule_sharing: bool = True
     batch_strategy: str = BATCH_SHARED
     batch_observe_cost_model: bool = False
-    parallelism: Union[int, str] = 1
+    parallelism: int | str = 1
     num_shards: int = 0
     pool: str = POOL_THREAD
     auto_max_workers: int = 0
@@ -174,6 +174,6 @@ class DaisyConfig:
         """True when the planner picks the execution shape per pass."""
         return self.parallelism == PARALLELISM_AUTO
 
-    def replace(self, **changes) -> "DaisyConfig":
+    def replace(self, **changes: Any) -> "DaisyConfig":
         """A copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)

@@ -60,7 +60,7 @@ class PreparedQuery:
         resolved: ResolvedQuery,
         plan: PlanNode,
         sql_text: str | None = None,
-    ):
+    ) -> None:
         self._session = session
         self.query = query
         self.resolved = resolved

@@ -18,7 +18,6 @@ so benchmarks can audit the model against forced-choice runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.costmodel import PassDecision
 
@@ -43,7 +42,7 @@ class WorkloadReport:
     entries: list[QueryLogEntry] = field(default_factory=list)
     total_seconds: float = 0.0
     total_work_units: int = 0
-    switch_query_index: Optional[int] = None
+    switch_query_index: int | None = None
     #: Adaptive decisions taken while this workload ran, in order.
     decisions: list[PassDecision] = field(default_factory=list)
 

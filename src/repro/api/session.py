@@ -22,9 +22,8 @@ Create sessions with :meth:`repro.Daisy.connect`::
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.constraints.dc import Rule
 from repro.core.costmodel import (
@@ -38,6 +37,7 @@ from repro.core.operators import CleanReport, clean_full_table
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError, SessionError
+from repro.metrics.timing import clock
 from repro.parallel.clean import ParallelContext
 from repro.parallel.pool import fork_available
 from repro.query.ast import Parameter, Query, sql_for_log
@@ -54,13 +54,16 @@ from repro.api.prepared import PreparedQuery
 from repro.api.reporting import QueryLogEntry, WorkloadReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.state import UpdateReport
     from repro.daisy import Daisy
+    from repro.relation.relation import Row
+    from repro.repair.provenance import ProvenanceStore
 
 #: LRU bound of the session's cross-query plan cache.
 _PLAN_CACHE_LIMIT = 256
 
 
-def _plan_structure_key(query: Query) -> tuple:
+def _plan_structure_key(query: Query) -> tuple[Any, ...]:
     """A query's plan-relevant structure, constants erased.
 
     Cleaning-operator placement depends only on the tables and attributes a
@@ -126,13 +129,13 @@ class Session:
       entries are invalidated by rule/table registration.
     """
 
-    def __init__(self, engine: "Daisy", config: Optional[DaisyConfig] = None):
+    def __init__(self, engine: "Daisy", config: DaisyConfig | None = None) -> None:
         self._engine = engine
         self.config = config if config is not None else engine.config
         self.states: dict[str, TableState] = engine.states
         self.catalog = engine.catalog
         self.query_log: list[QueryLogEntry] = []
-        self.cost_models: dict[str, Optional[CostModel]] = {}
+        self.cost_models: dict[str, CostModel | None] = {}
         #: (registration version, data version) each cost model was built at.
         self._cost_model_versions: dict[str, tuple[int, int]] = {}
         #: The unified adaptive cost model: prices strategy switches, pool
@@ -145,7 +148,7 @@ class Session:
             ),
             process_pool_available=fork_available(),
         )
-        self._parallel: Optional[ParallelContext] = None
+        self._parallel: ParallelContext | None = None
         if self.config.adaptive_parallelism:
             self._parallel = ParallelContext(
                 self.config.pool,
@@ -172,7 +175,7 @@ class Session:
             cleaning_enabled=False,
             dc_error_threshold=self.config.dc_error_threshold,
         )
-        self._plan_cache: OrderedDict[tuple, PlanNode] = OrderedDict()
+        self._plan_cache: OrderedDict[tuple[Any, ...], PlanNode] = OrderedDict()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self._closed = False
@@ -195,7 +198,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self.close()
         return False
 
@@ -217,7 +220,7 @@ class Session:
         return self._engine
 
     @property
-    def parallel(self) -> Optional[ParallelContext]:
+    def parallel(self) -> ParallelContext | None:
         """The session's parallel context (None when ``parallelism == 1``)."""
         return self._parallel
 
@@ -242,7 +245,7 @@ class Session:
         self._check_open()
         if isinstance(query, str):
             parsed = parse_sql(query)
-            sql_text: Optional[str] = query
+            sql_text: str | None = query
         else:
             parsed = query
             sql_text = None
@@ -280,10 +283,10 @@ class Session:
             lambda: self._executor.execute_resolved(parsed, resolved, plan),
         )
 
-    def _plan_cache_key(self, query: Query) -> tuple:
+    def _plan_cache_key(self, query: Query) -> tuple[Any, ...]:
         return (self._engine.registration_version, _plan_structure_key(query))
 
-    def _cached_plan(self, query: Query) -> Optional[PlanNode]:
+    def _cached_plan(self, query: Query) -> PlanNode | None:
         key = self._plan_cache_key(query)
         plan = self._plan_cache.get(key)
         if plan is None:
@@ -306,7 +309,7 @@ class Session:
         """
         self._check_open()
         report = WorkloadReport()
-        started = time.perf_counter()
+        started = clock()
         decision_mark = self.planner.mark()
         for i, query in enumerate(queries):
             self.execute(query)
@@ -314,7 +317,7 @@ class Session:
             report.entries.append(entry)
             if entry.switched_to_full and report.switch_query_index is None:
                 report.switch_query_index = i
-        report.total_seconds = time.perf_counter() - started
+        report.total_seconds = clock() - started
         report.total_work_units = sum(e.work_units for e in report.entries)
         report.decisions = self.planner.decisions_since(decision_mark)
         return report
@@ -365,7 +368,13 @@ class Session:
             observe=False,
         )
 
-    def _run(self, parsed, sql_text, runner, observe: bool = True) -> QueryResult:
+    def _run(
+        self,
+        parsed: Query,
+        sql_text: str,
+        runner: Callable[[], QueryResult],
+        observe: bool = True,
+    ) -> QueryResult:
         """Shared accounting around one query execution.
 
         Snapshots per-table work, runs the query, lets the cost model
@@ -405,13 +414,13 @@ class Session:
                     # the decision log the workload report slices.
                     decision = self.planner.strategy_switch(table, model)
                     if decision is not None and decision.choice == "full_clean_now":
-                        started = time.perf_counter()
+                        started = clock()
                         clean_before = state.counter.total()
                         clean_full_table(state, pending, parallel=self._parallel)
                         self.planner.observe(
                             decision, state.counter.total() - clean_before
                         )
-                        result.elapsed_seconds += time.perf_counter() - started
+                        result.elapsed_seconds += clock() - started
                         switched = True
 
         work_after = {t: self.states[t].counter.total() for t in parsed.tables}
@@ -429,7 +438,7 @@ class Session:
 
     # -- cost models ------------------------------------------------------------------
 
-    def _cost_model(self, table: str) -> Optional[CostModel]:
+    def _cost_model(self, table: str) -> CostModel | None:
         """The session's cost model for one table (built lazily).
 
         Rebuilt from the engine's precomputed statistics whenever *this
@@ -449,7 +458,7 @@ class Session:
             and self._cost_model_versions.get(table) == version
         ):
             return self.cost_models[table]
-        model: Optional[CostModel] = None
+        model: CostModel | None = None
         if state.rules:
             eps = state.statistics.total_erroneous()
             p = state.statistics.max_candidate_estimate()
@@ -467,7 +476,7 @@ class Session:
     # -- direct cleaning ---------------------------------------------------------------
 
     def clean_table(
-        self, table: str, rules: Optional[Iterable[Rule]] = None
+        self, table: str, rules: Iterable[Rule] | None = None
     ) -> CleanReport:
         """Clean a whole table now (bypass the query-driven path)."""
         self._check_open()
@@ -475,7 +484,9 @@ class Session:
 
     # -- external data updates ----------------------------------------------------------
 
-    def update_table(self, table: str, updates: dict[tuple[int, str], Any]):
+    def update_table(
+        self, table: str, updates: dict[tuple[int, str], Any]
+    ) -> "UpdateReport":
         """Apply external cell updates through the engine (see
         :meth:`repro.Daisy.update_table`).  The session's cached plans stay
         valid — plan structure never depends on cell values — while its
@@ -483,7 +494,7 @@ class Session:
         self._check_open()
         return self._engine.update_table(table, updates)
 
-    def update_rows(self, table: str, rows) -> Any:
+    def update_rows(self, table: str, rows: Iterable["Row"]) -> "UpdateReport":
         """Apply external row replacements (see :meth:`repro.Daisy.update_rows`)."""
         self._check_open()
         return self._engine.update_rows(table, rows)
@@ -503,7 +514,7 @@ class Session:
     def probabilistic_cells(self, table: str) -> int:
         return self._state(table).probabilistic_cells()
 
-    def provenance(self, table: str):
+    def provenance(self, table: str) -> "ProvenanceStore":
         return self._state(table).provenance
 
     def explain(self, query: Query | str) -> str:

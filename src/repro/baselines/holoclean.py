@@ -21,14 +21,14 @@ Daisy's candidates, run HoloClean inference on top).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 from repro.constraints.dc import Rule, as_dc, as_fd
 from repro.detection.fd_detector import detect_fd_violations
 from repro.detection.thetajoin import ThetaJoinMatrix
 from repro.engine.stats import WorkCounter
+from repro.metrics.timing import clock
 from repro.probabilistic.value import PValue
 from repro.relation.relation import Relation
 
@@ -68,7 +68,7 @@ class HoloCleanLike:
         self,
         relation: Relation,
         rules: Sequence[Rule],
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
     ) -> set[tuple[int, str]]:
         """All (tid, attr) cells implicated in a violation of any rule."""
         out: set[tuple[int, str]] = set()
@@ -93,7 +93,7 @@ class HoloCleanLike:
     # -- step 2: domain generation --------------------------------------------------------
 
     def _cooccurrence(
-        self, relation: Relation, counter: Optional[WorkCounter]
+        self, relation: Relation, counter: WorkCounter | None
     ) -> dict[tuple[str, Any, str], dict[Any, int]]:
         """counts[(B, b, A)][a] = #tuples with t.B = b and t.A = a."""
         counts: dict[tuple[str, Any, str], dict[Any, int]] = {}
@@ -118,7 +118,7 @@ class HoloCleanLike:
         self,
         relation: Relation,
         cells: set[tuple[int, str]],
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
     ) -> dict[tuple[int, str], list[Any]]:
         """Candidate domains per dirty cell, pruned to ``domain_prune_k``.
 
@@ -173,8 +173,8 @@ class HoloCleanLike:
         self,
         relation: Relation,
         domains: dict[tuple[int, str], list[Any]],
-        clean_tids: Optional[set[int]] = None,
-        counter: Optional[WorkCounter] = None,
+        clean_tids: set[int] | None = None,
+        counter: WorkCounter | None = None,
     ) -> dict[tuple[int, str], Any]:
         """Pick the best candidate per cell by co-occurrence voting.
 
@@ -245,11 +245,11 @@ class HoloCleanLike:
         self,
         relation: Relation,
         rules: Sequence[Rule],
-        external_domains: Optional[dict[tuple[int, str], list[Any]]] = None,
+        external_domains: dict[tuple[int, str], list[Any]] | None = None,
     ) -> tuple[Relation, dict[tuple[int, str], Any], HoloCleanReport]:
         """Full pipeline; ``external_domains`` enables the DaisyH variant."""
         report = HoloCleanReport()
-        started = time.perf_counter()
+        started = clock()
         cells = self.dirty_cells(relation, rules, counter=report.work)
         report.dirty_cells = len(cells)
         dirty_tids = {tid for tid, _ in cells}
@@ -276,7 +276,7 @@ class HoloCleanLike:
         repaired = relation.update_cells(updates)
         report.repairs_applied = len(updates)
         report.work.charge_update(len(updates))
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = clock() - started
         return repaired, repairs, report
 
 

@@ -22,12 +22,12 @@ produce the same probabilistic relation — the paper's correctness claim.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
 from repro.detection.fd_detector import detect_fd_violations
+from repro.metrics.timing import clock
 from repro.detection.thetajoin import ThetaJoinMatrix
 from repro.engine.stats import WorkCounter
 from repro.repair.dc_repair import compute_dc_fixes
@@ -62,12 +62,12 @@ class OfflineCleaner:
         self,
         relation: Relation,
         rules: Sequence[Rule],
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
     ) -> tuple[Relation, OfflineReport]:
         """Detect and repair all violations of ``rules`` over the whole table."""
         report = OfflineReport()
         counter = counter if counter is not None else report.work
-        started = time.perf_counter()
+        started = clock()
         deltas: list[RepairDelta] = []
         for rule in rules:
             fd = as_fd(rule)
@@ -85,7 +85,7 @@ class OfflineCleaner:
         # The update is an outer join between the dataset and the fixes:
         # one pass over the relation.
         counter.charge_scan(len(relation))
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds = clock() - started
         if counter is not report.work:
             report.work = counter.snapshot()
         return cleaned, report
@@ -228,7 +228,7 @@ def offline_then_query(
     from repro.query.planner import PlannerCatalog
 
     cleaner = OfflineCleaner(sqrt_partitions=sqrt_partitions)
-    started = time.perf_counter()
+    started = clock()
     cleaned, report = cleaner.clean(relation, rules)
     catalog = PlannerCatalog()
     catalog.add_table(table_name, cleaned.schema)
@@ -236,5 +236,5 @@ def offline_then_query(
     executor = Executor(states, catalog, cleaning_enabled=False)
     for sql in queries:
         executor.execute(sql)
-    total = time.perf_counter() - started
+    total = clock() - started
     return cleaned, report, total

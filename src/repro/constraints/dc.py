@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import ConstraintError
 from repro.constraints.predicate import Predicate
@@ -186,7 +186,7 @@ def as_dc(rule: Rule) -> DenialConstraint:
     return rule
 
 
-def as_fd(rule: Rule) -> Optional[FunctionalDependency]:
+def as_fd(rule: Rule) -> FunctionalDependency | None:
     """Return the FD view of a rule, or None if it is a general DC."""
     if isinstance(rule, FunctionalDependency):
         return rule

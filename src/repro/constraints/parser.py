@@ -25,7 +25,7 @@ to ASCII before parsing.
 from __future__ import annotations
 
 import re
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import ConstraintParseError
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, decompose_fd
@@ -86,7 +86,7 @@ class _TokenStream:
         self._tokens = tokens
         self._pos = 0
 
-    def peek(self) -> Optional[str]:
+    def peek(self) -> str | None:
         if self._pos < len(self._tokens):
             return self._tokens[self._pos]
         return None
@@ -111,7 +111,7 @@ class _TokenStream:
 _ATTR_REF_RE = re.compile(r"^t(\d+)\.([A-Za-z_][A-Za-z0-9_.]*)$")
 
 
-def _parse_operand(stream: _TokenStream) -> tuple[Optional[int], Optional[str], Any]:
+def _parse_operand(stream: _TokenStream) -> tuple[int | None, str | None, Any]:
     """Return (tuple_index, attr, constant); attr is None for constants."""
     token = stream.next()
     match = _ATTR_REF_RE.match(token)

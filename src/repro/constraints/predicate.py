@@ -14,7 +14,7 @@ combination satisfies it) and the usual operator algebra (negation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 from repro.errors import ConstraintError
 from repro.probabilistic.value import cell_compare, plain
@@ -54,8 +54,8 @@ class Predicate:
     left_tuple: int
     left_attr: str
     op: str
-    right_tuple: Optional[int] = None
-    right_attr: Optional[str] = None
+    right_tuple: int | None = None
+    right_attr: str | None = None
     constant: Any = None
 
     def __post_init__(self) -> None:
@@ -174,11 +174,11 @@ def neq(attr: str) -> Predicate:
     return Predicate(0, attr, "!=", 1, attr)
 
 
-def lt(attr_a: str, attr_b: Optional[str] = None) -> Predicate:
+def lt(attr_a: str, attr_b: str | None = None) -> Predicate:
     """Shorthand: ``t1.attr_a < t2.attr_b`` (default attr_b = attr_a)."""
     return Predicate(0, attr_a, "<", 1, attr_b or attr_a)
 
 
-def gt(attr_a: str, attr_b: Optional[str] = None) -> Predicate:
+def gt(attr_a: str, attr_b: str | None = None) -> Predicate:
     """Shorthand: ``t1.attr_a > t2.attr_b`` (default attr_b = attr_a)."""
     return Predicate(0, attr_a, ">", 1, attr_b or attr_a)

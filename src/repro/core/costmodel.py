@@ -48,7 +48,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable
 
 
 @dataclass(frozen=True)
@@ -163,7 +163,7 @@ class CostModel:
     def remaining_errors(self) -> int:
         return max(0, self.estimated_errors - self.errors_cleaned)
 
-    def _avg(self, selector) -> float:
+    def _avg(self, selector: Callable[[QueryObservation], float]) -> float:
         if not self.observations:
             return 0.0
         return sum(selector(o) for o in self.observations) / len(self.observations)
@@ -213,8 +213,8 @@ class CostModel:
         return d_full + repair + update + queries
 
     def switch_costs(
-        self, remaining_queries: Optional[int] = None
-    ) -> Optional[tuple[float, float]]:
+        self, remaining_queries: int | None = None
+    ) -> tuple[float, float] | None:
         """Both sides of the Section 5.2.3 inequality, or None when the
         workload is projected to be over (no remaining queries to finish
         either way).  Returns ``(incremental, full_clean_now)``."""
@@ -235,7 +235,7 @@ class CostModel:
         return incremental > full * self.config.hysteresis
 
     def should_switch_to_full(
-        self, remaining_queries: Optional[int] = None
+        self, remaining_queries: int | None = None
     ) -> bool:
         """The Section 5.2.3 inequality, evaluated with current estimates."""
         costs = self.switch_costs(remaining_queries)
@@ -283,7 +283,7 @@ class PassDecision:
     estimated_cost: float
     raw_units: float = 0.0
     alternatives: dict[str, float] = field(default_factory=dict)
-    observed_cost: Optional[float] = None
+    observed_cost: float | None = None
 
 
 class CostCalibration:
@@ -298,7 +298,7 @@ class CostCalibration:
     pins on replayed work logs.
     """
 
-    def __init__(self, alpha: float = 0.3):
+    def __init__(self, alpha: float = 0.3) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = alpha
@@ -402,11 +402,11 @@ class AdaptivePlanner:
 
     def __init__(
         self,
-        cpu_count: Optional[int] = None,
+        cpu_count: int | None = None,
         max_workers: int = 0,
-        calibration: Optional[CostCalibration] = None,
+        calibration: CostCalibration | None = None,
         process_pool_available: bool = True,
-    ):
+    ) -> None:
         self.cpu_count = cpu_count if cpu_count is not None else available_cpus()
         self.max_workers = max_workers if max_workers > 0 else self.cpu_count
         self.calibration = calibration if calibration is not None else CostCalibration()
@@ -612,8 +612,8 @@ class AdaptivePlanner:
         self,
         table: str,
         model: CostModel,
-        remaining_queries: Optional[int] = None,
-    ) -> Optional[PassDecision]:
+        remaining_queries: int | None = None,
+    ) -> PassDecision | None:
         """Evaluate the strategy-switch inequality and record the verdict.
 
         Returns ``None`` when the workload is projected to be over (no

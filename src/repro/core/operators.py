@@ -16,11 +16,12 @@ added or changed (Lemma 5 guarantees no further checks are needed).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.constraints.analysis import FilterSide, filter_side, relevant_rules
-from repro.constraints.dc import DenialConstraint, FunctionalDependency, as_dc, as_fd
+from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
 from repro.core.relaxation import relax_fd
+from repro.core.statistics import FdStatistics
 from repro.core.state import TableState, rule_key
 from repro.engine.stats import WorkCounter
 from repro.detection.estimator import decide_cleaning
@@ -30,6 +31,9 @@ from repro.repair.dc_repair import compute_dc_fixes
 from repro.repair.fd_repair import apply_fd_delta, compute_fd_fixes
 from repro.repair.fixes import RepairDelta
 from repro.repair.merge import merge_deltas
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from repro.relation.relation import Row
 
 
 @dataclass
@@ -60,8 +64,8 @@ def clean_sigma(
     where_attrs: Iterable[str] = (),
     projection: Iterable[str] = (),
     dc_error_threshold: float = 0.2,
-    force_rules: Optional[Iterable] = None,
-    parallel: Optional[ParallelContext] = None,
+    force_rules: Iterable[Rule] | None = None,
+    parallel: ParallelContext | None = None,
 ) -> CleanReport:
     """Clean an SP query result in place.
 
@@ -87,7 +91,7 @@ def clean_sigma(
 
     report = CleanReport(scope_tids=set(answer))
     deltas: list[RepairDelta] = []
-    fd_marks: list[tuple[str, set]] = []
+    fd_marks: list[tuple[str, set[int]]] = []
 
     where_set = set(where_attrs)
     for rule in rules:
@@ -129,7 +133,7 @@ def fd_scope_needs_cleaning(
     state: TableState,
     answer: set[int],
     fd: FunctionalDependency,
-    counter: Optional[WorkCounter] = None,
+    counter: WorkCounter | None = None,
 ) -> bool:
     """Statistics pruning (Fig. 9) as a standalone test.
 
@@ -157,7 +161,7 @@ def fd_scope_needs_cleaning(
         pos_map = view.pos_of_tid
         lhs_keys = fd_grouping_keys(view, fd, state.provenance).lhs_keys
 
-        def key_of(tid: int) -> tuple:
+        def key_of(tid: int) -> tuple[Any, ...]:
             return lhs_keys[pos_map[tid]]
 
         present = pos_map
@@ -165,7 +169,7 @@ def fd_scope_needs_cleaning(
         lhs_idx = [state.relation.schema.index_of(a) for a in fd.lhs]
         tid_rows = state.relation.tid_index()
 
-        def key_of(tid: int) -> tuple:
+        def key_of(tid: int) -> tuple[Any, ...]:
             row = tid_rows[tid]
             out = []
             for i, attr in zip(lhs_idx, fd.lhs):
@@ -195,8 +199,8 @@ def _clean_sigma_fd(
     answer: set[int],
     fd: FunctionalDependency,
     where_attrs: set[str],
-    parallel: Optional[ParallelContext] = None,
-) -> tuple[CleanReport, Optional[RepairDelta], set]:
+    parallel: ParallelContext | None = None,
+) -> tuple[CleanReport, RepairDelta | None, set[int]]:
     """FD path: relaxation + group detection/repair with statistics pruning.
 
     With an enabled ``parallel`` context and a columnar view, the relaxation
@@ -260,8 +264,8 @@ def _rhs_touches_dirty(
     state: TableState,
     answer: set[int],
     fd: FunctionalDependency,
-    stats,
-    counter: Optional[WorkCounter] = None,
+    stats: FdStatistics,
+    counter: WorkCounter | None = None,
 ) -> bool:
     """Do any of the answer's rhs values co-occur with a dirty lhs group?"""
     from repro.probabilistic.value import PValue
@@ -303,8 +307,8 @@ def _clean_sigma_dc(
     answer: set[int],
     dc: DenialConstraint,
     threshold: float,
-    parallel: Optional[ParallelContext] = None,
-) -> tuple[CleanReport, Optional[RepairDelta]]:
+    parallel: ParallelContext | None = None,
+) -> tuple[CleanReport, RepairDelta | None]:
     """General-DC path: partial theta-join + Algorithm 2 + holistic repair.
 
     The matrix's candidate cells fan out over the parallel context's pool
@@ -354,8 +358,8 @@ def _clean_sigma_dc(
 
 def clean_full_table(
     state: TableState,
-    rules: Optional[Iterable] = None,
-    parallel: Optional[ParallelContext] = None,
+    rules: Iterable[Rule] | None = None,
+    parallel: ParallelContext | None = None,
 ) -> CleanReport:
     """Clean the whole table for the given rules (the strategy-switch path).
 
@@ -377,9 +381,9 @@ def clean_join(
     left_where_attrs: Iterable[str] = (),
     right_where_attrs: Iterable[str] = (),
     dc_error_threshold: float = 0.2,
-    left_filter=None,
-    right_filter=None,
-    parallel: Optional[ParallelContext] = None,
+    left_filter: Callable[["Row"], bool] | None = None,
+    right_filter: Callable[["Row"], bool] | None = None,
+    parallel: ParallelContext | None = None,
 ) -> tuple[JoinResult, CleanReport]:
     """Clean a join result (Definition 3).
 

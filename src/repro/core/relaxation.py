@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from repro.constraints.analysis import FilterSide
 from repro.constraints.dc import FunctionalDependency
@@ -72,10 +72,10 @@ def relax_fd(
     answer_tids: Iterable[int],
     fd: FunctionalDependency,
     filter_side: FilterSide = FilterSide.LHS,
-    counter: Optional[WorkCounter] = None,
-    max_iterations: Optional[int] = None,
-    skip_tids: Optional[set[int]] = None,
-    view: Optional[ColumnView] = None,
+    counter: WorkCounter | None = None,
+    max_iterations: int | None = None,
+    skip_tids: set[int] | None = None,
+    view: ColumnView | None = None,
 ) -> RelaxationResult:
     """Algorithm 1: SP query-result relaxation for one FD.
 
@@ -215,7 +215,7 @@ class _FdCorrelationIndex:
 
     __slots__ = ("lhs", "rhs", "combos_of_pos", "rhs_of_pos", "lhs_index", "rhs_index")
 
-    def __init__(self, view: ColumnView, fd: FunctionalDependency):
+    def __init__(self, view: ColumnView, fd: FunctionalDependency) -> None:
         self.lhs = tuple(fd.lhs)
         self.rhs = fd.rhs
         lhs_cols = [view.columns[a] for a in self.lhs]
@@ -314,7 +314,7 @@ def _relax_fd_columnar(
     fd: FunctionalDependency,
     filter_side: FilterSide,
     counter: WorkCounter,
-    max_iterations: Optional[int],
+    max_iterations: int | None,
 ) -> RelaxationResult:
     """Index-driven Algorithm 1 — same outputs as the row-store passes.
 
@@ -476,7 +476,7 @@ def relaxed_size_upper_bound(
 
 
 def frequency_distribution(
-    relation: Relation, attr: str, tids: Optional[Iterable[int]] = None
+    relation: Relation, attr: str, tids: Iterable[int] | None = None
 ) -> dict[Any, int]:
     """Value frequencies of one attribute (over a tid subset if given)."""
     idx = relation.schema.index_of(attr)

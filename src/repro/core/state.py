@@ -18,7 +18,7 @@ turn probabilistic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.constraints.analysis import rule_attributes
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
@@ -137,7 +137,7 @@ class TableState:
         if self.column_backend == COLUMN_AUTO:
             self.column_backend = validate_column_backend(choice)
 
-    def column_view(self) -> Optional[ColumnView]:
+    def column_view(self) -> ColumnView | None:
         """The relation's columnar view, or None on the row-store backend."""
         if self.backend != BACKEND_COLUMNAR:
             return None
@@ -171,7 +171,7 @@ class TableState:
     def dc_rules(self) -> list[DenialConstraint]:
         return [as_dc(rule) for rule in self.rules if as_fd(rule) is None]
 
-    def fd_stats(self, rule: Rule) -> Optional[FdStatistics]:
+    def fd_stats(self, rule: Rule) -> FdStatistics | None:
         return self.statistics.get(rule_key(rule))
 
     def matrix_for(self, dc: DenialConstraint) -> ThetaJoinMatrix:

@@ -15,7 +15,7 @@ statistics serve two purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
@@ -72,7 +72,7 @@ class FdStatistics:
 def build_fd_statistics(
     relation: Relation,
     fd: FunctionalDependency,
-    counter: Optional[WorkCounter] = None,
+    counter: WorkCounter | None = None,
 ) -> FdStatistics:
     """One pass over the relation to build :class:`FdStatistics`."""
     counter = counter if counter is not None else GLOBAL_COUNTER
@@ -114,7 +114,7 @@ class TableStatistics:
     def add(self, name: str, stats: FdStatistics) -> None:
         self.per_fd[name] = stats
 
-    def get(self, name: str) -> Optional[FdStatistics]:
+    def get(self, name: str) -> FdStatistics | None:
         return self.per_fd.get(name)
 
     def total_erroneous(self) -> int:

@@ -25,7 +25,7 @@ keep working unchanged.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.api.config import DaisyConfig
 from repro.api.reporting import QueryLogEntry, WorkloadReport  # noqa: F401 - re-export
@@ -96,7 +96,7 @@ class Daisy:
         num_shards: int = 0,
         pool: str = POOL_THREAD,
         batch_strategy: str = "shared",
-        config: Optional[DaisyConfig] = None,
+        config: DaisyConfig | None = None,
     ):
         if config is None:
             config = DaisyConfig(
@@ -119,7 +119,7 @@ class Daisy:
         #: affected table's cost model (matching the old per-add_rule
         #: refresh, without discarding other tables' observations).
         self.table_versions: dict[str, int] = {}
-        self._default_session: Optional[Session] = None
+        self._default_session: Session | None = None
 
     # -- config passthroughs (kept for API stability) -----------------------------------
 
@@ -141,7 +141,7 @@ class Daisy:
 
     # -- sessions ------------------------------------------------------------------------
 
-    def connect(self, config: Optional[DaisyConfig] = None) -> Session:
+    def connect(self, config: DaisyConfig | None = None) -> Session:
         """Open a new :class:`~repro.api.Session` over this engine's tables.
 
         ``config`` overrides the engine's default config for this session
@@ -295,7 +295,7 @@ class Daisy:
 
     # -- direct cleaning ----------------------------------------------------------------
 
-    def clean_table(self, table: str, rules: Optional[Iterable[Rule]] = None) -> CleanReport:
+    def clean_table(self, table: str, rules: Iterable[Rule] | None = None) -> CleanReport:
         """Clean a whole table now (bypass the query-driven path)."""
         from repro.core.operators import clean_full_table
 

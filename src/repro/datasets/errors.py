@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 from repro.constraints.dc import FunctionalDependency
 from repro.errors import DatasetError
@@ -40,7 +40,7 @@ def inject_fd_errors(
     group_fraction: float = 1.0,
     member_fraction: float = 0.1,
     seed: int = 7,
-    value_pool: Optional[Sequence[Any]] = None,
+    value_pool: Sequence[Any] | None = None,
     prefer_rare_groups: bool = False,
 ) -> tuple[Relation, ErrorInjectionReport]:
     """Edit rhs values inside a fraction of lhs groups.

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.constraints.dc import FunctionalDependency
 from repro.datasets.errors import ErrorInjectionReport, inject_fd_errors
@@ -94,7 +93,7 @@ class SsbInstance:
     date: Relation
     customer: Relation
     fd: FunctionalDependency
-    injection: Optional[ErrorInjectionReport] = None
+    injection: ErrorInjectionReport | None = None
 
 
 def clean_lineorder(

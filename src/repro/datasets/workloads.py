@@ -9,7 +9,6 @@ selectivity that together cover the whole key domain (Figs 5-12); the SSB
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 
 def range_queries(
@@ -18,7 +17,7 @@ def range_queries(
     domain_size: int,
     num_queries: int,
     projection: str = "*",
-    shuffle_seed: Optional[int] = None,
+    shuffle_seed: int | None = None,
 ) -> list[str]:
     """``num_queries`` non-overlapping range filters covering [0, domain_size).
 

@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicate import Predicate
-from repro.detection.thetajoin import ThetaJoinMatrix, _numeric
+from repro.detection.thetajoin import BoundingBox, ThetaJoinMatrix, _numeric
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.relation.relation import Relation
 
@@ -58,7 +58,7 @@ def _secondary_attrs(dc: DenialConstraint, primary: str) -> list[Predicate]:
 
 
 def estimate_errors(
-    matrix: ThetaJoinMatrix, counter: Optional[WorkCounter] = None
+    matrix: ThetaJoinMatrix, counter: WorkCounter | None = None
 ) -> list[RangeErrorEstimate]:
     """The ``Estimate_Errors`` function of Algorithm 2.
 
@@ -117,7 +117,9 @@ def estimate_errors(
     return estimates
 
 
-def _box_pred_possible(pred: Predicate, box_i, box_j) -> bool:
+def _box_pred_possible(
+    pred: Predicate, box_i: BoundingBox, box_j: BoundingBox
+) -> bool:
     lo1, hi1 = box_i.range_of(pred.left_attr)
     lo2, hi2 = box_j.range_of(pred.right_attr)
     if lo1 is math.inf or lo2 is math.inf:
@@ -135,7 +137,9 @@ def _box_pred_possible(pred: Predicate, box_i, box_j) -> bool:
     return True
 
 
-def _boundary_overlap(pred: Predicate, box_i, box_j) -> float:
+def _boundary_overlap(
+    pred: Predicate, box_i: BoundingBox, box_j: BoundingBox
+) -> float:
     """Relative overlap of the secondary-attribute boundaries of two boxes.
 
     The paper's example: ranges with tax boundaries (0.3, 0.4) and
@@ -184,7 +188,7 @@ def decide_cleaning(
     query_tids: Sequence[int],
     relation: Relation,
     threshold: float = 0.2,
-    counter: Optional[WorkCounter] = None,
+    counter: WorkCounter | None = None,
 ) -> CleaningDecision:
     """Algorithm 2's per-query decision: full or partial cleaning.
 

@@ -12,7 +12,7 @@ most probable candidate, so re-detection after repairs stays stable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Sequence
 
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
@@ -67,7 +67,7 @@ class FdViolationReport:
         return bool(self.groups)
 
 
-def _cell_key(cell: Any, original: Optional[Any]) -> Any:
+def _cell_key(cell: Any, original: Any | None) -> Any:
     """The grouping key contributed by a cell (original value wins)."""
     if original is not None:
         return original
@@ -79,10 +79,10 @@ def _cell_key(cell: Any, original: Optional[Any]) -> Any:
 def detect_fd_violations(
     relation: Relation,
     fd: FunctionalDependency,
-    tids: Optional[Iterable[int]] = None,
-    counter: Optional[WorkCounter] = None,
-    originals: Optional[dict[tuple[int, str], Any]] = None,
-    view: Optional[ColumnView] = None,
+    tids: Iterable[int] | None = None,
+    counter: WorkCounter | None = None,
+    originals: dict[tuple[int, str], Any] | None = None,
+    view: ColumnView | None = None,
 ) -> FdViolationReport:
     """Group by the FD's lhs and report groups with conflicting rhs values.
 
@@ -121,7 +121,7 @@ def detect_fd_violations(
 
     lhs_idx = [relation.schema.index_of(a) for a in fd.lhs]
     rhs_idx = relation.schema.index_of(fd.rhs)
-    tid_filter: Optional[set[int]] = set(tids) if tids is not None else None
+    tid_filter: set[int] | None = set(tids) if tids is not None else None
     for row in relation.rows:
         if tid_filter is not None and row.tid not in tid_filter:
             continue
@@ -138,9 +138,9 @@ def detect_fd_violations(
 def _detect_view_vectorized(
     view: ColumnView,
     fd: FunctionalDependency,
-    positions,
+    positions: Sequence[int],
     counter: WorkCounter,
-) -> Optional[FdViolationReport]:
+) -> FdViolationReport | None:
     """The numpy-backend twin of the columnar lhs-grouping scan.
 
     Applicable only when every lhs/rhs column vectorizes exactly and every
@@ -210,7 +210,7 @@ def _collect_groups(
 
 
 def violating_lhs_keys(
-    relation: Relation, fd: FunctionalDependency, counter: Optional[WorkCounter] = None
+    relation: Relation, fd: FunctionalDependency, counter: WorkCounter | None = None
 ) -> set[tuple[Any, ...]]:
     """The set of lhs keys that participate in at least one violation.
 

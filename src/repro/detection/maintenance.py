@@ -49,7 +49,7 @@ import logging
 import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.detection.thetajoin import (
     ThetaJoinMatrix,
@@ -195,7 +195,7 @@ def _patched_source(
 def sync_matrix(
     matrix: ThetaJoinMatrix,
     updates: dict[tuple[int, str], Any],
-    policy: Optional[MaintenancePolicy] = None,
+    policy: MaintenancePolicy | None = None,
 ) -> MaintenanceReport:
     """Bring ``matrix`` up to date with one batch of data-origin updates.
 
@@ -255,7 +255,7 @@ def sync_matrix(
     # the relation-position map instead of a per-tid stripe scan.
     moved: dict[int, tuple[float, float]] = {}
     if not membership_changed:
-        for tid in touched_striped:
+        for tid in sorted(touched_striped):
             cell_map = by_tid[tid]
             if primary_idx not in cell_map:
                 continue
@@ -370,7 +370,7 @@ def sync_matrix(
     patched_stripes: set[int] = set()
 
     # 4. Re-derive stripes whose membership/order changed.
-    for s in changed_identity:
+    for s in sorted(changed_identity):
         rows = [new_rows[relpos[tid]] for tid in new_chunks[s]]
         _rederive_stripe(matrix, s, rows)
         for tid in new_chunks[s]:
@@ -378,7 +378,7 @@ def sync_matrix(
 
     # 5. Positionally patch stripes whose content (not membership) changed.
     touched_by_stripe: dict[int, list[int]] = {}
-    for tid in touched_striped:
+    for tid in sorted(touched_striped):
         s = stripe_of[tid]
         if s not in changed_identity:
             touched_by_stripe.setdefault(s, []).append(tid)
@@ -430,14 +430,14 @@ def sync_matrix(
             zip((name for name, _lo, _hi in matrix.bboxes[s].bounds),
                 matrix.bboxes[s].bounds)
         )
-        fresh = _stripe_bbox(stripe, list(touched_attrs), matrix.indexes)
+        fresh = _stripe_bbox(stripe, sorted(touched_attrs), matrix.indexes)
         for name, lo, hi in fresh.bounds:
             box[name] = (name, lo, hi)
         matrix.bboxes[s] = type(matrix.bboxes[s])(
             tuple(box[a] for a in matrix.attrs)
         )
         if columnar:
-            for attr in touched_attrs:
+            for attr in sorted(touched_attrs):
                 # Drops both the cached sort order and the numpy backend's
                 # float-array mirror — patched stripes must re-derive the
                 # same lazy state a cold rebuild would start from.

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicate import Predicate
@@ -77,7 +77,7 @@ class BoundingBox:
         raise KeyError(attr)
 
 
-def _numeric(cell: Any) -> Optional[float]:
+def _numeric(cell: Any) -> float | None:
     value = plain(cell)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return None
@@ -124,7 +124,7 @@ def _cell_may_violate(pred: Predicate, box_i: BoundingBox, box_j: BoundingBox) -
 
 
 def _row_may_qualify(
-    pred: Predicate, value: Optional[float], other_box: BoundingBox, left_side: bool
+    pred: Predicate, value: float | None, other_box: BoundingBox, left_side: bool
 ) -> bool:
     """Intra-partition pruning: can this row satisfy ``pred`` against any row
     of the opposite stripe (summarized by its bounding box)?"""
@@ -201,9 +201,9 @@ class _StripeColumns:
         attrs: Sequence[str],
         indexes: dict[str, int],
         column_backend: str = COLUMN_PYTHON,
-    ):
+    ) -> None:
         self.rows = rows
-        self.numeric: dict[str, list[Optional[float]]] = {}
+        self.numeric: dict[str, list[float | None]] = {}
         self.raw: dict[str, list[Any]] = {}
         self.uncertain: dict[str, frozenset[int]] = {}
         self.column_backend = column_backend
@@ -226,7 +226,7 @@ class _StripeColumns:
         self._sorted.pop(attr, None)
         self._numeric_arrays.pop(attr, None)
 
-    def numeric_array(self, attr: str):
+    def numeric_array(self, attr: str) -> Any:
         """``numeric[attr]`` as a NaN-padded float64 ndarray (numpy backend)."""
         arr = self._numeric_arrays.get(attr)
         if arr is None:
@@ -253,7 +253,7 @@ class _StripeColumns:
             if k not in uncertain and numeric[k] is not None
         ]
         raw = self.raw[attr]
-        positions: Optional[list[int]] = None
+        positions: list[int] | None = None
         exact = None
         if self.column_backend == COLUMN_NUMPY:
             sorted_pair = kernels.argsort_positions(
@@ -285,10 +285,10 @@ class ThetaJoinMatrix:
         relation: Relation,
         dc: DenialConstraint,
         sqrt_p: int = 8,
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
         backend: str = BACKEND_COLUMNAR,
         column_backend: str = COLUMN_PYTHON,
-    ):
+    ) -> None:
         if dc.arity != 2:
             raise ConstraintError(
                 f"theta-join detection supports binary DCs, got arity {dc.arity}"
@@ -313,7 +313,7 @@ class ThetaJoinMatrix:
         self.primary_attr = two_tuple_preds[0].left_attr
         #: Predicate driving the sort-based join (first orderable two-tuple
         #: predicate) and the remaining predicates it leaves to verify.
-        self.driving_pred: Optional[Predicate] = next(
+        self.driving_pred: Predicate | None = next(
             (p for p in two_tuple_preds if p.op != "!="), None
         )
         self.rest_preds = [p for p in dc.predicates if p is not self.driving_pred]
@@ -388,7 +388,7 @@ class ThetaJoinMatrix:
         return all(p.evaluate((row_a, row_b), self.indexes) for p in self.rest_preds)
 
     def _check_cell(
-        self, i: int, j: int, counter: Optional[WorkCounter] = None
+        self, i: int, j: int, counter: WorkCounter | None = None
     ) -> list[ViolationPair]:
         """Check all (ordered) pairs of cell (i, j), with intra-cell pruning.
 
@@ -582,7 +582,7 @@ class ThetaJoinMatrix:
         # Numpy backend: derive every probe's qualifying window in one
         # searchsorted batch — bit-identical cuts to the per-probe bisect
         # whenever both sides vectorize exactly.
-        window_of: Optional[dict[int, list[int]]] = None
+        window_of: dict[int, list[int]] | None = None
         if self.column_backend == COLUMN_NUMPY:
             concrete_a = [k for k in filtered_a if k not in a_uncertain]
             if concrete_a:
@@ -641,7 +641,7 @@ class ThetaJoinMatrix:
     # -- public API ----------------------------------------------------------------
 
     def candidate_cells(
-        self, query_tids: Optional[Iterable[int]] = None
+        self, query_tids: Iterable[int] | None = None
     ) -> list[tuple[int, int]]:
         """Upper-triangle cells still to check, in deterministic scan order.
 
@@ -649,7 +649,7 @@ class ThetaJoinMatrix:
         query tuple are candidates (the partial theta-join's relevance
         filter); already-checked cells are always excluded.
         """
-        touched: Optional[set[int]] = None
+        touched: set[int] | None = None
         if query_tids is not None:
             touched = {
                 self._stripe_of_tid[tid]
@@ -672,7 +672,7 @@ class ThetaJoinMatrix:
     def check_cells(
         self,
         cells: Sequence[tuple[int, int]],
-        pool: Optional["ExecutorPool"] = None,
+        pool: "ExecutorPool" | None = None,
     ) -> list[ViolationPair]:
         """Check the given cells, optionally fanned out over a pool.
 
@@ -696,8 +696,10 @@ class ThetaJoinMatrix:
         # byte-identity.
         compact = pool.kind == "process"
 
-        def task_for(cell: tuple[int, int]):
-            def task():
+        def task_for(
+            cell: tuple[int, int]
+        ) -> Callable[[], tuple[list[Any], WorkCounter]]:
+            def task() -> tuple[list[Any], WorkCounter]:
                 local = WorkCounter()
                 pairs = self._check_cell(cell[0], cell[1], counter=local)
                 if compact:
@@ -717,13 +719,13 @@ class ThetaJoinMatrix:
         return out
 
     def check_full(
-        self, pool: Optional["ExecutorPool"] = None
+        self, pool: "ExecutorPool" | None = None
     ) -> list[ViolationPair]:
         """Check every not-yet-checked upper-triangle cell (offline mode)."""
         return self.check_cells(self.candidate_cells(), pool=pool)
 
     def check_partial(
-        self, query_tids: Iterable[int], pool: Optional["ExecutorPool"] = None
+        self, query_tids: Iterable[int], pool: "ExecutorPool" | None = None
     ) -> list[ViolationPair]:
         """Check only cells involving the query's stripes (partial theta-join).
 

@@ -14,7 +14,7 @@ a Spark stage's latency is governed by its slowest task.
 
 from __future__ import annotations
 
-from typing import Callable, Generic, Hashable, Iterable, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Hashable, Iterable, Iterator, TypeVar
 
 from repro.engine.partition import HashPartitioner
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
@@ -30,7 +30,7 @@ class PartitionedDataset(Generic[T]):
     def __init__(
         self,
         partitions: Iterable[Iterable[T]],
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
         num_workers: int = 4,
     ):
         self._partitions: list[list[T]] = [list(p) for p in partitions]
@@ -46,7 +46,7 @@ class PartitionedDataset(Generic[T]):
         cls,
         items: Iterable[T],
         num_partitions: int = 4,
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
         num_workers: int = 4,
     ) -> "PartitionedDataset[T]":
         """Round-robin distribute ``items`` into ``num_partitions`` partitions."""

@@ -9,7 +9,7 @@ repaired value equals the master-data value.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from repro.probabilistic.value import PValue
 from repro.relation.relation import Relation
@@ -86,7 +86,7 @@ def evaluate_relation(
     repaired: Relation,
     dirty: Relation,
     ground_truth: Mapping[tuple[int, str], Any],
-    attrs: Optional[list[str]] = None,
+    attrs: list[str] | None = None,
 ) -> AccuracyReport:
     """Score a repaired relation (probabilistic cells resolve to most
     probable) against ground truth, over ``attrs`` (default: all)."""

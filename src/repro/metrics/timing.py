@@ -10,9 +10,21 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterator
 
 from repro.engine.stats import WorkCounter
+
+
+def clock() -> float:
+    """The engine's one wall-clock read: monotonic seconds for reporting.
+
+    Every elapsed-seconds field in the engine (session reports, batch
+    reports, baseline harnesses) is a difference of :func:`clock` values.
+    Centralizing the read here keeps results time-independent by
+    construction — daisylint's DL003 flags any other wall-clock access in
+    ``src/`` — and gives tests a single seam to stub time through.
+    """
+    return time.perf_counter()
 
 
 @dataclass
@@ -20,7 +32,7 @@ class Measurement:
     """One timed run: seconds + work-unit delta."""
 
     seconds: float = 0.0
-    work: Optional[WorkCounter] = None
+    work: WorkCounter | None = None
     label: str = ""
 
     def work_units(self) -> int:
@@ -39,7 +51,7 @@ class Stopwatch:
 
     @contextmanager
     def measure(
-        self, label: str, counter: Optional[WorkCounter] = None
+        self, label: str, counter: WorkCounter | None = None
     ) -> Iterator[Measurement]:
         before = counter.snapshot() if counter is not None else None
         started = time.perf_counter()

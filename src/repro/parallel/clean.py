@@ -30,7 +30,7 @@ serial pass).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.constraints.analysis import FilterSide
 from repro.constraints.dc import FunctionalDependency
@@ -69,9 +69,9 @@ class PassPlan:
     :meth:`ParallelContext.observe`.
     """
 
-    pool: Optional[ExecutorPool]
+    pool: ExecutorPool | None
     shards: int
-    decision: Optional[PassDecision] = None
+    decision: PassDecision | None = None
 
     @property
     def parallel(self) -> bool:
@@ -106,9 +106,9 @@ class ParallelContext:
         kind: str,
         workers: int,
         num_shards: int = 0,
-        planner: Optional[AdaptivePlanner] = None,
+        planner: AdaptivePlanner | None = None,
         adaptive: bool = False,
-    ):
+    ) -> None:
         validate_pool_kind(kind)
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -123,7 +123,7 @@ class ParallelContext:
         self.num_shards = num_shards or workers
         self.adaptive = adaptive
         self.planner = planner
-        self._pool: Optional[ExecutorPool] = None
+        self._pool: ExecutorPool | None = None
         #: (kind, workers) -> pool, for adaptive per-pass shapes.
         self._pools: dict[tuple[str, int], ExecutorPool] = {}
         #: (id(state), shard count) -> (state, data_epoch, router).  The held
@@ -146,7 +146,7 @@ class ParallelContext:
             self._pool = make_pool(self.kind, self.workers)
         return self._pool
 
-    def pool_of(self, kind: str, workers: int) -> Optional[ExecutorPool]:
+    def pool_of(self, kind: str, workers: int) -> ExecutorPool | None:
         """A (cached) pool of the given shape; ``None`` for serial shapes."""
         if workers <= 1 or kind == POOL_SERIAL:
             return None
@@ -181,7 +181,7 @@ class ParallelContext:
         )
 
     def plan_dc_check(
-        self, matrix: "ThetaJoinMatrix", cells, table: str
+        self, matrix: "ThetaJoinMatrix", cells: Sequence[tuple[int, int]], table: str
     ) -> PassPlan:
         """Resolve the execution shape of one theta-join cell check.
 
@@ -205,13 +205,13 @@ class ParallelContext:
             pool=self._pool_for_plan(plan), shards=plan.shards, decision=decision
         )
 
-    def observe(self, decision: Optional[PassDecision], observed_units: float) -> None:
+    def observe(self, decision: PassDecision | None, observed_units: float) -> None:
         """Report a pass's counter delta back to the planner (no-op when the
         pass ran under a fixed configuration)."""
         if decision is not None and self.planner is not None:
             self.planner.observe(decision, observed_units)
 
-    def _pool_for_plan(self, plan: PoolPlan) -> Optional[ExecutorPool]:
+    def _pool_for_plan(self, plan: PoolPlan) -> ExecutorPool | None:
         if not plan.parallel:
             return None
         return self.pool_of(plan.kind, plan.workers)
@@ -219,7 +219,7 @@ class ParallelContext:
     # -- shard routers -----------------------------------------------------------
 
     def shards_for(
-        self, state: "TableState", num_shards: Optional[int] = None
+        self, state: "TableState", num_shards: int | None = None
     ) -> ShardSet:
         """The (cached) shard router of one table state.
 
@@ -262,7 +262,7 @@ def parallel_relax_fd(
     filter_side: FilterSide,
     view: ColumnView,
     context: ParallelContext,
-    plan: Optional[PassPlan] = None,
+    plan: PassPlan | None = None,
 ) -> RelaxationResult:
     """Algorithm 1 relaxation, sharded by tid range and merged (see module
     docstring).  Requires the columnar view; byte-identical to
@@ -289,7 +289,7 @@ def parallel_relax_fd(
     relation = state.relation
     seen_snapshot = set(seen)
 
-    def task_for(part: set[int]):
+    def task_for(part: set[int]) -> Callable[[], RelaxationResult]:
         def task() -> RelaxationResult:
             return relax_fd(
                 relation, part, fd, filter_side=filter_side,

@@ -30,7 +30,7 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Sequence
 
 #: Supported pool kinds for :func:`make_pool` / ``DaisyConfig.pool``.
 POOL_SERIAL = "serial"
@@ -69,7 +69,7 @@ class ExecutorPool:
     def __enter__(self) -> "ExecutorPool":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self.close()
         return False
 
@@ -92,11 +92,11 @@ class ThreadPool(ExecutorPool):
 
     kind = POOL_THREAD
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: ThreadPoolExecutor | None = None
 
     def _ensure(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -147,7 +147,7 @@ class ForkProcessPool(ExecutorPool):
 
     kind = POOL_PROCESS
 
-    def __init__(self, workers: int):
+    def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if not fork_available():  # pragma: no cover - platform dependent

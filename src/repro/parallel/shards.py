@@ -24,7 +24,7 @@ values through the live table's own (incrementally patched) view.
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Iterator
 
 from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation
@@ -41,14 +41,14 @@ class RelationShard:
 
     __slots__ = ("index", "relation", "tid_lo", "tid_hi", "tids", "_view")
 
-    def __init__(self, index: int, relation: Relation):
+    def __init__(self, index: int, relation: Relation) -> None:
         self.index = index
         self.relation = relation
         tids = [row.tid for row in relation.rows]
         self.tids = frozenset(tids)
         self.tid_lo = min(tids) if tids else 0
         self.tid_hi = max(tids) if tids else -1
-        self._view: Optional[ColumnView] = None
+        self._view: ColumnView | None = None
 
     def __len__(self) -> int:
         return len(self.relation)
@@ -87,7 +87,7 @@ class ShardSet:
 
     __slots__ = ("relation", "shards", "_shard_of_tid")
 
-    def __init__(self, relation: Relation, shards: list[RelationShard]):
+    def __init__(self, relation: Relation, shards: list[RelationShard]) -> None:
         self.relation = relation
         self.shards = shards
         self._shard_of_tid: dict[int, int] = {}
@@ -121,10 +121,10 @@ class ShardSet:
     def __len__(self) -> int:
         return len(self.shards)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RelationShard]:
         return iter(self.shards)
 
-    def shard_of_tid(self, tid: int) -> Optional[int]:
+    def shard_of_tid(self, tid: int) -> int | None:
         return self._shard_of_tid.get(tid)
 
     def route_tids(self, tids: Iterable[int]) -> dict[int, set[int]]:

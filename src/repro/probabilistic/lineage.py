@@ -14,7 +14,7 @@ equi-join while recording lineage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from repro.probabilistic.value import PValue, cells_may_equal
 from repro.relation.relation import Relation, Row
@@ -69,8 +69,8 @@ def join_with_lineage(
     right: Relation,
     left_attr: str,
     right_attr: str,
-    left_prefix: Optional[str] = None,
-    right_prefix: Optional[str] = None,
+    left_prefix: str | None = None,
+    right_prefix: str | None = None,
 ) -> JoinResult:
     """Equi-join with possible-worlds key matching and lineage recording.
 

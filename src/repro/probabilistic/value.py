@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import ProbabilisticValueError
 
@@ -33,8 +33,8 @@ class ValueRange:
     means ``> 2000``.
     """
 
-    low: Optional[float] = None
-    high: Optional[float] = None
+    low: float | None = None
+    high: float | None = None
     low_open: bool = True
     high_open: bool = True
 
@@ -176,7 +176,7 @@ class PValue:
 
     @classmethod
     def from_frequencies(
-        cls, counts: dict[Any, int], world_ids: Optional[dict[Any, int]] = None
+        cls, counts: dict[Any, int], world_ids: dict[Any, int] | None = None
     ) -> "PValue":
         """Build a PValue from raw frequency counts (the paper's fix weights)."""
         total = sum(counts.values())

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import QueryError
 
@@ -97,7 +97,7 @@ class ColumnRef:
     """A possibly table-qualified column reference."""
 
     name: str
-    table: Optional[str] = None
+    table: str | None = None
 
     def qualified(self) -> str:
         return f"{self.table}.{self.name}" if self.table else self.name
@@ -174,7 +174,7 @@ class Query:
 
     # -- attribute accessors used by the planner's overlap analysis ------------------
 
-    def where_attrs(self, table: Optional[str] = None) -> set[str]:
+    def where_attrs(self, table: str | None = None) -> set[str]:
         """Unqualified where-clause attribute names (optionally one table's)."""
         out = set()
         for cond in self.conditions:
@@ -182,7 +182,7 @@ class Query:
                 out.add(cond.column.name)
         return out
 
-    def projection_attrs(self, table: Optional[str] = None) -> set[str]:
+    def projection_attrs(self, table: str | None = None) -> set[str]:
         out = set()
         for ref in self.projection:
             if table is None or ref.table in (None, table):

@@ -12,15 +12,15 @@ re-evaluates filters over the repaired scope to pick them up.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.core.operators import CleanReport, clean_join, clean_sigma
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.parallel.clean import ParallelContext
 from repro.errors import PlanError, QueryError
+from repro.metrics.timing import clock
 from repro.probabilistic.lineage import join_with_lineage
 from repro.probabilistic.value import cell_compare
 from repro.query.ast import Condition, Connector, Query
@@ -40,7 +40,7 @@ class QueryResult:
 
     relation: Relation
     report: CleanReport = field(default_factory=CleanReport)
-    plan: Optional[PlanNode] = None
+    plan: PlanNode | None = None
     elapsed_seconds: float = 0.0
     result_tids: dict[str, set[int]] = field(default_factory=dict)
 
@@ -68,7 +68,7 @@ class Executor:
         catalog: PlannerCatalog,
         cleaning_enabled: bool = True,
         dc_error_threshold: float = 0.2,
-        parallel: Optional[ParallelContext] = None,
+        parallel: ParallelContext | None = None,
     ):
         self.states = states
         self.catalog = catalog
@@ -104,7 +104,7 @@ class Executor:
         state: TableState,
         conditions: list[Condition],
         connector: Connector,
-        counter: Optional[WorkCounter] = None,
+        counter: WorkCounter | None = None,
     ) -> set[int]:
         """Tids of ``state`` satisfying ``conditions`` under ``connector``.
 
@@ -176,7 +176,7 @@ class Executor:
                 "use Session.prepare(...).execute(params) to bind them"
             )
 
-        started = time.perf_counter()
+        started = clock()
         clean_tables = {
             node.table: node for node in collect_nodes(plan, CleanSigmaNode)
         }  # type: ignore[union-attr]
@@ -243,7 +243,7 @@ class Executor:
                 query, resolved, table_tids, clean_joins, report
             )
 
-        elapsed = time.perf_counter() - started
+        elapsed = clock() - started
         return QueryResult(
             relation=result,
             report=report,

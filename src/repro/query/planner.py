@@ -19,7 +19,6 @@ schemas and rejects ambiguous ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.constraints.analysis import relevant_rules
 from repro.constraints.dc import Rule
@@ -143,7 +142,7 @@ def resolve_query(query: Query, catalog: PlannerCatalog) -> ResolvedQuery:
 def build_plan(
     query: Query,
     catalog: PlannerCatalog,
-    resolved: Optional[ResolvedQuery] = None,
+    resolved: ResolvedQuery | None = None,
 ) -> PlanNode:
     """Build the cleaning-aware logical plan for ``query``.
 
@@ -183,7 +182,7 @@ def build_plan(
 
     while len(joined) < len(query.tables):
         # Find a join condition connecting the joined set to a new table.
-        pick: Optional[JoinCondition] = None
+        pick: JoinCondition | None = None
         for jc in remaining_joins:
             lt, rt = jc.left.table, jc.right.table
             if (lt in joined) != (rt in joined):

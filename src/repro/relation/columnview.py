@@ -32,7 +32,7 @@ import logging
 import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.engine.stats import WorkCounter
 from repro.probabilistic.value import PValue, cell_compare, plain
@@ -41,6 +41,7 @@ from repro.relation.kernels import COLUMN_NUMPY, COLUMN_PYTHON, TypedColumn
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.relation.relation import Relation
+    from repro.relation.schema import Schema
 
 logger = logging.getLogger(__name__)
 
@@ -88,7 +89,7 @@ class SortedColumn:
 
     def __init__(
         self, values: list[Any], positions: list[int], exact: Any = None
-    ):
+    ) -> None:
         self.values = values
         self.positions = positions
         self.exact = exact
@@ -115,7 +116,7 @@ class SortedColumn:
         raise ValueError(f"unsupported sorted-column operator {op!r}")
 
 
-def _pvalue_bound(cell: PValue) -> Optional[tuple[Any, Any]]:
+def _pvalue_bound(cell: PValue) -> tuple[Any, Any] | None:
     """(min, max) candidate points of a probabilistic cell, or None.
 
     A range candidate contributes its low/high end (±inf when unbounded);
@@ -156,10 +157,10 @@ class PValueBoundsSidecar:
 
     __slots__ = ("attr", "bounds")
 
-    def __init__(self, view: "ColumnView", attr: str):
+    def __init__(self, view: "ColumnView", attr: str) -> None:
         self.attr = attr
         column = view.columns[attr]
-        self.bounds: dict[int, Optional[tuple[Any, Any]]] = {
+        self.bounds: dict[int, tuple[Any, Any] | None] = {
             pos: _pvalue_bound(column[pos]) for pos in view.pvalue_positions(attr)
         }
 
@@ -226,19 +227,19 @@ class ColumnView:
 
     def __init__(
         self,
-        schema,
+        schema: Schema,
         tids: list[int],
         columns: dict[str, list[Any]],
         pvalue_positions: dict[str, set[int]],
         version: int = 0,
-    ):
+    ) -> None:
         self.schema = schema
         self.tids = tids
         self.columns = columns
         self.version = version
         #: The :class:`PatchBatch` that produced this view from its parent
         #: (None for a cold-built view) — the walkable patch stream.
-        self.last_patch: Optional[PatchBatch] = None
+        self.last_patch: PatchBatch | None = None
         #: Cumulative count of derived payloads evicted (rather than
         #: patched) along this view's patch chain.
         self.derived_evictions: int = 0
@@ -250,10 +251,10 @@ class ColumnView:
         #: byte-identical indexes and selections.
         self.column_backend: str = COLUMN_PYTHON
         self._pvalue_positions = pvalue_positions
-        self._pos_of_tid: Optional[dict[int, int]] = None
+        self._pos_of_tid: dict[int, int] | None = None
         self._sorted: dict[str, Any] = {}
         self._hash: dict[str, Any] = {}
-        self._typed: dict[str, Optional[TypedColumn]] = {}
+        self._typed: dict[str, TypedColumn | None] = {}
         self._derived: dict[Any, tuple[frozenset[str], Any]] = {}
         #: Patch-stream listeners; the *list object* is shared with every
         #: patched descendant, so one subscription observes the whole stream.
@@ -300,7 +301,7 @@ class ColumnView:
 
     # -- lazy per-attribute indexes -----------------------------------------------
 
-    def typed_column(self, attr: str) -> Optional[TypedColumn]:
+    def typed_column(self, attr: str) -> TypedColumn | None:
         """The ndarray mirror of ``attr`` under the numpy backend.
 
         ``None`` whenever the column does not vectorize exactly (see
@@ -319,7 +320,7 @@ class ColumnView:
         self._typed[attr] = typed
         return typed
 
-    def sorted_column(self, attr: str) -> Optional[SortedColumn]:
+    def sorted_column(self, attr: str) -> SortedColumn | None:
         """The sorted concrete values of ``attr`` (None if incomparable)."""
         cached = self._sorted.get(attr)
         if cached is not None:
@@ -347,7 +348,7 @@ class ColumnView:
         self._sorted[attr] = col
         return col
 
-    def hash_column(self, attr: str) -> Optional[dict[Any, list[int]]]:
+    def hash_column(self, attr: str) -> dict[Any, list[int]] | None:
         """value -> positions over concrete cells (None if unhashable)."""
         cached = self._hash.get(attr)
         if cached is not None:
@@ -440,7 +441,7 @@ class ColumnView:
     # -- filtering ------------------------------------------------------------------
 
     def filter_positions(
-        self, attr: str, op: str, value: Any, counter: Optional[WorkCounter] = None
+        self, attr: str, op: str, value: Any, counter: WorkCounter | None = None
     ) -> set[int]:
         """Positions whose cell satisfies ``cell <op> value``.
 
@@ -479,7 +480,7 @@ class ColumnView:
             # The numpy backend serves it as one boolean-mask pass when the
             # column and probe vectorize exactly; either way the scan is
             # charged at full column length.
-            masked: Optional[list[int]] = None
+            masked: list[int] | None = None
             typed = self.typed_column(attr)
             if typed is not None:
                 masked = kernels.mask_filter_positions(typed, op, value)
@@ -531,7 +532,7 @@ class ColumnView:
         return out
 
     def filter_tids(
-        self, attr: str, op: str, value: Any, counter: Optional[WorkCounter] = None
+        self, attr: str, op: str, value: Any, counter: WorkCounter | None = None
     ) -> set[int]:
         tids = self.tids
         return {tids[pos] for pos in self.filter_positions(attr, op, value, counter)}

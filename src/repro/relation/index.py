@@ -14,7 +14,7 @@ index lookups respect possible-worlds semantics.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.probabilistic.value import PValue
 from repro.relation.columnview import ColumnView
@@ -35,7 +35,7 @@ class HashIndex:
     per-attribute array instead of walking Row objects — same contents.
     """
 
-    def __init__(self, relation: Relation, attr: str, view: Optional[ColumnView] = None):
+    def __init__(self, relation: Relation, attr: str, view: ColumnView | None = None) -> None:
         self.attr = attr
         self._map: dict[Any, set[int]] = {}
         if view is not None:
@@ -85,8 +85,8 @@ class GroupIndex:
         self,
         relation: Relation,
         attrs: Sequence[str],
-        view: Optional[ColumnView] = None,
-    ):
+        view: ColumnView | None = None,
+    ) -> None:
         self.attrs = tuple(attrs)
         self._idx = [relation.schema.index_of(a) for a in attrs]
         self._groups: dict[tuple[Any, ...], list[Row]] = {}

@@ -34,7 +34,7 @@ zero behaviour change (enforced by the no-numpy CI job).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 try:  # pragma: no cover - exercised by the no-numpy CI job
     import numpy as _np
@@ -109,7 +109,7 @@ class TypedColumn:
 
     __slots__ = ("kind", "values", "valid", "n_valid")
 
-    def __init__(self, kind: str, values: Any, valid: Any, n_valid: int):
+    def __init__(self, kind: str, values: Any, valid: Any, n_valid: int) -> None:
         self.kind = kind
         self.values = values
         self.valid = valid
@@ -124,7 +124,7 @@ def _int_exact_as_float(v: int) -> bool:
     return -MAX_EXACT_FLOAT_INT <= v <= MAX_EXACT_FLOAT_INT
 
 
-def _as_exact_array(cells: list[Any]) -> Optional[Any]:
+def _as_exact_array(cells: list[Any]) -> Any | None:
     """``np.asarray(cells)`` when the result provably compares like Python.
 
     The C-speed twin of the per-cell inference loops: ``asarray`` parses
@@ -160,7 +160,7 @@ def _as_exact_array(cells: list[Any]) -> Optional[Any]:
 
 def build_typed_column(
     column: list[Any], invalid_positions: Any = ()
-) -> Optional[TypedColumn]:
+) -> TypedColumn | None:
     """Infer a :class:`TypedColumn` for one raw cell list, or ``None``.
 
     ``invalid_positions`` are positions to mask out a priori (the
@@ -267,7 +267,7 @@ def build_typed_column(
 
 def sorted_pairs(
     typed: TypedColumn, column: list[Any]
-) -> tuple[list[Any], list[int], Optional[Any]]:
+) -> tuple[list[Any], list[int], Any | None]:
     """``(values, positions, exact)`` of the concrete cells in sorted order.
 
     Byte-identical to the oracle's ``sorted((value, position) for concrete
@@ -288,7 +288,7 @@ def sorted_pairs(
 
 def argsort_positions(
     cells: list[Any], positions: list[int]
-) -> Optional[tuple[list[int], Any]]:
+) -> tuple[list[int], Any] | None:
     """``positions`` reordered by stable ``sorted((cells[i], positions[i]))``.
 
     One-shot variant for pre-filtered subsets (the theta-join stripe sort,
@@ -360,7 +360,7 @@ def as_index(positions: list[int]) -> Any:
 
 def grouped_positions(
     key_arrays: list[Any], index: Any
-) -> Optional[list[Any]]:
+) -> list[Any] | None:
     """Group row indexes by their key-tuple, first-occurrence ordered.
 
     ``key_arrays`` are same-length ndarrays (one per key attribute, every
@@ -463,7 +463,7 @@ def _probe_compatible(typed: TypedColumn, value: Any) -> bool:
 
 def mask_filter_positions(
     typed: TypedColumn, op: str, value: Any
-) -> Optional[list[int]]:
+) -> list[int] | None:
     """Ascending concrete positions satisfying ``cell <op> value``.
 
     The boolean-mask twin of the oracle's linear ``cell_compare`` scan:
@@ -498,7 +498,7 @@ def mask_filter_positions(
 # -- stripe kernels ------------------------------------------------------------------
 
 
-def numeric_array(numeric: list[Optional[float]]) -> Any:
+def numeric_array(numeric: list[float | None]) -> Any:
     """The stripe's plain-collapsed numeric column as float64, None -> NaN.
 
     (NumPy's float64 conversion renders ``None`` as NaN natively, so this
@@ -541,7 +541,7 @@ def mask_to_positions(mask: Any) -> list[int]:
 _SEARCH_SIDE = {"<": "left", "<=": "right", ">": "right", ">=": "left"}
 
 
-def subset_exact(exact: Optional[Any], keep: list[bool]) -> Optional[Any]:
+def subset_exact(exact: Any | None, keep: list[bool]) -> Any | None:
     """``exact[keep]`` for a Python bool list, or ``None`` when absent.
 
     Carries a sorted column's pre-validated exact array through the
@@ -556,8 +556,8 @@ def search_cuts(
     sorted_values: list[Any],
     probes: list[Any],
     op: str,
-    values_exact: Optional[Any] = None,
-) -> Optional[Any]:
+    values_exact: Any | None = None,
+) -> Any | None:
     """Per-probe bisect cut(s) into a sorted value list, via ``searchsorted``.
 
     The batch twin of ``SortedColumn.range_positions``: for inequality
@@ -599,3 +599,56 @@ def search_cuts(
     if side is None:
         return None
     return _np.searchsorted(values, probe_arr, side=side)
+
+
+#: The kernel-oracle parity registry (checked statically by daisylint
+#: DL008 and exercised dynamically by tests/test_kernels.py): every
+#: public function in this module names the pure-Python computation it
+#: must be byte-identical to — or declares itself a shared knob helper
+#: with no vectorized twin.  Adding a kernel without registering its
+#: oracle (or vice versa) fails `python -m tools.daisylint src`.
+KERNEL_ORACLES: dict[str, str] = {
+    "validate_column_backend": "knob helper (no kernel): shared by both paths",
+    "resolve_column_backend": "knob helper (no kernel): shared by both paths",
+    "build_typed_column": (
+        "identity over the raw Python cell list; dtype inference is "
+        "exact-or-decline (2^53 int bounds, NaN/bool/mixed-family rejection)"
+    ),
+    "sorted_pairs": (
+        "sorted((value, position)) over concrete cells — "
+        "repro.relation.columnview sorted-index build"
+    ),
+    "argsort_positions": (
+        "sorted((value, position)) position list — stable argsort ties "
+        "break by ascending position exactly like the tuple sort"
+    ),
+    "hash_groups": (
+        "dict.setdefault first-occurrence scan — "
+        "repro.relation.columnview.ColumnView hash-index build"
+    ),
+    "arange": "list(range(n))",
+    "as_index": "list(positions) (identity position list)",
+    "grouped_positions": (
+        "dict.setdefault first-occurrence scan — "
+        "repro.relation.columnview.ColumnView group-index build"
+    ),
+    "fd_violating_groups": (
+        "repro.detection.fd_detector lhs-group dict scan (violating "
+        "groups in first-occurrence order, rows in position order)"
+    ),
+    "mask_filter_positions": (
+        "repro.probabilistic.value.cell_compare linear scan with "
+        "None-cells excluded"
+    ),
+    "numeric_array": "the thetajoin stripe's None-padded numeric column list",
+    "numeric_mask_positions": (
+        "repro.detection.thetajoin per-row numeric comparison scan "
+        "(None fails every comparison)"
+    ),
+    "mask_to_positions": "[i for i, hit in enumerate(mask) if hit]",
+    "subset_exact": "[x for x, keep_it in zip(arr, keep) if keep_it]",
+    "search_cuts": (
+        "per-probe bisect_left/bisect_right cuts — "
+        "repro.detection.thetajoin sort-based inequality scan"
+    ),
+}

@@ -14,7 +14,7 @@ candidate satisfies it).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
 from repro.probabilistic.value import PValue, cell_compare, cells_may_equal, plain
@@ -31,7 +31,7 @@ class Row:
 
     __slots__ = ("tid", "values")
 
-    def __init__(self, tid: int, values: tuple[Any, ...]):
+    def __init__(self, tid: int, values: tuple[Any, ...]) -> None:
         self.tid = tid
         self.values = values
 
@@ -88,15 +88,15 @@ class Relation:
     def __init__(
         self,
         schema: Schema,
-        rows: Optional[Iterable[Row]] = None,
+        rows: Iterable[Row] | None = None,
         name: str = "",
         validate: bool = False,
-    ):
+    ) -> None:
         self.schema = schema
         self.name = name
         self._rows: list[Row] = list(rows) if rows is not None else []
         #: Cached columnar view (built on demand, patched across updates).
-        self._colview: Optional[ColumnView] = None
+        self._colview: ColumnView | None = None
         if validate:
             for row in self._rows:
                 schema.validate_row(row.values)
@@ -305,8 +305,8 @@ class Relation:
         keys: Sequence[str],
         aggregates: Sequence[tuple[str, str, str]],
         *,
-        view: Optional[ColumnView] = None,
-        tids: Optional[set[int]] = None,
+        view: ColumnView | None = None,
+        tids: set[int] | None = None,
     ) -> "Relation":
         """Group-by with aggregates.
 
@@ -373,7 +373,7 @@ class Relation:
         view: ColumnView,
         keys: Sequence[str],
         aggregates: Sequence[tuple[str, str, str]],
-        tids: Optional[set[int]],
+        tids: set[int] | None,
     ) -> "Relation":
         """Columnar group-by over the view's group index (same output as the
         row path: groups in first-occurrence order, rows in position order)."""
@@ -388,7 +388,7 @@ class Relation:
                 agg_specs.append((func, view.columns[attr], out))
         order, groups = view.group_index(tuple(keys))
 
-        restrict: Optional[set[int]] = None
+        restrict: set[int] | None = None
         if tids is not None:
             pos_map = view.pos_of_tid
             restrict = {pos_map[t] for t in tids if t in pos_map}
@@ -431,7 +431,10 @@ class Relation:
             return False
         try:
             return bool(new_cell != old_cell)
-        except Exception:
+        except Exception:  # daisylint: disable=DL005
+            # Deliberate breadth: user-supplied cell values may raise
+            # anything from __eq__; "incomparable means changed" is the
+            # documented policy and must not depend on the exception type.
             return True
 
     def cell_diff(self, delta: dict[int, Row]) -> dict[tuple[int, str], Any]:

@@ -27,7 +27,7 @@ class ColumnType(enum.Enum):
     STRING = "string"
     BOOL = "bool"
 
-    def python_types(self) -> tuple[type, ...]:
+    def python_types(self) -> tuple[type[Any], ...]:
         """Return the Python types that are valid for this column type."""
         if self is ColumnType.INT:
             return (int,)
@@ -96,7 +96,7 @@ class Schema:
 
     __slots__ = ("_columns", "_index")
 
-    def __init__(self, columns: Iterable[Column | tuple[str, ColumnType] | str]):
+    def __init__(self, columns: Iterable[Column | tuple[str, ColumnType] | str]) -> None:
         cols: list[Column] = []
         for spec in columns:
             if isinstance(spec, Column):

@@ -18,7 +18,7 @@ the number of possible fixes — reproducing Example 5's
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Sequence
 
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicate import Predicate
@@ -38,7 +38,7 @@ def _atom_name(index: int) -> str:
 
 
 def inversion_sets(
-    dc: DenialConstraint, frozen_atoms: Optional[set[int]] = None
+    dc: DenialConstraint, frozen_atoms: set[int] | None = None
 ) -> list[tuple[int, ...]]:
     """Subset-minimal sets of atom indexes to invert, via the SAT solver.
 
@@ -97,8 +97,8 @@ def compute_dc_fixes(
     relation: Relation,
     dc: DenialConstraint,
     violations: Sequence[ViolationPair],
-    provenance: Optional[ProvenanceStore] = None,
-    counter: Optional[WorkCounter] = None,
+    provenance: ProvenanceStore | None = None,
+    counter: WorkCounter | None = None,
 ) -> RepairDelta:
     """Candidate fixes for a batch of DC violation pairs.
 
@@ -214,8 +214,8 @@ def _atom_fix_options(
 def apply_dc_delta(
     relation: Relation,
     delta: RepairDelta,
-    provenance: Optional[ProvenanceStore] = None,
-    counter: Optional[WorkCounter] = None,
+    provenance: ProvenanceStore | None = None,
+    counter: WorkCounter | None = None,
 ) -> Relation:
     """Apply DC fixes in place (same mechanics as the FD path)."""
     from repro.repair.fd_repair import apply_fd_delta

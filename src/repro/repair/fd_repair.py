@@ -25,7 +25,7 @@ candidate so multi-rule merges re-weight probabilities by union of supports.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
@@ -44,7 +44,7 @@ def _original_cell(
     row: Row,
     idx: int,
     attr: str,
-    provenance: Optional[ProvenanceStore],
+    provenance: ProvenanceStore | None,
 ) -> Any:
     """A cell's original (pre-repair) value for grouping purposes."""
     if provenance is not None:
@@ -61,7 +61,7 @@ def _original_value(
     tid: int,
     cell: Any,
     attr: str,
-    provenance: Optional[ProvenanceStore],
+    provenance: ProvenanceStore | None,
 ) -> Any:
     """Columnar twin of :func:`_original_cell` (cell already in hand)."""
     if provenance is not None:
@@ -76,7 +76,7 @@ def _original_value(
 def fd_grouping_keys(
     view: ColumnView,
     fd: FunctionalDependency,
-    provenance: Optional[ProvenanceStore],
+    provenance: ProvenanceStore | None,
 ) -> "_FdGroupingKeys":
     """The cached per-position grouping keys of ``fd`` over ``view``."""
     return view.derived(
@@ -103,7 +103,7 @@ class _FdGroupingKeys:
         self,
         view: ColumnView,
         fd: FunctionalDependency,
-        provenance: Optional[ProvenanceStore],
+        provenance: ProvenanceStore | None,
     ):
         self.lhs = tuple(fd.lhs)
         self.rhs = fd.rhs
@@ -141,7 +141,7 @@ class _FdGroupingKeys:
         if lhs_positions:
             lhs_cols = [view.columns[a] for a in self.lhs]
             lhs_keys = list(self.lhs_keys)
-            for pos in lhs_positions:
+            for pos in sorted(lhs_positions):
                 lhs_keys[pos] = tuple(
                     _original_value(tids[pos], col[pos], attr, self.provenance)
                     for col, attr in zip(lhs_cols, self.lhs)
@@ -184,11 +184,11 @@ def compute_fd_fixes(
     relation: Relation,
     fd: FunctionalDependency,
     scope_tids: Iterable[int],
-    provenance: Optional[ProvenanceStore] = None,
-    counter: Optional[WorkCounter] = None,
-    skip_group_keys: Optional[set[tuple[Any, ...]]] = None,
-    consult_tids: Optional[Iterable[int]] = None,
-    view: Optional[ColumnView] = None,
+    provenance: ProvenanceStore | None = None,
+    counter: WorkCounter | None = None,
+    skip_group_keys: set[tuple[Any, ...]] | None = None,
+    consult_tids: Iterable[int] | None = None,
+    view: ColumnView | None = None,
 ) -> tuple[RepairDelta, set[tuple[Any, ...]]]:
     """Compute probabilistic fixes for FD violations inside ``scope_tids``.
 
@@ -383,8 +383,8 @@ def compute_fd_fixes(
 def apply_fd_delta(
     relation: Relation,
     delta: RepairDelta,
-    provenance: Optional[ProvenanceStore] = None,
-    counter: Optional[WorkCounter] = None,
+    provenance: ProvenanceStore | None = None,
+    counter: WorkCounter | None = None,
 ) -> Relation:
     """Apply a repair delta in place of the original cells.
 

@@ -53,11 +53,9 @@ def _canonical_value(value) -> str:
 
 def deltas_equivalent(a: RepairDelta, b: RepairDelta) -> bool:
     """Are two deltas equal up to candidate order and world relabeling?"""
-    keys_a = set(a.fixes)
-    keys_b = set(b.fixes)
-    if keys_a != keys_b:
+    if set(a.fixes) != set(b.fixes):
         return False
-    for key in keys_a:
+    for key in a.fixes:
         if normalize_fix(a.fixes[key]) != normalize_fix(b.fixes[key]):
             return False
     return True

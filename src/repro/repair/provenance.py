@@ -16,7 +16,7 @@ from scratch (the Table 7 experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from typing import Any, Hashable
 
 
 @dataclass
@@ -44,7 +44,7 @@ class ProvenanceStore:
             self._cells[key] = CellProvenance(original=value)
         self._cells[key].rules.add(rule)
 
-    def original(self, tid: int, attr: str) -> Optional[Any]:
+    def original(self, tid: int, attr: str) -> Any | None:
         """The original value of a repaired cell, or None if never repaired."""
         prov = self._cells.get((tid, attr))
         return prov.original if prov is not None else None

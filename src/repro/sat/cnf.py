@@ -14,7 +14,7 @@ positive literal ``v`` and its negation ``-v``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator
 
 from repro.errors import SatError
 
@@ -30,7 +30,7 @@ def check_literal(lit: int) -> None:
 class CnfFormula:
     """A conjunction of disjunctive clauses over integer variables."""
 
-    def __init__(self, clauses: Optional[Iterable[Iterable[Literal]]] = None):
+    def __init__(self, clauses: Iterable[Iterable[Literal]] | None = None):
         self._clauses: list[Clause] = []
         self._num_vars = 0
         if clauses:

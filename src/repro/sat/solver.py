@@ -16,12 +16,12 @@ sets of *false* atoms, matching the repair-minimality principle.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.sat.cnf import Clause, CnfFormula, Literal
 
 
-def _simplify(clauses: list[Clause], literal: Literal) -> Optional[list[Clause]]:
+def _simplify(clauses: list[Clause], literal: Literal) -> list[Clause] | None:
     """Assign ``literal`` true: drop satisfied clauses, shrink the rest.
 
     Returns None if an empty clause arises (conflict).
@@ -43,7 +43,7 @@ def _simplify(clauses: list[Clause], literal: Literal) -> Optional[list[Clause]]
 
 def _unit_propagate(
     clauses: list[Clause], assignment: dict[int, bool]
-) -> Optional[list[Clause]]:
+) -> list[Clause] | None:
     """Propagate unit clauses to fixpoint, updating ``assignment`` in place."""
     while True:
         unit = next((c[0] for c in clauses if len(c) == 1), None)
@@ -76,7 +76,7 @@ def _choose_branch_variable(clauses: list[Clause]) -> int:
     return max(counts, key=lambda v: (counts[v], -v))
 
 
-def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> Optional[dict[int, bool]]:
+def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> dict[int, bool] | None:
     clauses_or_none = _unit_propagate(clauses, assignment)
     if clauses_or_none is None:
         return None
@@ -103,7 +103,7 @@ def _dpll(clauses: list[Clause], assignment: dict[int, bool]) -> Optional[dict[i
     return None
 
 
-def solve(formula: CnfFormula) -> Optional[dict[int, bool]]:
+def solve(formula: CnfFormula) -> dict[int, bool] | None:
     """Return a satisfying total assignment, or None if unsatisfiable.
 
     Variables not constrained by any clause are assigned True.

@@ -1,0 +1,5 @@
+"""Repository tooling (not shipped with the ``repro`` package).
+
+Currently one tool lives here: :mod:`tools.daisylint`, the AST
+invariant-lint suite described in ``docs/static-analysis.md``.
+"""

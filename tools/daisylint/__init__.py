@@ -1,0 +1,42 @@
+"""daisylint: AST invariant lints + baseline gate for the Daisy engine.
+
+Usage::
+
+    python -m tools.daisylint src                # lint, gate on baseline
+    python -m tools.daisylint --list-rules       # rule catalog
+    python -m tools.daisylint --write-baseline   # regenerate baseline
+
+Rule catalog and policy live in ``docs/static-analysis.md``.  Importing
+this package registers the full rule suite.
+"""
+
+from tools.daisylint import rules as _rules  # noqa: F401  (registers rules)
+from tools.daisylint.core import (
+    Baseline,
+    Finding,
+    ModuleInfo,
+    Rule,
+    RULES,
+    RunResult,
+    fingerprint_findings,
+    iter_rules,
+    lint_module,
+    register,
+    run,
+)
+from tools.daisylint.cli import main
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "RULES",
+    "RunResult",
+    "fingerprint_findings",
+    "iter_rules",
+    "lint_module",
+    "main",
+    "register",
+    "run",
+]

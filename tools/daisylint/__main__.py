@@ -1,0 +1,7 @@
+"""Entry point for ``python -m tools.daisylint``."""
+
+import sys
+
+from tools.daisylint.cli import main
+
+sys.exit(main())
