@@ -1,0 +1,247 @@
+"""Storage pushdown — indexed SQLite windows vs full-stripe materialization.
+
+Two grids, both at 10x the laptop scale of the figure benches and both
+under a capped ``memory_budget_mb``:
+
+* **Fig.5-style selectivity grid** — the theta-join candidate window
+  (``low <= value <= high``) served as one indexed ``BETWEEN`` scan by the
+  SQLite mirror vs materializing the full column from its stripe chunks
+  and scanning in Python.  Pushdown must clear 2x at low selectivity,
+  where the index touches a handful of rows and materialization still
+  pays the whole column.
+
+* **Fig.9-style storage-mode grid** — the same FD cleaning workload per
+  violation rate across ``memory`` / ``mmap`` / ``sqlite`` / ``auto``,
+  each mode in its own subprocess so peak RSS (``resource.getrusage``)
+  is attributable per cell.  Work units must be byte-identical across
+  modes (the parity contract), spill modes must keep their resident
+  column bytes at the budget, and ``storage="auto"`` must land within
+  1.2x of the best forced backend that respects the memory cap
+  (``memory`` is recorded as the uncapped reference — under a real
+  memory ceiling it is not an admissible operating point).
+
+Assertions apply at full scale only; smoke runs (``REPRO_BENCH_SCALE``
+< 1.0) just record.  Results go to ``BENCH_pushdown.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from _harness import bench_scale, record_benchmark, scaled
+from repro.storage.sqlitebackend import SqliteBackend
+from repro.storage.stripestore import StripeStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NUM_ROWS = scaled(30000, minimum=400)
+NUM_ORDERKEYS = scaled(1500, minimum=40)
+NUM_SUPPKEYS = 60
+NUM_QUERIES = scaled(10, minimum=4)
+RATES = (0.2, 0.6)
+MODES = ("memory", "mmap", "sqlite", "auto")
+BUDGET_MB = 4
+SELECTIVITIES = (0.001, 0.01, 0.1)
+
+
+# -- Fig.5-style grid: window pushdown vs stripe materialization ---------------
+
+
+def _window_column(n: int) -> list[float]:
+    # Deterministic, collision-free, non-trivially ordered float column.
+    return [round((i * 7919) % n + i / n, 6) for i in range(n)]
+
+
+def _best_of(fn, repeats: int = 5) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_window_pushdown_vs_materialize(tmp_path):
+    values = _window_column(NUM_ROWS)
+    store = StripeStore(tmp_path / "stripes", memory_budget_mb=0)
+    backend = SqliteBackend(tmp_path / "mirror.db")
+    grid: dict[str, dict] = {}
+    try:
+        store.put_column("price", values)
+        mirrored = backend.load_table({"price": values})
+        assert "price" in mirrored
+        generation = store.generation("price")
+        ordered = sorted(values)
+        for fraction in SELECTIVITIES:
+            lo_idx = len(ordered) // 2
+            hi_idx = min(len(ordered) - 1, lo_idx + max(1, int(len(ordered) * fraction)))
+            low, high = ordered[lo_idx], ordered[hi_idx]
+
+            push_secs, pushed = _best_of(
+                lambda: backend.range_window("price", low, high)
+            )
+
+            def materialize() -> list[int]:
+                column = store.load_column("price", generation)
+                return [
+                    pos for pos, v in enumerate(column)
+                    if v is not None and low <= v <= high
+                ]
+
+            mat_secs, scanned = _best_of(materialize)
+            assert pushed is not None
+            assert sorted(pushed) == sorted(scanned)  # type: ignore[arg-type]
+            grid[f"{fraction:g}"] = {
+                "rows_matched": len(scanned),  # type: ignore[arg-type]
+                "pushdown_seconds": push_secs,
+                "materialize_seconds": mat_secs,
+                "speedup": mat_secs / push_secs if push_secs > 0 else float("inf"),
+            }
+    finally:
+        backend.close()
+        store.close()
+
+    record_benchmark(
+        "pushdown", {"window_vs_materialize": {"rows": NUM_ROWS, "grid": grid}}
+    )
+    for fraction, cell in grid.items():
+        print(
+            f"  selectivity {fraction:>6}: pushdown {cell['pushdown_seconds']*1e3:8.3f}ms  "
+            f"materialize {cell['materialize_seconds']*1e3:8.3f}ms  "
+            f"({cell['speedup']:.1f}x, {cell['rows_matched']} rows)"
+        )
+    if bench_scale() >= 1.0:
+        low_sel = grid[f"{min(SELECTIVITIES):g}"]
+        assert low_sel["speedup"] >= 2.0, (
+            "indexed BETWEEN should beat full-stripe materialization by 2x "
+            f"at {min(SELECTIVITIES):g} selectivity, got {low_sel['speedup']:.2f}x"
+        )
+
+
+# -- Fig.9-style grid: storage modes under a capped budget ---------------------
+
+#: Runs one (mode, rate) cell and prints a CELL= JSON line.  A subprocess
+#: per cell is what makes ru_maxrss attributable to that cell alone.
+_CELL_SHIM = """\
+import json, resource, sys, time
+from repro import Daisy, DaisyConfig
+from repro.datasets import ssb, workloads
+
+cfg = json.loads(sys.argv[1])
+dirty, fd, _ = ssb.dirty_lineorder(
+    cfg["rows"], cfg["orderkeys"], cfg["suppkeys"],
+    error_group_fraction=cfg["rate"], seed=105,
+)
+queries = workloads.range_queries(
+    "lineorder", "suppkey", cfg["suppkeys"], cfg["queries"],
+    projection="orderkey, suppkey",
+)
+daisy = Daisy(config=DaisyConfig(
+    use_cost_model=False, storage=cfg["mode"],
+    memory_budget_mb=cfg["budget_mb"],
+))
+daisy.register_table("lineorder", dirty)
+daisy.add_rule("lineorder", fd)
+started = time.perf_counter()
+with daisy.connect() as session:
+    for sql in queries:
+        session.execute(sql)
+out = {
+    "seconds": time.perf_counter() - started,
+    "work_units": daisy.total_work(),
+    "pinned": daisy.states["lineorder"].storage,
+    "resident_bytes": 0, "spilled_bytes": 0,
+    "evictions": 0, "chunk_reads": 0, "queries_served": 0,
+}
+for t in daisy.storage_manager.tables():
+    out["resident_bytes"] += t.store.tracker.resident_bytes
+    out["spilled_bytes"] += t.store.spilled_bytes()
+    out["evictions"] += t.store.tracker.evictions
+    out["chunk_reads"] += t.store.chunk_reads
+    if t.sqlite is not None:
+        out["queries_served"] += t.sqlite.queries_served
+daisy.close()
+out["peak_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print("CELL=" + json.dumps(out))
+"""
+
+
+def _run_cell(mode: str, rate: float) -> dict:
+    cfg = {
+        "rows": NUM_ROWS, "orderkeys": NUM_ORDERKEYS,
+        "suppkeys": NUM_SUPPKEYS, "queries": NUM_QUERIES,
+        "rate": rate, "mode": mode, "budget_mb": BUDGET_MB,
+    }
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _CELL_SHIM, json.dumps(cfg)],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=900,
+    )
+    assert proc.returncode == 0, f"cell {mode}@{rate} failed:\n{proc.stderr}"
+    for line in proc.stdout.splitlines():
+        if line.startswith("CELL="):
+            return json.loads(line[len("CELL="):])
+    pytest.fail(f"cell {mode}@{rate} printed no CELL line:\n{proc.stdout}")
+
+
+def test_storage_mode_grid():
+    grid: dict[str, dict[str, dict]] = {}
+    for rate in RATES:
+        grid[f"{rate:g}"] = {}
+        for mode in MODES:
+            cell = _run_cell(mode, rate)
+            grid[f"{rate:g}"][mode] = cell
+            print(
+                f"  rate {rate:.0%} {mode:>7} (pinned {cell['pinned']:>7}): "
+                f"{cell['seconds']:7.2f}s  rss {cell['peak_rss_kb']/1024:6.0f}MB  "
+                f"resident {cell['resident_bytes']/1e6:5.1f}MB  "
+                f"evictions {cell['evictions']}"
+            )
+
+    record_benchmark(
+        "pushdown",
+        {
+            "storage_mode_grid": {
+                "rows": NUM_ROWS, "queries": NUM_QUERIES,
+                "memory_budget_mb": BUDGET_MB, "grid": grid,
+            }
+        },
+    )
+
+    budget_bytes = BUDGET_MB * 1024 * 1024
+    for rate_key, cells in grid.items():
+        work = {mode: cells[mode]["work_units"] for mode in MODES}
+        assert len(set(work.values())) == 1, (
+            f"work units diverged across storage modes at rate {rate_key}: {work}"
+        )
+        if bench_scale() < 1.0:
+            continue
+        for mode in ("mmap", "sqlite"):
+            # The LRU tracker keeps the entry being actively read even
+            # when it alone exceeds the budget, so allow one column of
+            # slack over the configured ceiling.
+            assert cells[mode]["resident_bytes"] <= 2 * budget_bytes, (
+                f"{mode} resident bytes {cells[mode]['resident_bytes']} "
+                f"not capped near budget {budget_bytes} at rate {rate_key}"
+            )
+            assert cells[mode]["evictions"] > 0
+            assert cells[mode]["chunk_reads"] > 0
+        best_capped = min(cells["mmap"]["seconds"], cells["sqlite"]["seconds"])
+        auto_ratio = cells["auto"]["seconds"] / best_capped
+        print(f"  rate {rate_key}: auto is {auto_ratio:.2f}x the best capped backend")
+        assert auto_ratio <= 1.2, (
+            f"storage='auto' ({cells['auto']['seconds']:.2f}s, pinned "
+            f"{cells['auto']['pinned']}) not within 1.2x of the best "
+            f"budget-respecting backend ({best_capped:.2f}s) at rate {rate_key}"
+        )

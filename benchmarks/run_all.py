@@ -6,11 +6,15 @@ Usage::
 
 Each ``bench_*.py`` module is executed as its own pytest run (the files do
 not match pytest's default collection pattern, so they are passed
-explicitly).  Modules that honor ``REPRO_BENCH_SCALE`` (fig05, fig09) shrink
-with ``--scale``; the rest run at their built-in laptop scale.  Per-module
-outcome and duration, plus any ``BENCH_<name>.json`` payloads the modules
-recorded, are merged into one ``BENCH_PR.json`` at the repo root — the
-perf-trajectory file that accumulates across PRs.
+explicitly).  Modules that honor ``REPRO_BENCH_SCALE`` (fig05, fig09,
+pushdown) shrink with ``--scale``; the rest run at their built-in laptop
+scale.  Per-module outcome, duration, and peak RSS (the child's own
+``resource.getrusage`` high-water mark, fork-pool workers included), plus
+any ``BENCH_<name>.json`` payloads the modules recorded, are merged into
+one ``BENCH_PR.json`` at the repo root — the perf-trajectory file that
+accumulates across PRs.  Peak RSS is what makes the storage modes
+comparable: a spill backend must show a lower high-water mark than
+``storage="memory"`` at the same scale, not just similar latency.
 """
 
 from __future__ import annotations
@@ -25,6 +29,26 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+#: Marker line the child shim prints after pytest finishes.  ru_maxrss is
+#: KiB on Linux; the max over SELF and CHILDREN covers fork-pool workers.
+_RSS_MARKER = "RUN_ALL_MAXRSS_KB="
+
+_CHILD_SHIM = """\
+import sys
+import pytest
+rc = pytest.main(sys.argv[1:])
+try:
+    import resource
+    peak = max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
+    print("{marker}%d" % peak, flush=True)
+except ImportError:
+    pass
+sys.exit(int(rc))
+""".format(marker=_RSS_MARKER)
 
 
 def bench_modules(only: list[str] | None) -> list[Path]:
@@ -43,9 +67,10 @@ def run_module(path: Path, scale: float, timeout: int) -> dict:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     started = time.perf_counter()
+    peak_rss_kb: int | None = None
     try:
         proc = subprocess.run(
-            [sys.executable, "-m", "pytest", str(path), "-q", "--no-header"],
+            [sys.executable, "-c", _CHILD_SHIM, str(path), "-q", "--no-header"],
             cwd=REPO_ROOT,
             env=env,
             capture_output=True,
@@ -53,12 +78,17 @@ def run_module(path: Path, scale: float, timeout: int) -> dict:
             timeout=timeout,
         )
         outcome = "passed" if proc.returncode == 0 else "failed"
-        tail = (proc.stdout or "").strip().splitlines()[-1:] or [""]
+        lines = (proc.stdout or "").strip().splitlines()
+        for line in lines:
+            if line.startswith(_RSS_MARKER):
+                peak_rss_kb = int(line[len(_RSS_MARKER):])
+        tail = [ln for ln in lines if not ln.startswith(_RSS_MARKER)][-1:] or [""]
     except subprocess.TimeoutExpired:
         outcome, tail = "timeout", [f"exceeded {timeout}s"]
     return {
         "outcome": outcome,
         "seconds": round(time.perf_counter() - started, 3),
+        "peak_rss_kb": peak_rss_kb,
         "summary": tail[0],
     }
 
@@ -84,8 +114,11 @@ def main() -> int:
         name = path.stem.replace("bench_", "")
         print(f"[run_all] {path.name} ...", flush=True)
         results[name] = run_module(path, args.scale, args.timeout)
+        rss = results[name]["peak_rss_kb"]
+        rss_note = f", peak {rss / 1024:.0f} MB" if rss else ""
         print(f"[run_all]   {results[name]['outcome']} "
-              f"in {results[name]['seconds']}s — {results[name]['summary']}")
+              f"in {results[name]['seconds']}s{rss_note} — "
+              f"{results[name]['summary']}")
 
     # Fold in the BENCH_<name>.json files the modules recorded.  Scale-
     # suffixed files are leftovers from smoke/experiment runs at other

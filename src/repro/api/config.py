@@ -25,6 +25,7 @@ from repro.detection.maintenance import MAINTENANCE_AUTO, validate_maintenance_m
 from repro.parallel.pool import POOL_THREAD, validate_pool_kind
 from repro.relation.columnview import BACKEND_COLUMNAR, validate_backend
 from repro.relation.kernels import COLUMN_AUTO, validate_column_backend
+from repro.storage.modes import STORAGE_MEMORY, validate_storage_mode
 
 #: ``parallelism="auto"``: the planner picks pool kind / workers / shards per pass.
 PARALLELISM_AUTO = "auto"
@@ -130,6 +131,27 @@ class DaisyConfig:
         strategies are byte-identical in structure, checked-cell
         invalidation, violations, repairs, and work units; they differ only
         in maintenance cost.
+    storage:
+        Where a table's columns live between passes: ``"memory"`` (default
+        — fully RAM-resident, the historical behaviour and the parity
+        oracle), ``"mmap"`` (columns spill to typed on-disk stripe chunks
+        and are memory-mapped back on demand under the
+        ``memory_budget_mb`` LRU residency budget), ``"sqlite"`` (stripe
+        spill *plus* a SQLite mirror that serves selection filters,
+        order-by, and inequality-join candidate windows as indexed range
+        scans, returning only candidate position sets), or ``"auto"``
+        (the adaptive planner prices the three per table at session
+        connect and pins the choice — see ``docs/cost-model.md``).  Like
+        ``backend`` this is data-scoped: baked into each table at
+        registration, and a connecting session must agree with it.  All
+        modes are byte-identical in violations, repairs, relations, sort
+        orders, and work units; only where the bytes live differs.
+    memory_budget_mb:
+        Resident-column budget (in MiB) for the spill-to-disk modes.  ``0``
+        (default) means unlimited; a positive budget makes the stripe
+        store's LRU tracker evict least-recently-used loaded columns once
+        their estimated bytes exceed it, so relations larger than RAM can
+        register, detect, and repair.  Data-scoped alongside ``storage``.
     """
 
     use_cost_model: bool = True
@@ -145,6 +167,8 @@ class DaisyConfig:
     auto_max_workers: int = 0
     column_backend: str = COLUMN_AUTO
     matrix_maintenance: str = MAINTENANCE_AUTO
+    storage: str = STORAGE_MEMORY
+    memory_budget_mb: int = 0
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
@@ -152,6 +176,9 @@ class DaisyConfig:
         validate_pool_kind(self.pool)
         validate_maintenance_mode(self.matrix_maintenance)
         validate_batch_strategy(self.batch_strategy)
+        validate_storage_mode(self.storage)
+        if self.memory_budget_mb < 0:
+            raise ValueError("memory_budget_mb must be >= 0")
         if self.expected_queries < 1:
             raise ValueError("expected_queries must be >= 1")
         if not 0.0 <= self.dc_error_threshold <= 1.0:

@@ -47,6 +47,7 @@ from repro.query.planner import build_plan, explain as explain_plan, resolve_que
 from repro.query.sql import parse_sql
 from repro.relation.kernels import COLUMN_AUTO
 from repro.relation.relation import Relation
+from repro.storage.modes import STORAGE_AUTO
 
 from repro.api.batch import BatchQuery, BatchResult, run_batch
 from repro.api.config import DaisyConfig
@@ -192,6 +193,21 @@ class Session:
                         table_name, len(state.relation.rows)
                     )
                     state.pin_column_backend(decision.choice)
+        # Price the storage="auto" knob the same way.  Storage, too, is
+        # data-scoped and byte-identical across alternatives: the pinned
+        # mode decides where column bytes live (RAM, mmap stripes, or the
+        # SQLite pushdown mirror), never what the engine computes.
+        if self.config.storage == STORAGE_AUTO:
+            for table_name, state in self.states.items():
+                if state.storage == STORAGE_AUTO:
+                    decision = self.planner.choose_storage(
+                        table_name,
+                        len(state.relation.rows),
+                        len(state.relation.schema.names),
+                        self.config.memory_budget_mb,
+                        theta_rules=bool(state.dc_rules()),
+                    )
+                    state.pin_storage(decision.choice)
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -205,10 +221,15 @@ class Session:
     def close(self) -> None:
         """Mark the session closed and release its executor pool.
 
-        Further execution raises SessionError; closing twice is a no-op.
+        Also releases every storage OS handle (SQLite connections; stripe
+        reads are already transient) — the engine reopens them lazily if
+        another session connects, and ``Daisy.close()`` deletes the spill
+        files themselves.  Further execution raises SessionError; closing
+        twice is a no-op.
         """
         if self._parallel is not None:
             self._parallel.close()
+        self._engine.storage_manager.release_handles()
         self._closed = True
 
     @property

@@ -253,6 +253,7 @@ DECISION_POOL = "pool"
 DECISION_BATCH = "batch_strategy"
 DECISION_STRATEGY = "strategy_switch"
 DECISION_COLUMN_BACKEND = "column_backend"
+DECISION_STORAGE = "storage"
 
 #: Calibration buckets (``PassDecision.pass_kind``): one observed/estimated
 #: ratio is maintained per kind of priced work.
@@ -260,6 +261,7 @@ PASS_DC_CHECK = "dc_check"
 PASS_FD_RELAX = "fd_relax"
 PASS_BATCH = "batch"
 PASS_KERNEL = "kernel"
+PASS_STORAGE = "storage"
 
 
 @dataclass
@@ -534,6 +536,91 @@ class AdaptivePlanner:
         decision = PassDecision(
             kind=DECISION_COLUMN_BACKEND,
             pass_kind=PASS_KERNEL,
+            table=table,
+            choice=choice,
+            estimated_cost=alternatives[choice],
+            raw_units=units,
+            alternatives=alternatives,
+        )
+        self._append(decision)
+        return decision
+
+    # -- (2c) per-table storage backend ---------------------------------------------
+
+    #: Storage pricing: fixed spill cost (stripe encode of the whole table,
+    #: amortized over the session), the modeled per-unit drag of decoding
+    #: mmap-ed chunks on reload, the extra one-off cost of building the
+    #: SQLite mirror + indexes, and the modeled per-unit advantage of
+    #: serving filters/windows as indexed range scans instead of full
+    #: column materialization.
+    STORAGE_SPILL_OVERHEAD = 512.0
+    STORAGE_MMAP_DRAG = 1.5
+    STORAGE_SQLITE_MIRROR = 1024.0
+    STORAGE_PUSHDOWN_FACTOR = 1.25
+
+    def choose_storage(
+        self,
+        table: str,
+        n_rows: int,
+        n_cols: int,
+        memory_budget_mb: int = 0,
+        theta_rules: bool = False,
+    ) -> PassDecision:
+        """Price the ``storage="auto"`` knob for one table.
+
+        All three modes are byte-identical in every output (the storage
+        parity invariant), so — like :meth:`choose_column_backend` — this
+        is pure wall-clock pricing over one representative full-table
+        touch of ``n_rows × n_cols`` cells, rescaled by the ``storage``
+        calibration bucket.  A table whose modeled resident footprint fits
+        ``memory_budget_mb`` stays in memory (always fastest: no encode /
+        decode / SQL round-trips); one that does not *must* spill, and the
+        planner picks mmap stripes vs the SQLite pushdown mirror.
+
+        ``theta_rules`` is whether the table carries general denial
+        constraints: the mirror's pushdown surfaces — order-by for the
+        theta-join rebuild sort, indexed ``BETWEEN`` candidate windows —
+        only fire on that path.  An FD-only table never consumes them, so
+        for it the mirror is pure overhead (every repair patch also pays
+        an ``UPDATE`` round-trip) and plain stripes always win.
+        """
+        from repro.storage.modes import (
+            STORAGE_MEMORY,
+            STORAGE_MMAP,
+            STORAGE_SQLITE,
+            storage_fits_budget,
+        )
+
+        units = float(max(1, n_rows) * max(1, n_cols))
+        memory_est = self.calibration.calibrated(PASS_STORAGE, units)
+        mmap_est = self.calibration.calibrated(
+            PASS_STORAGE, self.STORAGE_SPILL_OVERHEAD + units * self.STORAGE_MMAP_DRAG
+        )
+        sqlite_factor = (
+            self.STORAGE_PUSHDOWN_FACTOR if theta_rules else self.STORAGE_MMAP_DRAG
+        )
+        sqlite_est = self.calibration.calibrated(
+            PASS_STORAGE,
+            self.STORAGE_SPILL_OVERHEAD
+            + self.STORAGE_SQLITE_MIRROR
+            + units * sqlite_factor,
+        )
+        alternatives = {
+            STORAGE_MEMORY: memory_est,
+            STORAGE_MMAP: mmap_est,
+            STORAGE_SQLITE: sqlite_est,
+        }
+        if storage_fits_budget(n_rows, n_cols, memory_budget_mb):
+            choice = STORAGE_MEMORY
+        else:
+            # Over budget: memory is not an admissible choice — the budget
+            # is a correctness constraint, not a preference.
+            choice = (
+                STORAGE_MMAP if mmap_est < sqlite_est else STORAGE_SQLITE
+            )
+        decision = PassDecision(
+            kind=DECISION_STORAGE,
+            pass_kind=PASS_STORAGE,
             table=table,
             choice=choice,
             estimated_cost=alternatives[choice],

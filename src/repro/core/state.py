@@ -43,6 +43,13 @@ from repro.relation.kernels import (
 )
 from repro.relation.relation import Relation, Row
 from repro.repair.provenance import ProvenanceStore
+from repro.storage.modes import (
+    STORAGE_AUTO,
+    STORAGE_MEMORY,
+    resolve_storage_mode,
+    validate_storage_mode,
+)
+from repro.storage.provider import TableStorage
 
 
 #: Pending patch batches tolerated before lagging matrices are force-synced
@@ -96,6 +103,19 @@ class TableState:
     column_backend: str = COLUMN_AUTO
     #: Patch-vs-rebuild policy for incremental matrix maintenance.
     maintenance: MaintenancePolicy = field(default_factory=MaintenancePolicy)
+    #: Storage mode for this table's columns: "memory" (default), "mmap",
+    #: "sqlite", or "auto" (resolved statically per access on the table's
+    #: size/budget; a connecting session's planner may pin it).  Data-
+    #: scoped like :attr:`backend`; every mode is byte-identical in results.
+    storage: str = STORAGE_MEMORY
+    #: Resident-column budget (MiB) for the spill modes; 0 = unlimited.
+    memory_budget_mb: int = 0
+    #: Factory for this table's :class:`~repro.storage.provider.TableStorage`
+    #: (wired by the engine at registration; None = in-memory only).
+    storage_factory: "Any | None" = None
+    #: The attached per-table storage facade (created lazily on the first
+    #: columnar view built under a spill mode).
+    storage_provider: "TableStorage | None" = None
     #: Data epoch: bumped by every external update batch that changed a
     #: cell.  Mirrors the session plan cache's registration epoch, but for
     #: *data* — plans survive data updates, matrices and statistics do not.
@@ -113,6 +133,7 @@ class TableState:
     def __post_init__(self) -> None:
         validate_backend(self.backend)
         validate_column_backend(self.column_backend)
+        validate_storage_mode(self.storage)
 
     def resolved_column_backend(self) -> str:
         """The concrete kernel backend ("numpy" or "python") for this table.
@@ -137,13 +158,55 @@ class TableState:
         if self.column_backend == COLUMN_AUTO:
             self.column_backend = validate_column_backend(choice)
 
+    def resolved_storage(self) -> str:
+        """The concrete storage mode for this table.
+
+        ``auto`` resolves statically on the table's size and budget (the
+        planner-priced resolution in :meth:`pin_storage` may have replaced
+        it with a concrete choice at session connect).
+        """
+        return resolve_storage_mode(
+            self.storage,
+            len(self.relation.rows),
+            len(self.relation.schema.names),
+            self.memory_budget_mb,
+            theta_rules=bool(self.dc_rules()),
+        )
+
+    def pin_storage(self, choice: str) -> None:
+        """Replace an ``auto`` storage knob with a planner-priced choice.
+
+        Called by the first :class:`repro.api.Session` to connect; a no-op
+        once the mode is concrete (data-scoped, like :attr:`backend`).
+        All modes are byte-identical in results, so pinning moves only
+        where the bytes live.
+        """
+        if self.storage == STORAGE_AUTO:
+            self.storage = validate_storage_mode(choice)
+
     def column_view(self) -> ColumnView | None:
         """The relation's columnar view, or None on the row-store backend."""
         if self.backend != BACKEND_COLUMNAR:
             return None
         view = self.relation.column_view()
         view.column_backend = self.resolved_column_backend()
+        self._ensure_storage(view)
         return view
+
+    def _ensure_storage(self, view: ColumnView) -> None:
+        """Attach the spill/pushdown storage to a view (spill modes only).
+
+        Lazy and idempotent: the facade is created on the first columnar
+        view built under a spill mode, re-attaches after a cold rebuild
+        (row churn produces a plain-dict view), and leaves patched
+        descendants — which already carry storage-backed columns — alone.
+        """
+        mode = self.resolved_storage()
+        if mode == STORAGE_MEMORY or self.storage_factory is None:
+            return
+        if self.storage_provider is None:
+            self.storage_provider = self.storage_factory(mode)
+        self.storage_provider.ensure_attached(view)
 
     # -- rule management -----------------------------------------------------------
 
@@ -158,10 +221,12 @@ class TableState:
             self.statistics.add(rule_key(rule), stats)
         else:
             dc = as_dc(rule)
+            self.column_view()  # attach storage before the matrix snapshots
             self.matrices[rule_key(rule)] = ThetaJoinMatrix(
                 self.relation, dc, sqrt_p=self.sqrt_partitions,
                 counter=self.counter, backend=self.backend,
                 column_backend=self.resolved_column_backend(),
+                storage=self.storage_provider,
             )
             self.matrix_epochs[rule_key(rule)] = self.data_epoch
 
@@ -185,10 +250,12 @@ class TableState:
         key = rule_key(dc)
         matrix = self.matrices.get(key)
         if matrix is None:
+            self.column_view()  # attach storage before the matrix snapshots
             matrix = ThetaJoinMatrix(
                 self.relation, dc, sqrt_p=self.sqrt_partitions,
                 counter=self.counter, backend=self.backend,
                 column_backend=self.resolved_column_backend(),
+                storage=self.storage_provider,
             )
             self.matrices[key] = matrix
             self.matrix_epochs[key] = self.data_epoch

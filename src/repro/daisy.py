@@ -45,6 +45,8 @@ from repro.query.planner import PlannerCatalog
 from repro.query.sql import parse_sql
 from repro.relation.columnview import BACKEND_COLUMNAR
 from repro.relation.relation import Relation, Row
+from repro.storage import StorageManager
+from repro.storage.modes import STORAGE_MEMORY
 
 __all__ = ["Daisy", "QueryLogEntry", "WorkloadReport"]
 
@@ -96,6 +98,8 @@ class Daisy:
         num_shards: int = 0,
         pool: str = POOL_THREAD,
         batch_strategy: str = "shared",
+        storage: str = STORAGE_MEMORY,
+        memory_budget_mb: int = 0,
         config: DaisyConfig | None = None,
     ):
         if config is None:
@@ -108,8 +112,13 @@ class Daisy:
                 num_shards=num_shards,
                 pool=pool,
                 batch_strategy=batch_strategy,
+                storage=storage,
+                memory_budget_mb=memory_budget_mb,
             )
         self.config = config
+        #: All spilled state (stripe files, SQLite mirrors) of this engine;
+        #: sessions release its OS handles on close, :meth:`close` deletes it.
+        self.storage_manager = StorageManager()
         self.states: dict[str, TableState] = {}
         self.catalog = PlannerCatalog()
         #: Bumped on every registration; prepared queries use it to refresh
@@ -164,6 +173,19 @@ class Daisy:
                 "kernel backend is fixed at table registration — construct a "
                 "separate Daisy for it"
             )
+        if config is not None and config.storage != self.config.storage:
+            raise ValueError(
+                f"session storage {config.storage!r} differs from the engine "
+                f"storage {self.config.storage!r}; the storage mode is fixed "
+                "at table registration — construct a separate Daisy for it"
+            )
+        if config is not None and config.memory_budget_mb != self.config.memory_budget_mb:
+            raise ValueError(
+                f"session memory_budget_mb {config.memory_budget_mb!r} differs "
+                f"from the engine memory_budget_mb "
+                f"{self.config.memory_budget_mb!r}; the residency budget is "
+                "fixed at table registration — construct a separate Daisy for it"
+            )
         return Session(self, config)
 
     def default_session(self) -> Session:
@@ -177,11 +199,18 @@ class Daisy:
     def register_table(self, name: str, relation: Relation) -> TableState:
         """Register a (dirty) table.  Returns its mutable state."""
         relation.name = relation.name or name
+        manager = self.storage_manager
+        budget = self.config.memory_budget_mb
         state = TableState(
             relation=relation,
             backend=self.config.backend,
             column_backend=self.config.column_backend,
             maintenance=MaintenancePolicy(mode=self.config.matrix_maintenance),
+            storage=self.config.storage,
+            memory_budget_mb=budget,
+            storage_factory=(
+                lambda mode: manager.table_storage(name, mode, budget)
+            ),
         )
         self.states[name] = state
         self.catalog.add_table(name, relation.schema)
@@ -300,6 +329,26 @@ class Daisy:
         from repro.core.operators import clean_full_table
 
         return clean_full_table(self._state(table), rules)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every storage handle and delete all spilled state.
+
+        Tables stay registered and usable afterwards: a spill-mode table
+        re-spills from its (RAM-resident) relation on next access.  Call
+        this when discarding the engine to leave no temp files behind;
+        open sessions only *release* handles (they reopen lazily), the
+        engine close is what deletes the spill directories.
+        """
+        if self._default_session is not None and not self._default_session.closed:
+            self._default_session.close()
+        for state in self.states.values():
+            provider = state.storage_provider
+            if provider is not None:
+                provider.detach(state.relation._colview)
+            state.storage_provider = None
+        self.storage_manager.close()
 
     # -- introspection ------------------------------------------------------------------
 

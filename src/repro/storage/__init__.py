@@ -1,0 +1,61 @@
+"""Out-of-core storage layer: stripe spill, mmap read-back, SQL pushdown.
+
+All engine I/O goes through this package (enforced by daisylint DL009):
+
+* :mod:`repro.storage.stripefile` — the typed on-disk stripe format,
+* :mod:`repro.storage.stripestore` — chunked spill + mmap reads + the LRU
+  resident-column budget,
+* :mod:`repro.storage.sqlitebackend` — filter / order-by / join-window
+  pushdown for exactly-mirrorable columns,
+* :mod:`repro.storage.provider` — the lazy columns dict behind
+  :class:`~repro.relation.columnview.ColumnView` and the per-table facade,
+* :mod:`repro.storage.manager` — the engine-owned registry that
+  ``Session.close()`` uses to release every OS handle.
+"""
+
+from repro.storage.manager import StorageManager
+from repro.storage.modes import (
+    STORAGE_AUTO,
+    STORAGE_MEMORY,
+    STORAGE_MMAP,
+    STORAGE_MODES,
+    STORAGE_SQLITE,
+    validate_storage_mode,
+)
+from repro.storage.provider import StorageColumns, TableStorage
+from repro.storage.sqlitebackend import SqliteBackend
+from repro.storage.stripefile import (
+    STRIPE_ROWS,
+    StripeFormatError,
+    decode_stripe,
+    encode_stripe,
+    infer_stripe_kind,
+    stripe_kind,
+)
+from repro.storage.stripestore import (
+    ResidencyTracker,
+    StaleGenerationError,
+    StripeStore,
+)
+
+__all__ = [
+    "STORAGE_AUTO",
+    "STORAGE_MEMORY",
+    "STORAGE_MMAP",
+    "STORAGE_MODES",
+    "STORAGE_SQLITE",
+    "STRIPE_ROWS",
+    "ResidencyTracker",
+    "SqliteBackend",
+    "StaleGenerationError",
+    "StorageColumns",
+    "StorageManager",
+    "StripeFormatError",
+    "StripeStore",
+    "TableStorage",
+    "decode_stripe",
+    "encode_stripe",
+    "infer_stripe_kind",
+    "stripe_kind",
+    "validate_storage_mode",
+]

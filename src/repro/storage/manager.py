@@ -1,0 +1,83 @@
+"""Engine-owned registry of per-table storage, with handle accounting.
+
+One :class:`StorageManager` lives on the :class:`~repro.daisy.Daisy`
+engine.  It lazily creates a temp spill root on first use, hands out one
+:class:`~repro.storage.provider.TableStorage` per registered table (with
+a deterministic ``t<slot>`` directory name — never the raw table name,
+never ``hash()``), and is the single place ``Session.close()`` and the
+leak-check fixture go to release or count OS handles.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.storage.provider import TableStorage
+from repro.storage.stripefile import STRIPE_ROWS
+
+
+class StorageManager:
+    """All spilled state of one engine: spill root + per-table storage."""
+
+    def __init__(self, chunk_rows: int = STRIPE_ROWS) -> None:
+        self._root: Path | None = None
+        self._tables: dict[str, TableStorage] = {}
+        self._chunk_rows = chunk_rows
+        self._closed = False
+
+    @property
+    def root(self) -> Path:
+        if self._root is None:
+            self._root = Path(tempfile.mkdtemp(prefix="daisy-storage-"))
+            self._closed = False
+        return self._root
+
+    def table_storage(
+        self, table: str, mode: str, memory_budget_mb: int = 0
+    ) -> TableStorage:
+        """The (created-on-demand) storage facade for one table."""
+        existing = self._tables.get(table)
+        if existing is not None:
+            return existing
+        slot = len(self._tables)
+        storage = TableStorage(
+            table,
+            self.root / f"t{slot}",
+            mode,
+            memory_budget_mb=memory_budget_mb,
+            chunk_rows=self._chunk_rows,
+        )
+        self._tables[table] = storage
+        return storage
+
+    def get(self, table: str) -> "TableStorage | None":
+        return self._tables.get(table)
+
+    def tables(self) -> "list[TableStorage]":
+        return list(self._tables.values())
+
+    # -- handle accounting ---------------------------------------------------------
+
+    def release_handles(self) -> None:
+        """Close every OS handle engine-wide (reopened lazily on next use)."""
+        for storage in self._tables.values():
+            storage.release_handles()
+
+    def open_handle_count(self) -> int:
+        """Open fds/connections across all tables (0 after release)."""
+        return sum(s.open_handle_count() for s in self._tables.values())
+
+    def spill_root_exists(self) -> bool:
+        return self._root is not None and self._root.exists()
+
+    def close(self) -> None:
+        """Release all handles and delete the whole spill root."""
+        for storage in self._tables.values():
+            storage.close()
+        self._tables.clear()
+        if self._root is not None:
+            shutil.rmtree(self._root, ignore_errors=True)
+            self._root = None
+        self._closed = True

@@ -1,0 +1,314 @@
+"""Spill-to-disk stripe store: chunked columns, mmap read-back, LRU budget.
+
+A :class:`StripeStore` owns one table's spilled columns.  Each attribute
+is split into fixed-size row chunks (:data:`~repro.storage.stripefile.STRIPE_ROWS`)
+and every chunk is one :mod:`repro.storage.stripefile` blob in its own
+file under the store's spill directory.  Reads memory-map the chunk file
+and decode straight off the mapping; decoded chunks are **not** cached
+here — residency is owned by the :class:`~repro.storage.provider.StorageColumns`
+lazy dict, whose loaded columns this store's :class:`ResidencyTracker`
+evicts in LRU order once their estimated bytes exceed the configured
+``memory_budget_mb``.
+
+Writes are chunk-granular: :meth:`StripeStore.rewrite_positions` re-encodes
+only the chunks containing touched row positions — the patch-stream hook
+that keeps a spilled table consistent with PR 4's epoch-stamped updates
+without rewriting the whole column.  Every rewrite bumps the attribute's
+*generation*; readers pinned to an older generation (pre-patch views) are
+refused, so an evict-then-reload can never time-travel a snapshot.
+
+All OS handles (mmaps + file objects) are transient: opened per read,
+closed before returning.  The store itself therefore holds no open fds
+between calls — :meth:`close` only deletes the spill files — which is what
+lets ``Session.close()`` guarantee a handle-free engine.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, MutableMapping
+
+from repro.storage.stripefile import STRIPE_ROWS, decode_stripe, encode_stripe
+
+
+@dataclass
+class _ChunkMeta:
+    """Manifest entry for one encoded chunk on disk."""
+
+    rows: int
+    nbytes: int
+
+
+@dataclass
+class _ColumnMeta:
+    """Manifest entry for one spilled attribute."""
+
+    n_rows: int
+    generation: int = 0
+    chunks: list[_ChunkMeta] = field(default_factory=list)
+
+
+class StaleGenerationError(RuntimeError):
+    """A reader asked for a column generation the store has rewritten."""
+
+
+@dataclass
+class _Resident:
+    """One column a lazy dict currently holds in memory."""
+
+    owner: "MutableMapping[str, list[Any]]"
+    attr: str
+    payload_id: int
+    nbytes: int
+
+
+class ResidencyTracker:
+    """LRU accounting of decoded columns against a byte budget.
+
+    Entries are ``(owner dict, attr)`` pairs registered by the lazy
+    column dicts when they materialize a column.  Crossing the budget
+    evicts the least recently touched entries by deleting the key from
+    its owner dict — the next access reloads from disk.  An entry is only
+    evicted while the dict still holds the *exact* object that was
+    registered (a patched/pinned replacement is never touched), and
+    pinned entries (stale-generation snapshots that could not be
+    reloaded) are skipped entirely.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget_bytes = budget_bytes
+        self._entries: dict[tuple[int, str], _Resident] = {}
+        self._order: list[tuple[int, str]] = []
+        self.resident_bytes = 0
+        self.evictions = 0
+
+    def note(
+        self,
+        owner: "MutableMapping[str, list[Any]]",
+        attr: str,
+        payload: list[Any],
+        nbytes: int,
+    ) -> None:
+        """Register (or refresh) one materialized column."""
+        if self.budget_bytes <= 0:
+            # Unlimited budget: tracking would only accumulate strong
+            # references to superseded column dicts, never evict anything.
+            return
+        key = (id(owner), attr)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self.resident_bytes -= previous.nbytes
+            try:
+                self._order.remove(key)
+            except ValueError:
+                pass
+        self._entries[key] = _Resident(owner, attr, id(payload), nbytes)
+        self._order.append(key)
+        self.resident_bytes += nbytes
+        self._enforce()
+
+    def touch(self, owner: "MutableMapping[str, list[Any]]", attr: str) -> None:
+        key = (id(owner), attr)
+        if key in self._entries:
+            try:
+                self._order.remove(key)
+            except ValueError:
+                return
+            self._order.append(key)
+
+    def forget(self, owner: "MutableMapping[str, list[Any]]", attr: str) -> None:
+        """Drop one entry from accounting without touching the dict."""
+        key = (id(owner), attr)
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.resident_bytes -= entry.nbytes
+            try:
+                self._order.remove(key)
+            except ValueError:
+                pass
+
+    def _enforce(self) -> None:
+        # The most recently noted entry is never evicted: the caller is
+        # actively reading it, and evicting it would thrash reload loops.
+        if self.budget_bytes <= 0:
+            return
+        cursor = 0
+        while self.resident_bytes > self.budget_bytes and cursor < len(self._order) - 1:
+            key = self._order[cursor]
+            entry = self._entries.get(key)
+            if entry is None:
+                self._order.pop(cursor)
+                continue
+            # Raw dict lookup on purpose: lazy owner dicts override .get()
+            # to *load* missing columns, and enforcement must never turn
+            # an eviction into a reload (or re-enter note() recursively).
+            current = (
+                dict.get(entry.owner, entry.attr)
+                if isinstance(entry.owner, dict)
+                else entry.owner.get(entry.attr)
+            )
+            if current is None or id(current) != entry.payload_id:
+                # The dict replaced or dropped the object (patched column):
+                # stop accounting for it, never delete the replacement.
+                self._order.pop(cursor)
+                self._entries.pop(key, None)
+                self.resident_bytes -= entry.nbytes
+                continue
+            del entry.owner[entry.attr]
+            self._order.pop(cursor)
+            self._entries.pop(key, None)
+            self.resident_bytes -= entry.nbytes
+            self.evictions += 1
+
+
+class StripeStore:
+    """One table's spill directory of chunked column stripes."""
+
+    def __init__(
+        self,
+        root: Path,
+        memory_budget_mb: int = 0,
+        chunk_rows: int = STRIPE_ROWS,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.chunk_rows = max(1, chunk_rows)
+        self.tracker = ResidencyTracker(int(memory_budget_mb) * 1024 * 1024)
+        self._columns: dict[str, _ColumnMeta] = {}
+        #: Stable file-name slot per attribute (registration order, never
+        #: the raw name and never ``hash()`` — file names must be
+        #: deterministic across processes).
+        self._slots: dict[str, int] = {}
+        #: Monotonic counters for introspection/benchmarks.
+        self.chunk_reads = 0
+        self.chunk_writes = 0
+
+    # -- manifest ----------------------------------------------------------------
+
+    def attrs(self) -> list[str]:
+        return sorted(self._columns)
+
+    def generation(self, attr: str) -> int:
+        return self._columns[attr].generation
+
+    def n_rows(self, attr: str) -> int:
+        return self._columns[attr].n_rows
+
+    def spilled_bytes(self) -> int:
+        return sum(
+            chunk.nbytes for meta in self._columns.values() for chunk in meta.chunks
+        )
+
+    def column_bytes(self, attr: str) -> int:
+        return sum(chunk.nbytes for chunk in self._columns[attr].chunks)
+
+    def _chunk_path(self, attr: str, index: int) -> Path:
+        # Attribute names are arbitrary: file names use a stable per-attr
+        # slot assigned in registration order, never the raw name.
+        slot = self._slots.setdefault(attr, len(self._slots))
+        return self.root / f"col_{slot}_{index}.stripe"
+
+    # -- writes ------------------------------------------------------------------
+
+    def put_column(self, attr: str, values: list[Any]) -> None:
+        """Spill one whole column (registration / full rewrite)."""
+        meta = _ColumnMeta(n_rows=len(values))
+        meta.generation = (
+            self._columns[attr].generation + 1 if attr in self._columns else 0
+        )
+        for index, start in enumerate(range(0, max(1, len(values)), self.chunk_rows)):
+            chunk_values = values[start:start + self.chunk_rows]
+            blob = encode_stripe(chunk_values)
+            path = self._chunk_path(attr, index)
+            with open(path, "wb") as handle:
+                handle.write(blob)
+            meta.chunks.append(_ChunkMeta(rows=len(chunk_values), nbytes=len(blob)))
+            self.chunk_writes += 1
+        self._columns[attr] = meta
+
+    def rewrite_positions(
+        self, attr: str, values: list[Any], positions: "list[int] | tuple[int, ...]"
+    ) -> int:
+        """Re-encode only the chunks containing ``positions``.
+
+        ``values`` is the attribute's *full* post-patch column; the store
+        slices out each touched chunk's row range.  Returns the number of
+        chunks rewritten, and bumps the column generation so readers
+        pinned to the pre-patch snapshot are refused rather than served
+        the new bytes.  A length change (row set changed) degrades to a
+        full :meth:`put_column`.
+        """
+        meta = self._columns.get(attr)
+        if meta is None or meta.n_rows != len(values):
+            self.put_column(attr, values)
+            return len(self._columns[attr].chunks)
+        touched_chunks = sorted({pos // self.chunk_rows for pos in positions})
+        for index in touched_chunks:
+            if index >= len(meta.chunks):
+                continue
+            start = index * self.chunk_rows
+            blob = encode_stripe(values[start:start + self.chunk_rows])
+            with open(self._chunk_path(attr, index), "wb") as handle:
+                handle.write(blob)
+            meta.chunks[index] = _ChunkMeta(
+                rows=meta.chunks[index].rows, nbytes=len(blob)
+            )
+            self.chunk_writes += 1
+        meta.generation += 1
+        return len(touched_chunks)
+
+    # -- reads -------------------------------------------------------------------
+
+    def load_column(self, attr: str, generation: "int | None" = None) -> list[Any]:
+        """Decode one column from its mmap-ed chunks.
+
+        ``generation`` pins the expected snapshot: a mismatch (the column
+        was rewritten since the caller's view was created) raises
+        :class:`StaleGenerationError` instead of silently time-traveling.
+        """
+        meta = self._columns[attr]
+        if generation is not None and generation != meta.generation:
+            raise StaleGenerationError(
+                f"column {attr!r} is at generation {meta.generation}, "
+                f"reader expected {generation}"
+            )
+        out: list[Any] = []
+        for index, _chunk in enumerate(meta.chunks):
+            path = self._chunk_path(attr, index)
+            with open(path, "rb") as handle, mmap.mmap(
+                handle.fileno(), 0, access=mmap.ACCESS_READ
+            ) as mapping:
+                out.extend(decode_stripe(memoryview(mapping)))
+            self.chunk_reads += 1
+        return out
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Delete the spill directory (all chunk files)."""
+        self._columns.clear()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    def open_fd_count(self) -> int:
+        """Open descriptors pointing into this store's spill directory.
+
+        Handles here are transient by construction, so this should always
+        be 0 between calls — the leak-check fixture asserts exactly that.
+        """
+        root = str(self.root.resolve())
+        count = 0
+        fd_dir = Path("/proc/self/fd")
+        if not fd_dir.exists():  # pragma: no cover - non-procfs platforms
+            return 0
+        for entry in fd_dir.iterdir():
+            try:
+                target = os.readlink(entry)
+            except OSError:  # pragma: no cover - raced fd teardown
+                continue
+            if target.startswith(root):
+                count += 1
+        return count

@@ -45,8 +45,8 @@ def codes_of(findings) -> list[str]:
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
-        assert sorted(dl.RULES) == [f"DL00{i}" for i in range(1, 9)]
+    def test_all_nine_rules_registered(self):
+        assert sorted(dl.RULES) == [f"DL00{i}" for i in range(1, 10)]
 
     def test_rules_carry_metadata(self):
         for rule in dl.iter_rules():
@@ -454,6 +454,52 @@ class TestDL008KernelOracleRegistry:
             "def sorted_pairs(col):\n    return col\n", relpath=DETECTION
         )
         assert "DL008" not in codes_of(findings)
+
+
+class TestDL009RawStorageAccess:
+    def test_open_call_flagged(self):
+        findings = lint(
+            "def load(path):\n    with open(path) as h:\n        return h.read()\n",
+            relpath=ENGINE,
+        )
+        assert codes_of(findings) == ["DL009"]
+
+    def test_sqlite3_import_and_connect_flagged(self):
+        findings = lint(
+            "import sqlite3\n\nconn = sqlite3.connect(':memory:')\n",
+            relpath=ENGINE,
+        )
+        assert codes_of(findings) == ["DL009", "DL009"]
+
+    def test_sqlite3_import_alias_flagged(self):
+        findings = lint(
+            "import sqlite3 as sq\n\nconn = sq.connect(':memory:')\n",
+            relpath=ENGINE,
+        )
+        assert codes_of(findings) == ["DL009", "DL009"]
+
+    def test_mmap_from_import_flagged(self):
+        findings = lint("from mmap import mmap\n", relpath=ENGINE)
+        assert codes_of(findings) == ["DL009"]
+
+    def test_storage_package_is_exempt(self):
+        source = (
+            "import sqlite3\nimport mmap\n\n"
+            "def load(path):\n    with open(path, 'rb') as h:\n"
+            "        return h.read()\n"
+        )
+        assert lint(source, relpath="src/repro/storage/fixture.py") == []
+
+    def test_tools_and_tests_are_exempt(self):
+        source = "data = open('x').read()\n"
+        assert lint(source, relpath="tools/bench/fixture.py") == []
+        assert lint(source, relpath="tests/fixture.py") == []
+
+    def test_method_named_open_is_clean(self):
+        findings = lint(
+            "def f(store):\n    return store.open()\n", relpath=ENGINE
+        )
+        assert findings == []
 
 
 class TestSuppression:

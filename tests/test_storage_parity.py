@@ -1,0 +1,346 @@
+"""Storage-backend parity: memory / mmap / sqlite are byte-identical.
+
+The storage layer's contract (ROADMAP: out-of-core spill under the
+kernel-oracle discipline): where column bytes *live* — RAM lists, on-disk
+stripe chunks mapped back on demand, or the SQLite pushdown mirror — must
+never change what the engine computes.  Every suite here runs the same
+workload once per storage mode and asserts byte-identity of
+
+* query results (rows with exact cells, PValue candidates included),
+* the final repaired relation,
+* work-unit totals (storage I/O is deliberately not charged),
+* the per-query log (errors fixed, extra tuples, result sizes),
+
+across serial, thread-pool, and fork-process-pool sessions and across
+patch vs rebuild matrix maintenance.  ``memory`` is the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Daisy, DaisyConfig
+from repro.constraints import DenialConstraint, Predicate
+from repro.datasets import airquality, hospital, workloads
+from repro.parallel import fork_available
+from repro.relation import ColumnType, Relation
+from repro.storage.modes import STORAGE_MODES
+
+#: A budget (1 MB) small enough that every fixture table is over it, so
+#: mmap/sqlite modes really spill and the LRU tracker really evicts.
+TIGHT_BUDGET_MB = 1
+
+
+def _relation_fingerprint(rel: Relation) -> list[tuple]:
+    return [(row.tid, tuple(repr(c) for c in row.values)) for row in rel.rows]
+
+
+def _run_workload(make_daisy, table, queries):
+    daisy = make_daisy()
+    try:
+        with daisy.connect() as session:
+            rows = [session.execute(q).relation.to_plain_rows() for q in queries]
+            log = [
+                (e.errors_fixed, e.extra_tuples, e.result_size)
+                for e in session.query_log
+            ]
+        return {
+            "rows": rows,
+            "log": log,
+            "relation": _relation_fingerprint(daisy.table(table)),
+            "work": daisy.work_counter(table).as_dict(),
+            "pcells": daisy.probabilistic_cells(table),
+        }
+    finally:
+        daisy.close()
+
+
+def _hospital_make(storage, **config_kwargs):
+    def make() -> Daisy:
+        daisy = Daisy(
+            config=DaisyConfig(
+                use_cost_model=False,
+                storage=storage,
+                memory_budget_mb=TIGHT_BUDGET_MB,
+                **config_kwargs,
+            )
+        )
+        fresh = hospital.generate_instance(num_rows=300, seed=11)
+        daisy.register_table("hospital", fresh.dirty)
+        for fd in fresh.rules:
+            daisy.add_rule("hospital", fd)
+        return daisy
+
+    return make
+
+
+def _hospital_queries() -> list[str]:
+    return [
+        "SELECT zip FROM hospital WHERE city = 'City001'",
+        "SELECT city FROM hospital WHERE zip = 10003",
+        "SELECT hospital_name, zip FROM hospital WHERE zip >= 10000 AND zip < 10008",
+        "SELECT phone FROM hospital WHERE zip = 10001",
+        "SELECT * FROM hospital WHERE provider_id < 40",
+    ]
+
+
+def _dc_relation(n: int = 300, seed: int = 7):
+    import random
+
+    rng = random.Random(seed)
+    raw = []
+    for i in range(n):
+        price = 100.0 + i * 10.0
+        discount = round(0.01 + i * 0.0001, 6)
+        if rng.random() < 0.1:
+            discount = round(discount + rng.uniform(-0.02, 0.02), 6)
+        raw.append((i, price, discount))
+    relation = Relation.from_rows(
+        [
+            ("orderkey", ColumnType.INT),
+            ("extended_price", ColumnType.FLOAT),
+            ("discount", ColumnType.FLOAT),
+        ],
+        raw,
+        name="lineorder",
+    )
+    dc = DenialConstraint(
+        [
+            Predicate(0, "extended_price", "<", 1, "extended_price"),
+            Predicate(0, "discount", ">", 1, "discount"),
+        ],
+        name="dc_price_discount",
+    )
+    return relation, dc
+
+
+class TestFdWorkloadParity:
+    """FD cleaning (hospital): every mode equals the memory oracle."""
+
+    def test_serial_modes_byte_identical(self):
+        oracle = _run_workload(
+            _hospital_make("memory"), "hospital", _hospital_queries()
+        )
+        for mode in ("mmap", "sqlite"):
+            got = _run_workload(
+                _hospital_make(mode), "hospital", _hospital_queries()
+            )
+            assert got == oracle, f"storage={mode} diverged from memory"
+
+    @pytest.mark.parametrize("mode", ["mmap", "sqlite"])
+    def test_thread_pool_modes_byte_identical(self, mode):
+        oracle = _run_workload(
+            _hospital_make("memory"), "hospital", _hospital_queries()
+        )
+        got = _run_workload(
+            _hospital_make(mode, parallelism=2, pool="thread", num_shards=4),
+            "hospital",
+            _hospital_queries(),
+        )
+        assert got == oracle
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork on this platform")
+    @pytest.mark.parametrize("mode", ["mmap", "sqlite"])
+    def test_process_pool_modes_byte_identical(self, mode):
+        oracle = _run_workload(
+            _hospital_make("memory"), "hospital", _hospital_queries()
+        )
+        got = _run_workload(
+            _hospital_make(mode, parallelism=2, pool="process"),
+            "hospital",
+            _hospital_queries(),
+        )
+        assert got == oracle
+
+
+class TestDcWorkloadParity:
+    """DC theta-join workload: repairs route through the patch stream and
+    must survive evict-then-reload in every spill mode."""
+
+    def _make(self, storage, **config_kwargs):
+        def make() -> Daisy:
+            rel, dc = _dc_relation()
+            daisy = Daisy(
+                config=DaisyConfig(
+                    use_cost_model=False,
+                    storage=storage,
+                    memory_budget_mb=TIGHT_BUDGET_MB,
+                    **config_kwargs,
+                )
+            )
+            daisy.register_table("lineorder", rel)
+            daisy.add_rule("lineorder", dc)
+            return daisy
+
+        return make
+
+    def _queries(self):
+        return workloads.range_queries(
+            "lineorder", "extended_price", 3100, 6,
+            projection="orderkey, extended_price, discount",
+        )
+
+    def test_serial_modes_byte_identical(self):
+        oracle = _run_workload(self._make("memory"), "lineorder", self._queries())
+        for mode in ("mmap", "sqlite"):
+            got = _run_workload(self._make(mode), "lineorder", self._queries())
+            assert got == oracle, f"storage={mode} diverged from memory"
+
+    @pytest.mark.parametrize("mode", ["mmap", "sqlite"])
+    def test_maintenance_modes_byte_identical(self, mode):
+        """patch vs rebuild maintenance, each spilled, equals the oracle."""
+        oracle = _run_workload(self._make("memory"), "lineorder", self._queries())
+        for maintenance in ("patch", "rebuild"):
+            got = _run_workload(
+                self._make(mode, matrix_maintenance=maintenance),
+                "lineorder",
+                self._queries(),
+            )
+            assert got == oracle, (
+                f"storage={mode} maintenance={maintenance} diverged"
+            )
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork on this platform")
+    def test_sqlite_process_pool_byte_identical(self):
+        oracle = _run_workload(self._make("memory"), "lineorder", self._queries())
+        got = _run_workload(
+            self._make("sqlite", parallelism=2, pool="process"),
+            "lineorder",
+            self._queries(),
+        )
+        assert got == oracle
+
+
+class TestAirQualityBatchParity:
+    def test_batch_workload_modes_byte_identical(self):
+        def make(storage):
+            def build() -> Daisy:
+                daisy = Daisy(
+                    config=DaisyConfig(
+                        use_cost_model=False,
+                        storage=storage,
+                        memory_budget_mb=TIGHT_BUDGET_MB,
+                    )
+                )
+                fresh = airquality.generate_instance(
+                    num_rows=600, num_states=8, violation_level="high", seed=17
+                )
+                daisy.register_table("airquality", fresh.dirty)
+                daisy.add_rule("airquality", fresh.fd)
+                return daisy
+
+            return build
+
+        queries = airquality.state_co_queries(num_states=8)
+        results = {}
+        for mode in STORAGE_MODES:
+            daisy = make(mode)()
+            try:
+                with daisy.connect() as session:
+                    batch = session.execute_batch(list(queries))
+                    rows = [r.relation.to_plain_rows() for r in batch.results]
+                results[mode] = (
+                    rows,
+                    _relation_fingerprint(daisy.table("airquality")),
+                    daisy.work_counter("airquality").as_dict(),
+                )
+            finally:
+                daisy.close()
+        assert results["mmap"] == results["memory"]
+        assert results["sqlite"] == results["memory"]
+
+
+def _wide_relation(n_rows: int = 6000) -> Relation:
+    """A table whose modeled resident size exceeds the 1 MB budget
+    (``n_rows * n_cols * CELL_BYTES > 1 MiB``), so ``auto`` must spill."""
+    return Relation.from_rows(
+        [
+            ("k", ColumnType.INT),
+            ("a", ColumnType.INT),
+            ("b", ColumnType.FLOAT),
+            ("c", ColumnType.STRING),
+        ],
+        [(i, i % 97, float(i) / 3.0, f"v{i % 53}") for i in range(n_rows)],
+        name="wide",
+    )
+
+
+class TestAutoModeParity:
+    def test_auto_equals_every_forced_mode(self):
+        """storage="auto" pins a concrete mode; results match the oracle."""
+        oracle = _run_workload(
+            _hospital_make("memory"), "hospital", _hospital_queries()
+        )
+        got = _run_workload(
+            _hospital_make("auto"), "hospital", _hospital_queries()
+        )
+        assert got == oracle
+
+    def test_auto_pins_memory_when_budget_unlimited(self):
+        daisy = Daisy(use_cost_model=False, storage="auto", memory_budget_mb=0)
+        try:
+            daisy.register_table("wide", _wide_relation(500))
+            with daisy.connect():
+                pass
+            assert daisy.states["wide"].storage == "memory"
+        finally:
+            daisy.close()
+
+    def test_auto_pins_spill_mode_under_tight_budget(self):
+        daisy = Daisy(
+            use_cost_model=False, storage="auto",
+            memory_budget_mb=TIGHT_BUDGET_MB,
+        )
+        try:
+            daisy.register_table("wide", _wide_relation())
+            with daisy.connect():
+                pass
+            assert daisy.states["wide"].storage in ("mmap", "sqlite")
+        finally:
+            daisy.close()
+
+
+class TestEvictionReallyHappens:
+    """The spill plumbing is exercised for real: stripes are written,
+    evicted under a shrunken budget, and reloaded from disk."""
+
+    def test_stripe_store_evicts_and_reloads_under_budget(self):
+        daisy = _hospital_make("mmap")()
+        try:
+            queries = _hospital_queries()
+            with daisy.connect() as session:
+                session.execute(queries[0])
+                stores = daisy.storage_manager.tables()
+                assert stores, "spill mode never attached a table store"
+                # Shrink the resident budget far below one column so the
+                # LRU tracker must evict on every subsequent load.
+                for t in stores:
+                    t.store.tracker.budget_bytes = 1024
+                for q in queries[1:]:
+                    session.execute(q)
+            assert any(t.store.chunk_writes > 0 for t in stores)
+            assert any(t.store.tracker.evictions > 0 for t in stores)
+            assert any(t.store.chunk_reads > 0 for t in stores)
+        finally:
+            daisy.close()
+
+    def test_sqlite_pushdown_serves_queries(self):
+        rel, dc = _dc_relation()
+        daisy = Daisy(
+            use_cost_model=False, storage="sqlite",
+            memory_budget_mb=TIGHT_BUDGET_MB,
+        )
+        try:
+            daisy.register_table("lineorder", rel)
+            daisy.add_rule("lineorder", dc)
+            with daisy.connect() as session:
+                session.execute(
+                    "SELECT orderkey FROM lineorder WHERE extended_price < 500.0"
+                )
+            stores = daisy.storage_manager.tables()
+            assert any(
+                t.sqlite is not None and t.sqlite.queries_served > 0
+                for t in stores
+            )
+        finally:
+            daisy.close()

@@ -1,0 +1,305 @@
+"""Property suite: spill → mmap → read is byte-identical, always.
+
+The stripe format's contract (``repro.storage.stripefile``): decoding a
+stripe — in particular over a :class:`memoryview` of an ``mmap``-ed file —
+reproduces the in-memory column **exactly** in the engine's value
+semantics: same values (NaN, ±inf, and ``-0.0`` included), same Python
+types (``int`` never becomes ``float``, ``bool`` and probabilistic cells
+ride the pickle fallback), same null mask, and therefore the same sort
+orders and filter answers the engine would derive from the column.
+
+The suite also pins the *decline* branches (booleans, PValues, ints beyond
+int64, mixed families, lone-surrogate strings → ``KIND_PICKLE``) and the
+store-level epoch discipline: a patch rewrites only the touched chunks,
+the new generation reads back the patched column, and a reader pinned to
+the old generation gets a loud :class:`StaleGenerationError` instead of
+silently time-travelled bytes.
+
+Skips when hypothesis is unavailable (it is baked into CI images; the
+deterministic store tests below the property section still run there via
+their non-hypothesis twins in ``test_storage_parity.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.probabilistic.value import Candidate, PValue
+from repro.storage.stripefile import (
+    KIND_FLOAT64,
+    KIND_INT64,
+    KIND_PICKLE,
+    KIND_STR,
+    STRIPE_ROWS,
+    StripeFormatError,
+    decode_stripe,
+    encode_stripe,
+    infer_stripe_kind,
+    stripe_kind,
+)
+from repro.storage.stripestore import StaleGenerationError, StripeStore
+
+_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def cell_key(v) -> tuple[str, str]:
+    """Exact identity of one cell: type name + repr.
+
+    ``repr`` separates ``1`` from ``1.0`` and ``True``, keeps ``-0.0``'s
+    sign, and gives NaN a stable token (``nan != nan`` under ``==``).
+    """
+    return (type(v).__name__, repr(v))
+
+
+def column_key(values) -> list[tuple[str, str]]:
+    return [cell_key(v) for v in values]
+
+
+def sort_key_positions(values) -> list[int]:
+    """The engine's stable (value, position) sort order over the concrete
+    comparable cells — the order a ColumnView sorted index would build."""
+    pairs = [
+        (v, pos)
+        for pos, v in enumerate(values)
+        if v is not None and not (isinstance(v, float) and math.isnan(v))
+    ]
+    try:
+        pairs.sort()
+    except TypeError:
+        return []
+    return [pos for _v, pos in pairs]
+
+
+# -- strategies ----------------------------------------------------------------
+
+ints64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+floats = st.floats(allow_nan=True, allow_infinity=True, width=64)
+texts = st.text(max_size=40)
+
+int_columns = st.lists(st.one_of(st.none(), ints64), max_size=300)
+float_columns = st.lists(st.one_of(st.none(), floats), max_size=300)
+str_columns = st.lists(st.one_of(st.none(), texts), max_size=300)
+
+#: Cells from every family at once — mostly declining to pickle.
+wild_cells = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: may exceed int64
+    floats,
+    texts,
+    st.tuples(st.integers(), texts),
+    st.builds(
+        lambda v, p: PValue([Candidate(v, p), Candidate(v + 1, 1.0 - p)]),
+        st.integers(min_value=-100, max_value=100),
+        st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+    ),
+)
+wild_columns = st.lists(wild_cells, max_size=120)
+
+
+# -- stripe-blob round trips ---------------------------------------------------
+
+
+class TestStripeRoundTrip:
+    @_SETTINGS
+    @given(int_columns)
+    def test_int_columns_roundtrip_exactly(self, values):
+        blob = encode_stripe(values)
+        decoded = decode_stripe(blob)
+        assert column_key(decoded) == column_key(values)
+        if any(v is not None for v in values):
+            assert stripe_kind(blob) == KIND_INT64
+
+    @_SETTINGS
+    @given(float_columns)
+    def test_float_columns_roundtrip_exactly(self, values):
+        """NaN, ±inf, and -0.0 survive with sign and payload semantics."""
+        blob = encode_stripe(values)
+        decoded = decode_stripe(blob)
+        assert column_key(decoded) == column_key(values)
+        if any(v is not None for v in values):
+            assert stripe_kind(blob) == KIND_FLOAT64
+
+    @_SETTINGS
+    @given(str_columns)
+    def test_str_columns_roundtrip_exactly(self, values):
+        blob = encode_stripe(values)
+        decoded = decode_stripe(blob)
+        assert column_key(decoded) == column_key(values)
+
+    @_SETTINGS
+    @given(wild_columns)
+    def test_any_column_roundtrips_exactly(self, values):
+        """Whatever the kind inference decides, the values come back."""
+        decoded = decode_stripe(encode_stripe(values))
+        assert column_key(decoded) == column_key(values)
+
+    @_SETTINGS
+    @given(st.one_of(int_columns, float_columns, str_columns, wild_columns))
+    def test_null_mask_and_sort_order_preserved(self, values):
+        decoded = decode_stripe(encode_stripe(values))
+        assert [v is None for v in decoded] == [v is None for v in values]
+        assert sort_key_positions(decoded) == sort_key_positions(values)
+
+    @_SETTINGS
+    @given(st.one_of(int_columns, float_columns, str_columns, wild_columns))
+    def test_mmap_decode_equals_bytes_decode(self, tmp_path_factory, values):
+        """Decoding over a memory-mapped file equals decoding the bytes."""
+        import mmap
+
+        blob = encode_stripe(values)
+        path = tmp_path_factory.mktemp("stripes") / "one.stripe"
+        path.write_bytes(blob)
+        with open(path, "rb") as handle:
+            with mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ) as m:
+                decoded = decode_stripe(memoryview(m))
+        assert column_key(decoded) == column_key(values)
+
+
+class TestDeclineBranches:
+    """The typed kinds decline exactly where the kernel inference does."""
+
+    def test_booleans_decline(self):
+        assert infer_stripe_kind([True, False]) == KIND_PICKLE
+        assert column_key(decode_stripe(encode_stripe([True, None]))) == (
+            column_key([True, None])
+        )
+
+    def test_pvalues_decline(self):
+        pv = PValue([Candidate(1, 0.6), Candidate(2, 0.4)])
+        values = [pv, 3, None]
+        assert infer_stripe_kind(values) == KIND_PICKLE
+        decoded = decode_stripe(encode_stripe(values))
+        assert repr(decoded) == repr(values)
+
+    def test_out_of_int64_declines(self):
+        values = [2 ** 63, -(2 ** 63) - 1]
+        assert infer_stripe_kind(values) == KIND_PICKLE
+        assert decode_stripe(encode_stripe(values)) == values
+
+    def test_mixed_families_decline(self):
+        for values in ([1, 2.0], [1.0, "x"], [1, "x"]):
+            assert infer_stripe_kind(values) == KIND_PICKLE
+            assert column_key(decode_stripe(encode_stripe(values))) == (
+                column_key(values)
+            )
+
+    def test_lone_surrogate_strings_decline_to_pickle(self):
+        values = ["ok", "\ud800", None]
+        blob = encode_stripe(values)
+        assert stripe_kind(blob) == KIND_PICKLE
+        assert decode_stripe(blob) == values
+
+    def test_int_inside_int64_stays_typed(self):
+        values = [2 ** 63 - 1, -(2 ** 63), 0, None]
+        blob = encode_stripe(values)
+        assert stripe_kind(blob) == KIND_INT64
+        assert column_key(decode_stripe(blob)) == column_key(values)
+
+    def test_all_none_column_declines(self):
+        assert infer_stripe_kind([None, None]) == KIND_PICKLE
+        assert decode_stripe(encode_stripe([None, None])) == [None, None]
+
+    def test_kind_constants_cover_families(self):
+        assert infer_stripe_kind([1, None]) == KIND_INT64
+        assert infer_stripe_kind([1.5]) == KIND_FLOAT64
+        assert infer_stripe_kind(["a"]) == KIND_STR
+
+    def test_corrupt_blobs_raise_format_error(self):
+        with pytest.raises(StripeFormatError):
+            decode_stripe(b"")
+        with pytest.raises(StripeFormatError):
+            decode_stripe(b"XXXX" + b"\x00" * 20)
+        good = encode_stripe([1, 2, 3])
+        with pytest.raises(StripeFormatError):
+            decode_stripe(b"DST1" + bytes([99]) + good[5:])
+
+
+# -- store-level epoch parity --------------------------------------------------
+
+
+@st.composite
+def column_and_patch(draw):
+    """A typed-or-not column plus a patch over some of its positions."""
+    values = draw(
+        st.one_of(int_columns, float_columns, str_columns, wild_columns).filter(
+            lambda v: len(v) > 0
+        )
+    )
+    n = len(values)
+    positions = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=1,
+            max_size=min(n, 10),
+            unique=True,
+        )
+    )
+    replacements = draw(
+        st.lists(wild_cells, min_size=len(positions), max_size=len(positions))
+    )
+    return values, positions, replacements
+
+
+class TestStoreEpochParity:
+    @_SETTINGS
+    @given(column_and_patch())
+    def test_patch_then_reload_matches_patched_column(
+        self, tmp_path_factory, data
+    ):
+        values, positions, replacements = data
+        root = tmp_path_factory.mktemp("store")
+        store = StripeStore(root, memory_budget_mb=0, chunk_rows=16)
+        try:
+            store.put_column("a", values)
+            gen0 = store.generation("a")
+            patched = list(values)
+            for pos, cell in zip(positions, replacements):
+                patched[pos] = cell
+            store.rewrite_positions("a", patched, positions)
+            gen1 = store.generation("a")
+            assert gen1 > gen0
+            reloaded = store.load_column("a", gen1)
+            assert column_key(reloaded) == column_key(patched)
+            with pytest.raises(StaleGenerationError):
+                store.load_column("a", gen0)
+        finally:
+            store.close()
+
+    def test_patch_rewrites_only_touched_chunks(self, tmp_path):
+        store = StripeStore(tmp_path, memory_budget_mb=0, chunk_rows=8)
+        try:
+            values = list(range(40))  # 5 chunks of 8
+            store.put_column("a", values)
+            writes_before = store.chunk_writes
+            patched = list(values)
+            patched[3] = -1
+            patched[5] = -2  # same chunk as position 3
+            rewritten = store.rewrite_positions("a", patched, [3, 5])
+            assert rewritten == 1
+            assert store.chunk_writes == writes_before + 1
+            assert store.load_column("a", store.generation("a")) == patched
+        finally:
+            store.close()
+
+    def test_multichunk_column_survives_roundtrip(self, tmp_path):
+        store = StripeStore(tmp_path, memory_budget_mb=0)
+        try:
+            n = STRIPE_ROWS * 2 + 17
+            values = [float(i) if i % 7 else None for i in range(n)]
+            store.put_column("a", values)
+            out = store.load_column("a", store.generation("a"))
+            assert column_key(out) == column_key(values)
+        finally:
+            store.close()

@@ -12,6 +12,7 @@ DL005    bare / overbroad ``except``
 DL006    mutable default arguments
 DL007    pass entry points called without a WorkCounter threaded through
 DL008    kernel-oracle parity registry completeness in kernels.py
+DL009    raw file / sqlite / mmap access outside ``repro/storage``
 =======  ==============================================================
 
 Rules are *syntactic* (no type inference): they flag what they can prove
@@ -871,9 +872,80 @@ class KernelOracleRegistryRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# DL009
+# ---------------------------------------------------------------------------
+
+#: The one package allowed to touch files, SQLite, and mmap directly.
+STORAGE_PREFIX = "src/repro/storage/"
+
+#: Modules whose *import* already signals raw storage access.
+_STORAGE_MODULES = {"sqlite3", "mmap"}
+
+
+@register
+class RawStorageAccessRule(Rule):
+    code = "DL009"
+    name = "raw-storage-access-outside-storage"
+    rationale = (
+        "All spill files, SQLite mirrors, and memory maps are owned by "
+        "repro/storage so Session.close()/Daisy.close() can account for "
+        "every OS handle; an open()/sqlite3.connect()/mmap elsewhere in "
+        "the engine escapes the leak-check and the spill lifecycle."
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return relpath.startswith(ENGINE_PREFIX) and not relpath.startswith(
+            STORAGE_PREFIX
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        storage_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _STORAGE_MODULES:
+                        storage_aliases.add(alias.asname or alias.name)
+                        yield module.finding(
+                            self.code, node,
+                            f"import of {alias.name!r} outside repro/storage; "
+                            "route raw storage access through the storage "
+                            "package",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in _STORAGE_MODULES:
+                    yield module.finding(
+                        self.code, node,
+                        f"from-import of {node.module!r} outside "
+                        "repro/storage; route raw storage access through "
+                        "the storage package",
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                yield module.finding(
+                    self.code, node,
+                    "open() outside repro/storage; engine file handles must "
+                    "live behind the storage package's lifecycle",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in storage_aliases
+                and func.attr in ("connect", "mmap")
+            ):
+                yield module.finding(
+                    self.code, node,
+                    f"{func.value.id}.{func.attr}() outside repro/storage",
+                )
+
+
 __all__ = [
     "RESULT_PACKAGES",
     "ENGINE_PREFIX",
+    "STORAGE_PREFIX",
     "COUNTER_REQUIRED",
     "SetIterationRule",
     "ForkUnsafeClosureRule",
@@ -883,4 +955,5 @@ __all__ = [
     "MutableDefaultRule",
     "CounterBypassRule",
     "KernelOracleRegistryRule",
+    "RawStorageAccessRule",
 ]
