@@ -45,6 +45,20 @@ def validate_batch_strategy(name: str) -> str:
     return name
 
 
+#: ``diagnostics`` values: runtime validators attached to the engine.
+DIAGNOSTICS_NONE = "none"
+DIAGNOSTICS_WITNESS = "witness"
+DIAGNOSTICS_MODES = (DIAGNOSTICS_NONE, DIAGNOSTICS_WITNESS)
+
+
+def validate_diagnostics(name: str) -> str:
+    if name not in DIAGNOSTICS_MODES:
+        raise ValueError(
+            f"unknown diagnostics mode {name!r}; expected one of {DIAGNOSTICS_MODES}"
+        )
+    return name
+
+
 @dataclass(frozen=True)
 class DaisyConfig:
     """Immutable configuration for a :class:`repro.api.Session`.
@@ -152,6 +166,14 @@ class DaisyConfig:
         store's LRU tracker evict least-recently-used loaded columns once
         their estimated bytes exceed it, so relations larger than RAM can
         register, detect, and repair.  Data-scoped alongside ``storage``.
+    diagnostics:
+        Runtime validators attached while the engine lives: ``"none"``
+        (default) or ``"witness"`` — the race witness of
+        :mod:`repro.diagnostics.witness`, which instruments every
+        ownership-annotated class and records any write that contradicts
+        its declared seams.  Diagnostics never change engine results;
+        they only observe (the parity suites run byte-identical with the
+        witness attached).
     """
 
     use_cost_model: bool = True
@@ -169,9 +191,11 @@ class DaisyConfig:
     matrix_maintenance: str = MAINTENANCE_AUTO
     storage: str = STORAGE_MEMORY
     memory_budget_mb: int = 0
+    diagnostics: str = DIAGNOSTICS_NONE
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_diagnostics(self.diagnostics)
         validate_column_backend(self.column_backend)
         validate_pool_kind(self.pool)
         validate_maintenance_mode(self.matrix_maintenance)

@@ -19,6 +19,7 @@ from repro.errors import QueryError
 from repro.query.ast import Condition, Parameter, Query, sql_for_log
 from repro.query.logical import PlanNode
 from repro.query.planner import ResolvedQuery
+from repro._ownership import session_owned
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.session import Session
@@ -37,6 +38,7 @@ def _substitute(
     return out
 
 
+@session_owned
 class PreparedQuery:
     """A parsed, resolved, and planned query handle bound to a session.
 

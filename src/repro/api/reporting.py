@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.costmodel import PassDecision
+from repro._ownership import session_owned
 
 
 @dataclass
@@ -35,6 +36,7 @@ class QueryLogEntry:
     work_units: int = 0
 
 
+@session_owned
 @dataclass
 class WorkloadReport:
     """Aggregate of a workload execution."""

@@ -34,6 +34,7 @@ from repro.core.costmodel import (
     available_cpus,
 )
 from repro.core.operators import CleanReport, clean_full_table
+from repro._ownership import session_owned
 from repro.core.state import TableState
 from repro.engine.stats import WorkCounter
 from repro.errors import PlanError, SessionError
@@ -103,6 +104,7 @@ def _plan_structure_key(query: Query) -> tuple[Any, ...]:
     )
 
 
+@session_owned
 class Session:
     """One workload's execution context over a shared engine.
 

@@ -24,14 +24,17 @@ to ASCII before parsing.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 import re
 from typing import Any
 
 from repro.errors import ConstraintParseError
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, decompose_fd
 from repro.constraints.predicate import Predicate
+from repro._ownership import session_owned
 
-_UNICODE_NORMALIZATION = {
+_UNICODE_NORMALIZATION = MappingProxyType({
     "¬": "not",
     "⌝": "not",
     "∧": "&",
@@ -40,7 +43,7 @@ _UNICODE_NORMALIZATION = {
     "≤": "<=",
     "≥": ">=",
     "→": "->",
-}
+})
 
 _TOKEN_RE = re.compile(
     r"""
@@ -81,6 +84,7 @@ def _tokenize(text: str) -> list[str]:
     return tokens
 
 
+@session_owned
 class _TokenStream:
     def __init__(self, tokens: list[str]):
         self._tokens = tokens
@@ -127,7 +131,7 @@ def _parse_operand(stream: _TokenStream) -> tuple[int | None, str | None, Any]:
         raise ConstraintParseError(f"invalid operand {token!r}") from None
 
 
-_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+_OPS = frozenset(("=", "!=", "<>", "<", "<=", ">", ">="))
 
 
 def _parse_predicate(stream: _TokenStream) -> Predicate:

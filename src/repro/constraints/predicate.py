@@ -13,6 +13,8 @@ combination satisfies it) and the usual operator algebra (negation).
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -23,23 +25,23 @@ from repro.relation.relation import Relation, Row
 #: Comparison operators supported in predicates.
 OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
 
-_NEGATION = {
+_NEGATION = MappingProxyType({
     "=": "!=",
     "!=": "=",
     "<": ">=",
     "<=": ">",
     ">": "<=",
     ">=": "<",
-}
+})
 
-_FLIP = {
+_FLIP = MappingProxyType({
     "=": "=",
     "!=": "!=",
     "<": ">",
     "<=": ">=",
     ">": "<",
     ">=": "<=",
-}
+})
 
 
 @dataclass(frozen=True)

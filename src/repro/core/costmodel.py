@@ -50,6 +50,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro._ownership import session_owned
+
 
 @dataclass(frozen=True)
 class QueryObservation:
@@ -118,6 +120,7 @@ def incremental_query_cost(
     return relaxation + detection + repair + update
 
 
+@session_owned
 @dataclass
 class CostModel:
     """Adaptive incremental-vs-full decision, updated after every query.
@@ -264,6 +267,7 @@ PASS_KERNEL = "kernel"
 PASS_STORAGE = "storage"
 
 
+@session_owned
 @dataclass
 class PassDecision:
     """One adaptive choice: what was priced, what was picked, what it cost.
@@ -288,6 +292,7 @@ class PassDecision:
     observed_cost: float | None = None
 
 
+@session_owned
 class CostCalibration:
     """EWMA feedback from observed work units into future estimates.
 
@@ -356,6 +361,7 @@ def available_cpus() -> int:
     return os.cpu_count() or 1
 
 
+@session_owned
 class AdaptivePlanner:
     """Unified per-pass arbiter: strategy × parallelism × batching.
 

@@ -31,11 +31,13 @@ from repro.repair.dc_repair import compute_dc_fixes
 from repro.repair.fd_repair import apply_fd_delta, compute_fd_fixes
 from repro.repair.fixes import RepairDelta
 from repro.repair.merge import merge_deltas
+from repro._ownership import session_owned
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
     from repro.relation.relation import Row
 
 
+@session_owned
 @dataclass
 class CleanReport:
     """What one cleaning-operator invocation did."""

@@ -1,0 +1,47 @@
+"""Public face of the ownership annotation registry.
+
+The implementation lives in :mod:`repro._ownership`, a dependency-free
+top-level module, so that leaf modules deep in the engine (``engine.stats``,
+``constraints.parser``, ``relation.columnview``, …) can annotate themselves
+without dragging in :mod:`repro.core`'s import graph mid-initialization.
+Engine internals import from ``repro._ownership`` directly; everything
+else — user code, tests, the diagnostics layer — should use this module.
+
+See :mod:`repro._ownership` for the full contract documentation
+(``@shared_engine_state`` / ``@session_owned`` / ``@immutable_after_init``,
+``MUTATED_UNDER`` seam tables, ``MUTATING_ACCESSORS``).
+"""
+
+from __future__ import annotations
+
+from repro._ownership import (
+    DEFAULT_INIT_METHODS,
+    IMMUTABLE_AFTER_INIT,
+    OWNERSHIP_KINDS,
+    OWNERSHIP_REGISTRY,
+    SESSION_OWNED,
+    SHARED_ENGINE_STATE,
+    OwnershipSpec,
+    immutable_after_init,
+    ownership_of,
+    seam_matches,
+    session_owned,
+    shared_engine_state,
+    site_allowed,
+)
+
+__all__ = [
+    "IMMUTABLE_AFTER_INIT",
+    "SESSION_OWNED",
+    "SHARED_ENGINE_STATE",
+    "OWNERSHIP_KINDS",
+    "DEFAULT_INIT_METHODS",
+    "OwnershipSpec",
+    "OWNERSHIP_REGISTRY",
+    "shared_engine_state",
+    "session_owned",
+    "immutable_after_init",
+    "ownership_of",
+    "seam_matches",
+    "site_allowed",
+]

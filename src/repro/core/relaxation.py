@@ -36,8 +36,10 @@ from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.probabilistic.value import PValue
 from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation, Row
+from repro._ownership import session_owned
 
 
+@session_owned
 @dataclass
 class RelaxationResult:
     """Output of Algorithm 1.

@@ -22,6 +22,7 @@ from typing import Any
 
 from repro.constraints.analysis import rule_attributes
 from repro.constraints.dc import DenialConstraint, FunctionalDependency, Rule, as_dc, as_fd
+from repro._ownership import session_owned, shared_engine_state
 from repro.core.statistics import FdStatistics, TableStatistics, build_fd_statistics
 from repro.detection.maintenance import (
     MaintenancePolicy,
@@ -65,6 +66,7 @@ def rule_key(rule: Rule) -> str:
     return rule.name or str(rule)
 
 
+@session_owned
 @dataclass
 class UpdateReport:
     """What one external update (:meth:`TableState.apply_updates`) did."""
@@ -78,9 +80,51 @@ class UpdateReport:
     provenance_forgotten: int = 0
 
 
+@shared_engine_state
 @dataclass
 class TableState:
-    """All cleaning state for one registered table."""
+    """All cleaning state for one registered table.
+
+    One TableState serves every session connected to the engine, so every
+    mutable attribute declares its synchronization seam below — the only
+    functions allowed to write it post-construction.  The service tier
+    serializes entry into these seams (single writer per table); daisylint
+    DL101 enforces the seams statically and the race witness
+    (``diagnostics="witness"``) validates them at runtime.
+    """
+
+    MUTATED_UNDER = {
+        "relation": ("TableState.replace_relation",),
+        "matrices": ("TableState.add_rule", "TableState.matrix_for"),
+        "matrix_epochs": (
+            "TableState.add_rule",
+            "TableState.matrix_for",
+            "TableState._sync_matrix",
+        ),
+        "maintenance_log": ("TableState._sync_matrix",),
+        "patch_log": ("TableState.apply_updates", "TableState._trim_patch_log"),
+        "data_epoch": ("TableState.apply_updates",),
+        # ``seen_for`` hands out the live set (a declared mutating
+        # accessor), so its callers are part of the seam.
+        "seen_tids": (
+            "TableState.mark_seen",
+            "_clean_sigma_fd",
+            "parallel_relax_fd",
+        ),
+        "fully_cleaned_rules": (
+            "TableState.mark_fully_cleaned",
+            "TableState.apply_updates",
+        ),
+        "column_backend": ("TableState.pin_column_backend",),
+        "storage": ("TableState.pin_storage",),
+        "storage_provider": ("TableState._ensure_storage", "Daisy.close"),
+        "rules": ("TableState.add_rule",),
+        "statistics": ("TableState.add_rule",),
+        "provenance": ("TableState.apply_updates",),
+    }
+    #: ``seen_for`` hands back the live per-rule seen-tid set; callers
+    #: mutate ``seen_tids`` through that alias.
+    MUTATING_ACCESSORS = {"seen_for": "seen_tids"}
 
     relation: Relation
     rules: list[Rule] = field(default_factory=list)

@@ -21,11 +21,27 @@ from repro.constraints.dc import FunctionalDependency
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
 from repro.probabilistic.value import PValue
 from repro.relation.relation import Relation
+from repro._ownership import shared_engine_state
 
 
+@shared_engine_state
 @dataclass
 class FdStatistics:
-    """Per-FD statistics precomputed over a relation."""
+    """Per-FD statistics precomputed over a relation.
+
+    Write-once-by-builder: :func:`build_fd_statistics` populates every
+    table in its single construction pass (and in rebuilds after external
+    updates, which run under the table's update seam); afterwards the
+    object is read-only for all sessions.
+    """
+
+    MUTATED_UNDER = {
+        "group_sizes": ("build_fd_statistics",),
+        "dirty_groups": ("build_fd_statistics",),
+        "rhs_fanout": ("build_fd_statistics",),
+        "dirty_rhs_values": ("build_fd_statistics",),
+        "_distinct_rhs": ("build_fd_statistics",),
+    }
 
     fd: FunctionalDependency
     #: lhs key -> group size
@@ -105,9 +121,17 @@ def build_fd_statistics(
     return stats
 
 
+@shared_engine_state
 @dataclass
 class TableStatistics:
-    """Statistics for all FDs registered on one table."""
+    """Statistics for all FDs registered on one table.
+
+    Grows only through :meth:`add`, which the engine calls from its
+    registration seam (``TableState.add_rule``) and from post-update
+    statistics rebuilds — both single-writer by the service tier.
+    """
+
+    MUTATED_UNDER = {"per_fd": ("TableStatistics.add",)}
 
     per_fd: dict[str, FdStatistics] = field(default_factory=dict)
 

@@ -33,6 +33,7 @@ from repro.api.session import Session
 from repro.constraints.dc import Rule
 from repro.constraints.parser import parse_rule
 from repro.core.costmodel import CostModel
+from repro._ownership import shared_engine_state
 from repro.core.operators import CleanReport
 from repro.core.state import TableState, UpdateReport
 from repro.detection.maintenance import MaintenancePolicy
@@ -51,6 +52,7 @@ from repro.storage.modes import STORAGE_MEMORY
 __all__ = ["Daisy", "QueryLogEntry", "WorkloadReport"]
 
 
+@shared_engine_state
 class Daisy:
     """Query-driven incremental cleaning engine.
 
@@ -88,6 +90,17 @@ class Daisy:
         keywords when given.
     """
 
+    #: The engine is the root of all shared state: every connected session
+    #: reaches the same table states through it.  Registration-time writes
+    #: are the only post-construction mutations.
+    MUTATED_UNDER = {
+        "states": ("Daisy.register_table",),
+        "registration_version": ("Daisy.register_table", "Daisy.add_rule"),
+        "table_versions": ("Daisy.register_table", "Daisy.add_rule"),
+        "_default_session": ("Daisy.default_session",),
+        "_witness_active": ("Daisy.close",),
+    }
+
     def __init__(
         self,
         use_cost_model: bool = True,
@@ -100,6 +113,7 @@ class Daisy:
         batch_strategy: str = "shared",
         storage: str = STORAGE_MEMORY,
         memory_budget_mb: int = 0,
+        diagnostics: str = "none",
         config: DaisyConfig | None = None,
     ):
         if config is None:
@@ -114,8 +128,10 @@ class Daisy:
                 batch_strategy=batch_strategy,
                 storage=storage,
                 memory_budget_mb=memory_budget_mb,
+                diagnostics=diagnostics,
             )
         self.config = config
+        self._witness_active = False
         #: All spilled state (stripe files, SQLite mirrors) of this engine;
         #: sessions release its OS handles on close, :meth:`close` deletes it.
         self.storage_manager = StorageManager()
@@ -129,6 +145,14 @@ class Daisy:
         #: refresh, without discarding other tables' observations).
         self.table_versions: dict[str, int] = {}
         self._default_session: Session | None = None
+        if config.diagnostics == "witness":
+            # Activated last: the witness wraps every annotated class's
+            # methods, and this engine's own construction writes must land
+            # before instrumentation begins.
+            from repro.diagnostics import global_witness
+
+            global_witness().activate()
+            self._witness_active = True
 
     # -- config passthroughs (kept for API stability) -----------------------------------
 
@@ -349,6 +373,11 @@ class Daisy:
                 provider.detach(state.relation._colview)
             state.storage_provider = None
         self.storage_manager.close()
+        if self._witness_active:
+            from repro.diagnostics import global_witness
+
+            global_witness().deactivate()
+            self._witness_active = False
 
     # -- introspection ------------------------------------------------------------------
 

@@ -60,6 +60,7 @@ from repro.detection.thetajoin import (
 from repro.probabilistic.value import PValue
 from repro.relation.columnview import BACKEND_COLUMNAR
 from repro.relation.relation import Relation, Row
+from repro._ownership import session_owned
 
 logger = logging.getLogger(__name__)
 
@@ -153,6 +154,7 @@ class MaintenancePolicy:
         return "patch"
 
 
+@session_owned
 @dataclass
 class MaintenanceReport:
     """What one :func:`sync_matrix` invocation did to one matrix."""

@@ -46,6 +46,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from repro._ownership import shared_engine_state
 from repro.constraints.dc import DenialConstraint
 from repro.constraints.predicate import Predicate
 from repro.engine.stats import GLOBAL_COUNTER, WorkCounter
@@ -181,6 +182,7 @@ def _canonical_cell_order(pairs: list[ViolationPair]) -> list[ViolationPair]:
     return out
 
 
+@shared_engine_state
 class _StripeColumns:
     """Columnar mirror of one matrix stripe.
 
@@ -194,6 +196,17 @@ class _StripeColumns:
 
     __slots__ = ("rows", "numeric", "raw", "uncertain", "column_backend",
                  "_sorted", "_numeric_arrays")
+
+    #: Lazy caches: filled on first demand, dropped by ``invalidate`` when a
+    #: patch rewrites the stripe — both only ever run inside matrix
+    #: maintenance/check passes, which the service tier serializes per table.
+    MUTATED_UNDER = {
+        "_sorted": ("_StripeColumns.sorted_by", "_StripeColumns.invalidate"),
+        "_numeric_arrays": (
+            "_StripeColumns.numeric_array",
+            "_StripeColumns.invalidate",
+        ),
+    }
 
     def __init__(
         self,
@@ -270,6 +283,7 @@ class _StripeColumns:
         return result
 
 
+@shared_engine_state
 class ThetaJoinMatrix:
     """Incremental matrix-partitioned self theta-join for one binary DC.
 
@@ -278,7 +292,28 @@ class ThetaJoinMatrix:
     ``sqrt_p × sqrt_p`` cells.  :meth:`check_full` checks every candidate
     cell; :meth:`check_partial` checks only cells involving the given query
     tids and not yet checked, recording progress for incremental reuse.
+
+    The matrix lives on the shared per-table state; its seams are the
+    rebuild path plus the incremental-maintenance entry points in
+    :mod:`repro.detection.maintenance` (``sync_matrix`` patches stripes and
+    bounding boxes in place, ``_rederive_stripe`` recomputes one stripe).
+    Check passes only append to ``checked_cells``.
     """
+
+    MUTATED_UNDER = {
+        "relation": ("ThetaJoinMatrix.rebuild", "sync_matrix"),
+        "stripes": ("ThetaJoinMatrix.rebuild", "_rederive_stripe", "sync_matrix"),
+        "_stripe_cols": (
+            "ThetaJoinMatrix.rebuild",
+            "_rederive_stripe",
+            "sync_matrix",
+        ),
+        "bboxes": ("ThetaJoinMatrix.rebuild", "_rederive_stripe", "sync_matrix"),
+        "indexes": ("ThetaJoinMatrix.rebuild",),
+        "_relpos": ("ThetaJoinMatrix.rebuild",),
+        "_stripe_of_tid": ("ThetaJoinMatrix.rebuild",),
+        "checked_cells": ("ThetaJoinMatrix.check_cells", "sync_matrix"),
+    }
 
     def __init__(
         self,

@@ -1,0 +1,24 @@
+"""Runtime diagnostics for the Daisy engine.
+
+The only resident today is the race witness (:mod:`.witness`), the dynamic
+half of the ownership contract declared in :mod:`repro._ownership` and
+checked statically by daisylint's DL100-series rules.  Diagnostics are
+strictly opt-in (``DaisyConfig(diagnostics="witness")`` or the
+``REPRO_TEST_DIAGNOSTICS`` environment variable in the test harness) and
+must never change engine results — the parity suites run byte-identical
+with the witness attached.
+"""
+
+from repro.diagnostics.witness import (
+    RaceWitness,
+    WitnessEvent,
+    WitnessViolation,
+    global_witness,
+)
+
+__all__ = [
+    "RaceWitness",
+    "WitnessEvent",
+    "WitnessViolation",
+    "global_witness",
+]

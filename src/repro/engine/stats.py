@@ -19,11 +19,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable
+from repro._ownership import shared_engine_state
 
 
+@shared_engine_state
 @dataclass
 class WorkCounter:
-    """Mutable tally of work units performed by engine + cleaning operators."""
+    """Mutable tally of work units performed by engine + cleaning operators.
+
+    Each counter is written only by its ``charge_*`` seam (plus ``merge``,
+    which folds worker-shard counters back in on the coordinating thread,
+    and ``reset``); parallel passes give every worker a private counter and
+    merge, so the shared per-table counter stays single-writer.
+    """
+
+    MUTATED_UNDER = {
+        "tuples_scanned": ("WorkCounter.charge_scan", "WorkCounter.merge", "WorkCounter.reset"),
+        "comparisons": ("WorkCounter.charge_comparisons", "WorkCounter.merge", "WorkCounter.reset"),
+        "tuples_updated": ("WorkCounter.charge_update", "WorkCounter.merge", "WorkCounter.reset"),
+        "partitions_checked": ("WorkCounter.charge_partition", "WorkCounter.merge", "WorkCounter.reset"),
+        "partitions_pruned": ("WorkCounter.charge_partition", "WorkCounter.merge", "WorkCounter.reset"),
+        "joins_probed": ("WorkCounter.charge_join_probe", "WorkCounter.merge", "WorkCounter.reset"),
+    }
 
     tuples_scanned: int = 0
     comparisons: int = 0

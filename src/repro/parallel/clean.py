@@ -51,6 +51,7 @@ from repro.parallel.pool import (
 )
 from repro.parallel.shards import ShardSet
 from repro.relation.columnview import ColumnView
+from repro._ownership import session_owned
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.state import TableState
@@ -78,6 +79,7 @@ class PassPlan:
         return self.pool is not None
 
 
+@session_owned
 class ParallelContext:
     """Session-scoped parallel execution state: pool + shard routers.
 

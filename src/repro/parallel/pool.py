@@ -31,6 +31,7 @@ import multiprocessing
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence
+from repro._ownership import session_owned
 
 #: Supported pool kinds for :func:`make_pool` / ``DaisyConfig.pool``.
 POOL_SERIAL = "serial"
@@ -48,6 +49,7 @@ def validate_pool_kind(name: str) -> str:
     return name
 
 
+@session_owned
 class ExecutorPool:
     """Common interface of every pool: ordered fan-out of independent tasks.
 

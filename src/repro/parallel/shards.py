@@ -28,8 +28,10 @@ from typing import Any, Iterable, Iterator
 
 from repro.relation.columnview import ColumnView
 from repro.relation.relation import Relation
+from repro._ownership import immutable_after_init, session_owned
 
 
+@session_owned
 class RelationShard:
     """One contiguous row-range slice of a relation.
 
@@ -76,6 +78,7 @@ class RelationShard:
         )
 
 
+@immutable_after_init
 class ShardSet:
     """A relation split into contiguous row-range shards, plus the router.
 

@@ -6,6 +6,8 @@ that ``repro.relation`` can import ``repro.probabilistic.value`` without a
 circular import.
 """
 
+from types import MappingProxyType
+
 from repro.probabilistic.value import (
     Candidate,
     PValue,
@@ -16,7 +18,7 @@ from repro.probabilistic.value import (
     plain,
 )
 
-_LAZY = {
+_LAZY = MappingProxyType({
     "JoinLineage": "repro.probabilistic.lineage",
     "JoinResult": "repro.probabilistic.lineage",
     "join_with_lineage": "repro.probabilistic.lineage",
@@ -24,7 +26,7 @@ _LAZY = {
     "World": "repro.probabilistic.worlds",
     "enumerate_worlds": "repro.probabilistic.worlds",
     "world_count": "repro.probabilistic.worlds",
-}
+})
 
 __all__ = [
     "Candidate",

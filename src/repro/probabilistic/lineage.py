@@ -18,8 +18,10 @@ from typing import Any, Iterable
 
 from repro.probabilistic.value import PValue, cells_may_equal
 from repro.relation.relation import Relation, Row
+from repro._ownership import session_owned
 
 
+@session_owned
 @dataclass
 class JoinLineage:
     """Mapping between join-output rows and the input rows that produced them."""

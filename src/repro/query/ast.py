@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import QueryError
+from repro._ownership import session_owned
 
 
 class Connector(enum.Enum):
@@ -148,6 +149,7 @@ class Aggregate:
         return f"{self.func.upper()}({self.column}) AS {self.alias}"
 
 
+@session_owned
 @dataclass
 class Query:
     """A parsed query of the supported template."""

@@ -35,11 +35,23 @@ from repro.query.logical import (
     ScanNode,
 )
 from repro.relation.schema import Schema
+from repro._ownership import shared_engine_state
 
 
+@shared_engine_state
 @dataclass
 class PlannerCatalog:
-    """What the planner knows: schemas and rules per table."""
+    """What the planner knows: schemas and rules per table.
+
+    Written only during engine registration (``Daisy.register_table`` /
+    ``Daisy.add_rule`` delegate to the two seams below); planning reads it
+    concurrently from every session.
+    """
+
+    MUTATED_UNDER = {
+        "schemas": ("PlannerCatalog.add_table",),
+        "rules": ("PlannerCatalog.add_table", "PlannerCatalog.add_rule"),
+    }
 
     schemas: dict[str, Schema] = field(default_factory=dict)
     rules: dict[str, list[Rule]] = field(default_factory=dict)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import re
 from typing import Any
 
+from repro._ownership import session_owned
 from repro.errors import QueryParseError
 from repro.query.ast import (
     Aggregate,
@@ -35,15 +36,15 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
-_KEYWORDS = {
+_KEYWORDS = frozenset((
     "select", "from", "where", "group", "by", "and", "or", "as",
     "count", "sum", "avg", "min", "max",
     "null", "true", "false",
-}
+))
 
-_AGG_FUNCS = {"count", "sum", "avg", "min", "max"}
+_AGG_FUNCS = frozenset(("count", "sum", "avg", "min", "max"))
 
-_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+_OPS = frozenset(("=", "!=", "<>", "<", "<=", ">", ">="))
 
 
 def _tokenize(sql: str) -> list[str]:
@@ -63,6 +64,7 @@ def _tokenize(sql: str) -> list[str]:
     return tokens
 
 
+@session_owned
 class _Stream:
     def __init__(self, tokens: list[str]):
         self.tokens = tokens

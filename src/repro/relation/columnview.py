@@ -34,6 +34,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
+from repro._ownership import shared_engine_state
 from repro.engine.stats import WorkCounter
 from repro.probabilistic.value import PValue, cell_compare, plain
 from repro.relation import kernels
@@ -205,8 +206,31 @@ class PatchBatch:
 PatchListener = Callable[["ColumnView", PatchBatch], None]
 
 
+@shared_engine_state
 class ColumnView:
-    """Columnar snapshot of one relation (see module docstring)."""
+    """Columnar snapshot of one relation (see module docstring).
+
+    A view is logically immutable — updates produce a *new* view via
+    :meth:`patched` — but it memoizes derived structures (typed columns,
+    sort orders, hash indexes, group indexes) on first use and carries the
+    patch-subscription list forward.  Those caches and the storage
+    attach/detach hooks are the only post-construction writes; all run
+    inside serialized per-table passes.
+    """
+
+    MUTATED_UNDER = {
+        "_typed": ("ColumnView.typed_column", "ColumnView.patched"),
+        "_sorted": ("ColumnView.sorted_column", "ColumnView.patched"),
+        "_hash": ("ColumnView.hash_column", "ColumnView.patched"),
+        "_derived": ("ColumnView.derived", "ColumnView.patched"),
+        "_pos_of_tid": ("ColumnView.pos_of_tid", "ColumnView.patched"),
+        "_patch_listeners": ("ColumnView.subscribe", "ColumnView.patched"),
+        "column_backend": ("ColumnView.patched", "TableState.column_view"),
+        "derived_evictions": ("ColumnView.patched",),
+        "last_patch": ("ColumnView.patched",),
+        # Spill modes move column payloads between memory and disk.
+        "columns": ("TableStorage.detach", "TableStorage.ensure_attached"),
+    }
 
     __slots__ = (
         "schema",

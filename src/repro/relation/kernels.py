@@ -34,6 +34,8 @@ zero behaviour change (enforced by the no-numpy CI job).
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 from typing import Any
 
 try:  # pragma: no cover - exercised by the no-numpy CI job
@@ -538,7 +540,9 @@ def mask_to_positions(mask: Any) -> list[int]:
     return _np.flatnonzero(mask).tolist()
 
 
-_SEARCH_SIDE = {"<": "left", "<=": "right", ">": "right", ">=": "left"}
+_SEARCH_SIDE = MappingProxyType(
+    {"<": "left", "<=": "right", ">": "right", ">=": "left"}
+)
 
 
 def subset_exact(exact: Any | None, keep: list[bool]) -> Any | None:
@@ -607,7 +611,7 @@ def search_cuts(
 #: must be byte-identical to — or declares itself a shared knob helper
 #: with no vectorized twin.  Adding a kernel without registering its
 #: oracle (or vice versa) fails `python -m tools.daisylint src`.
-KERNEL_ORACLES: dict[str, str] = {
+KERNEL_ORACLES: dict[str, str] = {  # daisylint: disable=DL104 - write-once oracle registry, populated here and read-only thereafter (DL008 governs its contents)
     "validate_column_backend": "knob helper (no kernel): shared by both paths",
     "resolve_column_backend": "knob helper (no kernel): shared by both paths",
     "build_typed_column": (

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro._ownership import shared_engine_state
 from repro.errors import SchemaError
 from repro.probabilistic.value import PValue, cell_compare, cells_may_equal, plain
 from repro.relation.columnview import ColumnView
@@ -82,8 +83,23 @@ def _aggregate_numeric(func: str, values: Iterable[Any]) -> Any:
     raise SchemaError(f"unknown aggregate function {func!r}")
 
 
+@shared_engine_state
 class Relation:
-    """An ordered multiset of :class:`Row` objects over a :class:`Schema`."""
+    """An ordered multiset of :class:`Row` objects over a :class:`Schema`.
+
+    Shared via :class:`~repro.core.state.TableState`; cell updates and the
+    cached columnar view are rewritten only inside the serialized cleaning
+    and update seams, and the engine stamps ``name`` at registration.
+    """
+
+    MUTATED_UNDER = {
+        "_colview": (
+            "Relation.column_view",
+            "Relation.apply_delta",
+            "Relation.update_cells",
+        ),
+        "name": ("Daisy.register_table",),
+    }
 
     def __init__(
         self,

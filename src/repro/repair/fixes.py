@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import AbstractSet, Any, NamedTuple
 
 from repro.probabilistic.value import PValue
+from repro._ownership import session_owned
 
 
 class CandidateFix(NamedTuple):
@@ -33,6 +34,7 @@ class CandidateFix(NamedTuple):
         return max(1, len(self.support))
 
 
+@session_owned
 @dataclass
 class CellFix:
     """All candidate fixes for one cell (tid, attr)."""
@@ -78,6 +80,7 @@ class CellFix:
         return len(self.candidates) == 1 and self.candidates[0].value == self.original
 
 
+@session_owned
 @dataclass
 class RepairDelta:
     """A batch of cell fixes produced by one cleaning step.

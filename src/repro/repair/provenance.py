@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Hashable
+from repro._ownership import shared_engine_state
 
 
 @dataclass
@@ -27,8 +28,20 @@ class CellProvenance:
     rules: set[str] = field(default_factory=set)
 
 
+@shared_engine_state
 class ProvenanceStore:
-    """Provenance for one relation's repaired cells and per-rule progress."""
+    """Provenance for one relation's repaired cells and per-rule progress.
+
+    Mutated only inside cleaning passes (which the service tier serializes
+    per table): repairs land via :meth:`record_original`, progress via
+    :meth:`mark_checked`, and external updates retract stale cells via
+    :meth:`forget_cell` under the table's update seam.
+    """
+
+    MUTATED_UNDER = {
+        "_cells": ("ProvenanceStore.record_original", "ProvenanceStore.forget_cell"),
+        "_checked_groups": ("ProvenanceStore.mark_checked",),
+    }
 
     def __init__(self) -> None:
         self._cells: dict[tuple[int, str], CellProvenance] = {}

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import SatError
+from repro._ownership import session_owned
 
 Literal = int
 Clause = tuple[Literal, ...]
@@ -27,6 +28,7 @@ def check_literal(lit: int) -> None:
         raise SatError(f"literal must be a non-zero integer, got {lit!r}")
 
 
+@session_owned
 class CnfFormula:
     """A conjunction of disjunctive clauses over integer variables."""
 
@@ -90,6 +92,7 @@ class CnfFormula:
         return f"CnfFormula({len(self._clauses)} clauses, {self._num_vars} vars)"
 
 
+@session_owned
 @dataclass
 class FormulaBuilder:
     """Incrementally assign variables to named atoms and build a CNF.

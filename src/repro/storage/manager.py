@@ -14,12 +14,25 @@ import shutil
 import tempfile
 from pathlib import Path
 
+from repro._ownership import shared_engine_state
 from repro.storage.provider import TableStorage
 from repro.storage.stripefile import STRIPE_ROWS
 
 
+@shared_engine_state
 class StorageManager:
-    """All spilled state of one engine: spill root + per-table storage."""
+    """All spilled state of one engine: spill root + per-table storage.
+
+    One per :class:`~repro.daisy.Daisy`; the spill root materializes
+    lazily on first use, per-table facades are created under the engine's
+    registration/storage seams, and :meth:`close` tears everything down.
+    """
+
+    MUTATED_UNDER = {
+        "_root": ("StorageManager.root", "StorageManager.close"),
+        "_closed": ("StorageManager.root", "StorageManager.close"),
+        "_tables": ("StorageManager.table_storage", "StorageManager.close"),
+    }
 
     def __init__(self, chunk_rows: int = STRIPE_ROWS) -> None:
         self._root: Path | None = None

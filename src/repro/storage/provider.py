@@ -27,6 +27,7 @@ import shutil
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro._ownership import shared_engine_state
 from repro.storage.modes import STORAGE_SQLITE
 from repro.storage.sqlitebackend import SqliteBackend
 from repro.storage.stripefile import STRIPE_ROWS
@@ -36,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.relation.columnview import ColumnView, PatchBatch
 
 
+@shared_engine_state
 class StorageColumns(dict):  # type: ignore[type-arg]
     """Lazy ``{attr: [cells]}`` mapping over a :class:`TableStorage`.
 
@@ -43,7 +45,16 @@ class StorageColumns(dict):  # type: ignore[type-arg]
     materialized; ``__missing__`` loads them from the stripe store pinned
     to the generation recorded at view-creation time, so an evict + reload
     can never time-travel a snapshot across a patch.
+
+    The dict payload itself (materialize / evict) mutates via the dict
+    protocol under the serialized storage passes; the two bookkeeping
+    attributes below move only when a patched view adopts the mapping.
     """
+
+    MUTATED_UNDER = {
+        "order": ("StorageColumns.adopt", "StorageColumns.__setitem__"),
+        "generations": ("StorageColumns.adopt",),
+    }
 
     def __init__(
         self,
@@ -167,8 +178,26 @@ class StorageColumns(dict):  # type: ignore[type-arg]
         return (dict, (self.materialized(),))
 
 
+@shared_engine_state
 class TableStorage:
-    """One table's storage facade: stripe store + optional SQLite mirror."""
+    """One table's storage facade: stripe store + optional SQLite mirror.
+
+    Attach/detach swap a view's columns dict and the patch subscription;
+    both run inside the serialized per-table passes that build or close
+    views.  ``_fresh_sqlite`` re-opens the pushdown mirror after a fork
+    (the child's inherited handle is unusable), stamping the new owner pid.
+    """
+
+    MUTATED_UNDER = {
+        "attached": (
+            "TableStorage.ensure_attached",
+            "TableStorage.detach",
+            "TableStorage.close",
+        ),
+        "_unsubscribe": ("TableStorage.ensure_attached", "TableStorage.detach"),
+        "sqlite": ("TableStorage._fresh_sqlite",),
+        "_owner_pid": ("TableStorage._fresh_sqlite",),
+    }
 
     def __init__(
         self,

@@ -31,11 +31,14 @@ the table's spill directory and is deleted with it.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 import math
 import sqlite3
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro._ownership import shared_engine_state
 from repro.storage.stripefile import (
     KIND_FLOAT64,
     KIND_INT64,
@@ -49,7 +52,9 @@ from repro.storage.stripefile import (
 #: as a float64 (mirrors ``repro.relation.kernels.MAX_EXACT_FLOAT_INT``).
 MAX_EXACT_ORDER_INT = 2 ** 53
 
-_SQL_TYPE = {KIND_INT64: "INTEGER", KIND_FLOAT64: "REAL", KIND_STR: "TEXT"}
+_SQL_TYPE = MappingProxyType(
+    {KIND_INT64: "INTEGER", KIND_FLOAT64: "REAL", KIND_STR: "TEXT"}
+)
 
 
 def _pushable_kind(values: list[Any]) -> "int | None":
@@ -106,8 +111,28 @@ def probe_matches_kind(kind: int, value: Any) -> bool:
 _OPS = frozenset(("<", "<=", ">", ">=", "="))
 
 
+@shared_engine_state
 class SqliteBackend:
-    """One table's pushdown mirror: ``(pos, c0, c1, …)`` plus indexes."""
+    """One table's pushdown mirror: ``(pos, c0, c1, …)`` plus indexes.
+
+    The mirror is (re)loaded and patched only inside the serialized
+    storage passes; the connection handle opens lazily and is dropped by
+    ``release_handles`` between sessions.  ``queries_served`` is an
+    introspection tally charged by the pushdown query seams.
+    """
+
+    MUTATED_UNDER = {
+        "_conn": ("SqliteBackend._connection", "SqliteBackend.release_handles"),
+        "_attrs": ("SqliteBackend.load_table", "SqliteBackend.update_rows"),
+        "_order_exact": ("SqliteBackend.load_table", "SqliteBackend.update_rows"),
+        "_generation": ("SqliteBackend.load_table", "SqliteBackend.update_rows"),
+        "_loaded": ("SqliteBackend.load_table",),
+        "queries_served": (
+            "SqliteBackend.filter_positions",
+            "SqliteBackend.range_window",
+            "SqliteBackend.sorted_pairs",
+        ),
+    }
 
     def __init__(self, path: Path) -> None:
         self.path = Path(path)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, MutableMapping
 
+from repro._ownership import shared_engine_state
 from repro.storage.stripefile import STRIPE_ROWS, decode_stripe, encode_stripe
 
 
@@ -43,9 +44,20 @@ class _ChunkMeta:
     nbytes: int
 
 
+@shared_engine_state
 @dataclass
 class _ColumnMeta:
-    """Manifest entry for one spilled attribute."""
+    """Manifest entry for one spilled attribute.
+
+    Owned by its :class:`StripeStore` manifest; the generation bumps (and
+    the chunk list rewrites) only inside the store's write seams.
+    """
+
+    MUTATED_UNDER = {
+        "generation": ("StripeStore.put_column", "StripeStore.rewrite_positions"),
+        "n_rows": ("StripeStore.put_column", "StripeStore.rewrite_positions"),
+        "chunks": ("StripeStore.put_column", "StripeStore.rewrite_positions"),
+    }
 
     n_rows: int
     generation: int = 0
@@ -66,6 +78,7 @@ class _Resident:
     nbytes: int
 
 
+@shared_engine_state
 class ResidencyTracker:
     """LRU accounting of decoded columns against a byte budget.
 
@@ -79,12 +92,37 @@ class ResidencyTracker:
     reloaded) are skipped entirely.
     """
 
+    MUTATED_UNDER = {
+        "_entries": (
+            "ResidencyTracker.note",
+            "ResidencyTracker.forget",
+            "ResidencyTracker._enforce",
+        ),
+        "_order": (
+            "ResidencyTracker.note",
+            "ResidencyTracker.touch",
+            "ResidencyTracker.forget",
+            "ResidencyTracker._enforce",
+        ),
+        "resident_bytes": (
+            "ResidencyTracker.note",
+            "ResidencyTracker.forget",
+            "ResidencyTracker._enforce",
+        ),
+        "evictions": ("ResidencyTracker._enforce",),
+        "budget_bytes": ("ResidencyTracker.set_budget",),
+    }
+
     def __init__(self, budget_bytes: int) -> None:
         self.budget_bytes = budget_bytes
         self._entries: dict[tuple[int, str], _Resident] = {}
         self._order: list[tuple[int, str]] = []
         self.resident_bytes = 0
         self.evictions = 0
+
+    def set_budget(self, budget_bytes: int) -> None:
+        """Re-point the residency budget (takes effect on the next load)."""
+        self.budget_bytes = budget_bytes
 
     def note(
         self,
@@ -165,8 +203,21 @@ class ResidencyTracker:
             self.evictions += 1
 
 
+@shared_engine_state
 class StripeStore:
-    """One table's spill directory of chunked column stripes."""
+    """One table's spill directory of chunked column stripes.
+
+    Writes (spill, patch-rewrite) happen only inside the serialized
+    per-table storage passes; the two counters are introspection tallies
+    charged by the same seams that do the I/O.
+    """
+
+    MUTATED_UNDER = {
+        "_columns": ("StripeStore.put_column",),
+        "_slots": ("StripeStore._chunk_path",),
+        "chunk_writes": ("StripeStore.put_column", "StripeStore.rewrite_positions"),
+        "chunk_reads": ("StripeStore.load_column",),
+    }
 
     def __init__(
         self,

@@ -2,10 +2,42 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.constraints import FunctionalDependency
 from repro.relation import ColumnType, Relation
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _race_witness_harness():
+    """Run the whole suite under the race witness when asked.
+
+    ``REPRO_TEST_DIAGNOSTICS=witness`` activates the ownership witness
+    (:mod:`repro.diagnostics.witness`) for every test — the CI race-witness
+    job runs the parity suites this way.  On teardown the witness writes
+    its report (``REPRO_WITNESS_REPORT``) and the session FAILS if any
+    observed write contradicted the declared ownership contracts.
+    """
+    if os.environ.get("REPRO_TEST_DIAGNOSTICS") != "witness":
+        yield
+        return
+    from repro.diagnostics import global_witness
+
+    witness = global_witness()
+    witness.activate()
+    try:
+        yield
+    finally:
+        violations = list(witness.violations)
+        witness.deactivate()
+    if violations:
+        lines = "\n".join(v.reason for v in violations[:20])
+        raise AssertionError(
+            f"race witness observed {len(violations)} ownership "
+            f"violation(s):\n{lines}"
+        )
 
 
 @pytest.fixture

@@ -1,0 +1,74 @@
+"""Seeded ownership bugs: the same defects both analysis layers must catch.
+
+This module deliberately violates the ownership contract three ways:
+
+* :func:`rogue_write` writes a ``@shared_engine_state`` attribute outside
+  its declared ``MUTATED_UNDER`` seam — daisylint DL101 statically, a
+  ``seam-violation`` from the runtime witness dynamically.
+* :func:`corrupt` writes an ``@immutable_after_init`` object after
+  construction — DL102 statically, ``immutable-write`` dynamically.
+* :func:`touch` is a legitimate-looking writer that, called from two
+  threads against one ``@session_owned`` instance, produces the
+  ``cross-thread-write`` the witness (and only the witness) can see.
+
+The module's name avoids the witness's harness-exemption patterns
+(``test_*`` / ``docsnippet_*`` / ``conftest``) on purpose: writes from
+these functions are *engine-shaped* frames, so the self-tests in
+``tests/test_witness.py`` prove the witness actually fires.  The static
+self-test in ``tests/test_daisylint_ownership.py`` lints this same file
+at a pretend engine path and proves DL101/DL102 fire on the same lines.
+"""
+
+from __future__ import annotations
+
+from repro._ownership import (
+    immutable_after_init,
+    session_owned,
+    shared_engine_state,
+)
+
+
+@shared_engine_state
+class SeededCursor:
+    """Shared state whose only declared write seam is :meth:`advance`."""
+
+    MUTATED_UNDER = {
+        "position": ("SeededCursor.advance",),
+    }
+
+    def __init__(self) -> None:
+        self.position = 0
+
+    def advance(self) -> None:
+        self.position += 1
+
+
+@immutable_after_init
+class SeededFrozen:
+    """Construction-only object: any later write is a contract breach."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+@session_owned
+class SeededScratch:
+    """Per-session scratch: a single thread may write each instance."""
+
+    def __init__(self) -> None:
+        self.cursor = 0
+
+
+def rogue_write(cursor: SeededCursor) -> None:
+    """The seeded DL101 bug: a write outside every declared seam."""
+    cursor.position = 99
+
+
+def corrupt(frozen: SeededFrozen) -> None:
+    """The seeded DL102 bug: mutating an immutable object post-init."""
+    frozen.value = -1
+
+
+def touch(scratch: SeededScratch) -> None:
+    """A writer that is only a bug when two threads share the instance."""
+    scratch.cursor += 1

@@ -45,8 +45,10 @@ def codes_of(findings) -> list[str]:
 
 
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
-        assert sorted(dl.RULES) == [f"DL00{i}" for i in range(1, 10)]
+    def test_full_rule_suite_registered(self):
+        assert sorted(dl.RULES) == [f"DL00{i}" for i in range(1, 10)] + [
+            f"DL10{i}" for i in range(1, 5)
+        ]
 
     def test_rules_carry_metadata(self):
         for rule in dl.iter_rules():

@@ -315,7 +315,7 @@ class TestEvictionReallyHappens:
                 # Shrink the resident budget far below one column so the
                 # LRU tracker must evict on every subsequent load.
                 for t in stores:
-                    t.store.tracker.budget_bytes = 1024
+                    t.store.tracker.set_budget(1024)
                 for q in queries[1:]:
                     session.execute(q)
             assert any(t.store.chunk_writes > 0 for t in stores)

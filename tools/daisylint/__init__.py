@@ -11,10 +11,12 @@ this package registers the full rule suite.
 """
 
 from tools.daisylint import rules as _rules  # noqa: F401  (registers rules)
+from tools.daisylint import ownership_rules as _ownership  # noqa: F401  (DL1xx)
 from tools.daisylint.core import (
     Baseline,
     Finding,
     ModuleInfo,
+    ProjectRule,
     Rule,
     RULES,
     RunResult,
@@ -24,12 +26,18 @@ from tools.daisylint.core import (
     register,
     run,
 )
+from tools.daisylint.cache import FileCache
+from tools.daisylint.project import ModuleSummary, ProjectModel, summarize_module
 from tools.daisylint.cli import main
 
 __all__ = [
     "Baseline",
+    "FileCache",
     "Finding",
     "ModuleInfo",
+    "ModuleSummary",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
     "RULES",
     "RunResult",
@@ -39,4 +47,5 @@ __all__ = [
     "main",
     "register",
     "run",
+    "summarize_module",
 ]

@@ -1,0 +1,118 @@
+"""daisylint result cache: skip re-analysis of unchanged files.
+
+One JSON file keyed by repo-relative path.  A cache entry stores the
+file's mtime/size (fast path) and content hash (slow path, survives
+``touch``), plus the full analysis payload — the file-scope findings
+*and* the :class:`ModuleSummary` the project rules consume, so a fully
+cached run still rebuilds the whole-program model without parsing a
+single file.
+
+The cache is keyed on a *tool token* — a hash over the daisylint package
+sources themselves — so editing any rule invalidates every entry.  Stale
+caches can therefore never mask a new rule or a fixed bug in an old one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+_PACKAGE_DIR = Path(__file__).resolve().parent
+DEFAULT_CACHE = _PACKAGE_DIR / ".cache" / "results.json"
+_VERSION = 1
+
+
+def tool_token() -> str:
+    """Hash of the daisylint sources: rule edits invalidate the cache."""
+    digest = hashlib.sha256()
+    for source in sorted(_PACKAGE_DIR.glob("*.py")):
+        digest.update(source.name.encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def _content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+class FileCache:
+    """mtime/content-hash keyed store of per-file analysis payloads."""
+
+    def __init__(self, path: Path, token: str, files: dict[str, dict] | None = None):
+        self.path = path
+        self.token = token
+        self.files: dict[str, dict] = dict(files or {})
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: Path | None = None) -> "FileCache":
+        path = path or DEFAULT_CACHE
+        token = tool_token()
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cls(path, token)
+        if data.get("version") != _VERSION or data.get("token") != token:
+            # Tool or format changed: every entry is suspect.
+            return cls(path, token)
+        return cls(path, token, data.get("files", {}))
+
+    def get(self, path: Path, relpath: str) -> dict | None:
+        """The cached payload for an unchanged file, else None."""
+        entry = self.files.get(relpath)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            stat = path.stat()
+        except OSError:
+            self.misses += 1
+            return None
+        if stat.st_mtime == entry["mtime"] and stat.st_size == entry["size"]:
+            self.hits += 1
+            return entry["payload"]
+        try:
+            digest = _content_hash(path.read_bytes())
+        except OSError:
+            self.misses += 1
+            return None
+        if digest == entry["hash"]:
+            # Touched but not changed: refresh the fast-path key.
+            entry["mtime"] = stat.st_mtime
+            entry["size"] = stat.st_size
+            self._dirty = True
+            self.hits += 1
+            return entry["payload"]
+        self.misses += 1
+        return None
+
+    def put(self, path: Path, relpath: str, payload: dict) -> None:
+        try:
+            stat = path.stat()
+            digest = _content_hash(path.read_bytes())
+        except OSError:
+            return
+        self.files[relpath] = {
+            "mtime": stat.st_mtime,
+            "size": stat.st_size,
+            "hash": digest,
+            "payload": payload,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps({
+            "version": _VERSION,
+            "token": self.token,
+            "files": self.files,
+        }))
+        self._dirty = False
+
+
+__all__ = ["FileCache", "DEFAULT_CACHE", "tool_token"]

@@ -14,6 +14,8 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from tools.daisylint.cache import DEFAULT_CACHE as DEFAULT_CACHE_FILE
+from tools.daisylint.cache import FileCache
 from tools.daisylint.core import Baseline, RunResult, iter_rules, run
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
@@ -58,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="analyze files over N worker processes (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const=str(DEFAULT_CACHE_FILE), default=None,
+        metavar="FILE",
+        help="reuse per-file results for unchanged files "
+        f"(default cache: {DEFAULT_CACHE_FILE})",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="fail (and prune the baseline file) if any baseline entry is "
+        "stale — its finding no longer fires",
+    )
+    parser.add_argument(
+        "--dump-project", default=None, metavar="FILE",
+        help="write the whole-program attribute-mutation map to FILE "
+        "(the ownership-annotation authoring aid)",
+    )
     return parser
 
 
@@ -92,11 +114,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     def on_error(path: Path, exc: Exception) -> None:
         errors.append(f"daisylint: cannot lint {path}: {exc}")
 
+    cache = FileCache.load(Path(args.cache)) if args.cache else None
     result = run(
-        [Path(p) for p in args.paths], root, baseline=baseline, on_error=on_error
+        [Path(p) for p in args.paths], root, baseline=baseline,
+        on_error=on_error, jobs=max(1, args.jobs), cache=cache,
     )
     for line in errors:
         print(line, file=sys.stderr)
+
+    if args.dump_project and result.project is not None:
+        Path(args.dump_project).write_text(
+            json.dumps(result.project.mutation_report(), indent=2) + "\n"
+        )
 
     if args.write_baseline:
         from tools.daisylint.core import fingerprint_findings
@@ -122,6 +151,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(json.dumps(result.to_json(), indent=2))
     else:
         _print_text(result, sys.stdout)
+
+    if args.check_baseline and result.stale:
+        # Stale entries mean the baseline over-grants: the finding they
+        # grandfathered no longer fires.  Prune them (locally this fixes
+        # the file; in CI the failure flags the un-committed prune).
+        for digest in result.stale:
+            baseline.entries.pop(digest, None)
+        if not args.no_baseline:
+            baseline.save(baseline_path)
+        print(
+            f"daisylint: pruned {len(result.stale)} stale baseline "
+            f"entry(ies) from {baseline_path}; commit the updated baseline",
+            file=sys.stderr,
+        )
+        return 1
 
     if errors:
         return 2

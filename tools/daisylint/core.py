@@ -72,6 +72,17 @@ class Finding:
             "source_line": self.source_line.strip(),
         }
 
+    @classmethod
+    def from_json(cls, data: dict) -> "Finding":
+        return cls(
+            code=data["code"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            source_line=data.get("source_line", ""),
+        )
+
 
 def fingerprint_findings(findings: Iterable[Finding]) -> list[tuple[str, Finding]]:
     """Pair each finding with its occurrence-disambiguated fingerprint.
@@ -174,17 +185,39 @@ class Rule:
     """Base class: subclass, set ``code``/``name``/``rationale``, register.
 
     ``check`` yields findings for one module; ``applies`` gates which
-    repo-relative paths the rule runs on (default: every file).
+    repo-relative paths the rule runs on (default: every file).  File
+    rules (``scope = "file"``) see one module at a time; project rules
+    (:class:`ProjectRule`) run once over the merged whole-program model.
     """
 
     code: str = ""
     name: str = ""
     rationale: str = ""
+    scope: str = "file"
 
     def applies(self, relpath: str) -> bool:
         return True
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class ProjectRule(Rule):
+    """A rule over the merged :class:`tools.daisylint.project.ProjectModel`.
+
+    Project rules never run per file — :func:`run` invokes
+    :meth:`check_project` once after every module summary is collected.
+    Suppression comments still apply: findings are filtered against the
+    summary's suppression table by line, exactly like file findings.
+    """
+
+    scope = "project"
+
+    def applies(self, relpath: str) -> bool:
+        return False
+
+    def check_project(self, project) -> Iterator[Finding]:
         raise NotImplementedError
         yield  # pragma: no cover
 
@@ -257,6 +290,8 @@ class RunResult:
     matched: list[tuple[str, Finding]]
     stale: list[str]
     files_checked: int
+    #: The merged whole-program model (when project analysis ran).
+    project: object | None = None
 
     @property
     def exit_code(self) -> int:
@@ -277,16 +312,40 @@ class RunResult:
 
 
 def lint_module(module: ModuleInfo, rules: Iterable[Rule] | None = None) -> list[Finding]:
-    """Run every applicable rule on one parsed module, minus suppressions."""
+    """Run every applicable file rule on one parsed module, minus suppressions."""
     out: list[Finding] = []
     for rule in rules if rules is not None else iter_rules():
-        if not rule.applies(module.relpath):
+        if rule.scope != "file" or not rule.applies(module.relpath):
             continue
         for finding in rule.check(module):
             if not module.suppressed(finding):
                 out.append(finding)
     out.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return out
+
+
+def analyze_path(path_str: str, relpath: str) -> dict:
+    """Fully analyze one file into a serializable payload.
+
+    The payload — file-scope findings plus the module summary the project
+    rules consume — is what ``--jobs`` worker processes return and what
+    the result cache stores, so one format serves both.
+    """
+    from tools.daisylint.project import summarize_module
+
+    path = Path(path_str)
+    text = path.read_text()
+    module = ModuleInfo.parse(path, relpath, text)
+    findings = lint_module(module)
+    summary = summarize_module(
+        module.tree, relpath, text, suppressions=module.suppressions
+    )
+    return {
+        "relpath": relpath,
+        "findings": [f.to_json() | {"line": f.line, "col": f.col,
+                                    "source_line": f.source_line} for f in findings],
+        "summary": summary.to_json(),
+    }
 
 
 def iter_python_files(targets: Iterable[Path], root: Path) -> Iterator[tuple[Path, str]]:
@@ -305,28 +364,133 @@ def iter_python_files(targets: Iterable[Path], root: Path) -> Iterator[tuple[Pat
             yield path, rel
 
 
+def _collect_payloads(
+    files: list[tuple[Path, str]],
+    jobs: int,
+    cache,
+    on_error: Callable[[Path, Exception], None] | None,
+) -> list[dict]:
+    """Analysis payloads for every file: cache hits, then (parallel) misses."""
+    payloads: dict[str, dict] = {}
+    misses: list[tuple[Path, str]] = []
+    for path, rel in files:
+        hit = cache.get(path, rel) if cache is not None else None
+        if hit is not None:
+            payloads[rel] = hit
+        else:
+            misses.append((path, rel))
+
+    def handle_error(path: Path, exc: Exception) -> None:
+        if on_error is None:
+            raise exc
+        on_error(path, exc)
+
+    if jobs > 1 and len(misses) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                rel: pool.submit(analyze_path, str(path), rel)
+                for path, rel in misses
+            }
+            for path, rel in misses:
+                try:
+                    payload = futures[rel].result()
+                except (OSError, SyntaxError, ValueError) as exc:
+                    handle_error(path, exc)
+                    continue
+                payloads[rel] = payload
+                if cache is not None:
+                    cache.put(path, rel, payload)
+    else:
+        for path, rel in misses:
+            try:
+                payload = analyze_path(str(path), rel)
+            except (OSError, SyntaxError, ValueError) as exc:
+                handle_error(path, exc)
+                continue
+            payloads[rel] = payload
+            if cache is not None:
+                cache.put(path, rel, payload)
+
+    if cache is not None:
+        cache.save()
+    return [payloads[rel] for _path, rel in files if rel in payloads]
+
+
 def run(
     targets: Iterable[Path],
     root: Path,
     baseline: Baseline | None = None,
     rules: Iterable[Rule] | None = None,
     on_error: Callable[[Path, Exception], None] | None = None,
+    jobs: int = 1,
+    cache=None,
+    project: bool = True,
 ) -> RunResult:
-    """Lint ``targets`` (files or directories) relative to repo ``root``."""
+    """Lint ``targets`` (files or directories) relative to repo ``root``.
+
+    ``jobs`` > 1 fans per-file analysis out over a process pool; ``cache``
+    (a :class:`tools.daisylint.cache.FileCache`) skips unchanged files.
+    Both paths produce identical payloads, so results are byte-identical
+    regardless of parallelism or cache state.  With ``project`` enabled
+    (the default), the whole-program model is built from the collected
+    module summaries and every registered :class:`ProjectRule` runs over
+    it; ``rules`` (when given) filters project rules the same way it
+    filters file rules — note explicit ``rules`` bypass the cache, whose
+    payloads always reflect the full registry.
+    """
+    from tools.daisylint.project import ModuleSummary, ProjectModel
+
     baseline = baseline or Baseline()
+    files = list(iter_python_files(targets, root))
+
     findings: list[Finding] = []
-    files_checked = 0
-    for path, rel in iter_python_files(targets, root):
-        try:
-            module = ModuleInfo.parse(path, rel, path.read_text())
-        except (OSError, SyntaxError, ValueError) as exc:
-            if on_error is not None:
+    summaries: list[ModuleSummary] = []
+    if rules is None:
+        payloads = _collect_payloads(files, jobs, cache, on_error)
+        files_checked = len(payloads)
+        for payload in payloads:
+            findings.extend(Finding.from_json(f) for f in payload["findings"])
+            summaries.append(ModuleSummary.from_json(payload["summary"]))
+        active_rules: list[Rule] = iter_rules()
+    else:
+        # Explicit rule subsets (tests, focused runs): analyze inline.
+        from tools.daisylint.project import summarize_module
+
+        active_rules = list(rules)
+        files_checked = 0
+        for path, rel in files:
+            try:
+                module = ModuleInfo.parse(path, rel, path.read_text())
+            except (OSError, SyntaxError, ValueError) as exc:
+                if on_error is None:
+                    raise
                 on_error(path, exc)
                 continue
-            raise
-        files_checked += 1
-        findings.extend(lint_module(module, rules=rules))
+            files_checked += 1
+            findings.extend(lint_module(module, rules=active_rules))
+            summaries.append(summarize_module(
+                module.tree, rel, module.text, suppressions=module.suppressions
+            ))
 
+    if project:
+        model = ProjectModel(summaries)
+        by_relpath = {s.relpath: s for s in summaries}
+        for rule in active_rules:
+            if rule.scope != "project":
+                continue
+            for finding in rule.check_project(model):
+                summary = by_relpath.get(finding.path)
+                if summary is not None and summary.suppressed(
+                    finding.code, finding.line
+                ):
+                    continue
+                findings.append(finding)
+    else:
+        model = None
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     pairs = fingerprint_findings(findings)
     new = [(d, f) for d, f in pairs if d not in baseline.entries]
     matched = [(d, f) for d, f in pairs if d in baseline.entries]
@@ -338,4 +502,5 @@ def run(
         matched=matched,
         stale=stale,
         files_checked=files_checked,
+        project=model,
     )
