@@ -1,0 +1,184 @@
+"""Service tier — reads under concurrent writes (BENCH_service.json).
+
+The scenario the snapshot-isolated scheduler exists for: several reader
+clients issue selective queries against one table (``roster``) while a
+writer client grinds through chunky external-update batches — each
+followed by a full reclean-triggering scan — on a *different* table
+(``ledger``).  The same submission-ordered request log runs twice:
+
+* ``per-table`` — the service's default: one FIFO turnstile per table, so
+  reads on ``roster`` never wait behind ``ledger``'s update batches;
+* ``global-lock`` — the naive baseline: every request serializes through
+  one turnstile, exactly what a single engine-wide mutex would do.
+
+Both modes must produce **byte-identical responses** (same admission
+order, same serial-equivalent semantics — asserted at every scale).  The
+reported series is sustained QPS, p99 latency, and the reader-completion
+wall: the speedup gate — readers finish ≥ 2× faster under per-table
+scheduling than under the global lock — binds at full scale only.
+"""
+
+from __future__ import annotations
+
+from _harness import bench_scale, record_benchmark, scaled
+from repro import Daisy, DaisyConfig
+from repro.metrics.timing import clock
+from repro.relation import ColumnType, Relation
+from repro.service import DaisyService, ServicePolicy, ServiceRequest
+
+READ_ROWS = scaled(300, minimum=60)
+WRITE_ROWS = scaled(1500, minimum=150)
+READERS = 3
+READS_PER_CLIENT = scaled(40, minimum=8)
+WRITER_BATCHES = scaled(12, minimum=3)
+
+
+def _engine() -> Daisy:
+    engine = Daisy(config=DaisyConfig(use_cost_model=False))
+    roster = Relation.from_rows(
+        [("zip", ColumnType.INT), ("city", ColumnType.STRING)],
+        [
+            (10000 + i % 8, f"metro{i % 8}" if i % 5 else "smudge")
+            for i in range(READ_ROWS)
+        ],
+        name="roster",
+    )
+    engine.register_table("roster", roster)
+    engine.add_rule("roster", "zip -> city", name="fd_roster")
+    groups = max(2, WRITE_ROWS // 4)
+    ledger = Relation.from_rows(
+        [("k", ColumnType.INT), ("v", ColumnType.STRING)],
+        [
+            (i % groups, f"item{i % 3}" if i % 7 else "typo")
+            for i in range(WRITE_ROWS)
+        ],
+        name="ledger",
+    )
+    engine.register_table("ledger", ledger)
+    engine.add_rule("ledger", "k -> v", name="fd_ledger")
+    return engine
+
+
+def _request_log() -> list[ServiceRequest]:
+    """Writer batches first, then the reader streams: in global-lock mode
+    every read queues behind the whole write burst; in per-table mode the
+    reads only ever wait on each other."""
+    log: list[ServiceRequest] = []
+    seq = 0
+    for batch in range(WRITER_BATCHES):
+        cells = tuple(
+            ((batch * 7 + j) % WRITE_ROWS, "v", f"item{(batch + j) % 3}")
+            for j in range(5)
+        )
+        log.append(ServiceRequest(
+            client="writer", seq=seq, kind="update_table",
+            table="ledger", cells=cells,
+        ))
+        log.append(ServiceRequest(
+            client="writer", seq=seq + 1, kind="execute",
+            sql="SELECT k, v FROM ledger WHERE k >= 0",
+        ))
+        seq += 2
+    reads = (
+        "SELECT zip, city FROM roster WHERE zip = 10001",
+        "SELECT city FROM roster WHERE zip >= 10005",
+        "SELECT zip FROM roster WHERE city = 'metro2'",
+    )
+    for i in range(READERS * READS_PER_CLIENT):
+        client = f"reader{i % READERS}"
+        log.append(ServiceRequest(
+            client=client, seq=i // READERS, kind="execute",
+            sql=reads[i % len(reads)],
+        ))
+    return log
+
+
+def _p99(seconds: list[float]) -> float:
+    ordered = sorted(seconds)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def _run_mode(mode: str, log: list[ServiceRequest]) -> dict:
+    engine = _engine()
+    service = DaisyService(engine, policy=ServicePolicy(mode=mode))
+    done_at: dict[int, float] = {}
+    reader_done: list[float] = []
+    with service:
+        started = clock()
+        futures = []
+        for index, request in enumerate(log):
+            future = service.submit(request)
+            future.add_done_callback(
+                lambda _f, i=index: done_at.__setitem__(i, clock())
+            )
+            futures.append(future)
+        responses = [future.result(timeout=600) for future in futures]
+        reader_done = [
+            done_at[i] for i, request in enumerate(log)
+            if request.client.startswith("reader")
+        ]
+        reader_wall = max(reader_done) - started
+        total_wall = max(done_at.values()) - started
+    latencies = [done_at[i] - started for i in range(len(log))]
+    return {
+        "mode": mode,
+        "responses": responses,
+        "admitted": len(service.admission_log),
+        "reader_wall_seconds": reader_wall,
+        "total_wall_seconds": total_wall,
+        "qps": len(log) / total_wall if total_wall > 0 else float("inf"),
+        "p99_seconds": _p99(latencies),
+        "reader_p99_seconds": _p99(
+            [done_at[i] - started for i, r in enumerate(log)
+             if r.client.startswith("reader")]
+        ),
+    }
+
+
+def _series() -> dict:
+    log = _request_log()
+    per_table = _run_mode("per-table", log)
+    global_lock = _run_mode("global-lock", log)
+
+    # Scheduling must never change answers: both modes replay the same
+    # admission order, so every response is byte-identical across them.
+    assert per_table["admitted"] == global_lock["admitted"] == len(log)
+    for ours, naive in zip(per_table["responses"], global_lock["responses"]):
+        assert ours.encode() == naive.encode(), "modes diverged"
+
+    def public(stats: dict) -> dict:
+        return {k: v for k, v in stats.items() if k != "responses"}
+
+    speedup = (
+        global_lock["reader_wall_seconds"] / per_table["reader_wall_seconds"]
+        if per_table["reader_wall_seconds"] > 0 else float("inf")
+    )
+    return {
+        "read_rows": READ_ROWS,
+        "write_rows": WRITE_ROWS,
+        "readers": READERS,
+        "reads_per_client": READS_PER_CLIENT,
+        "writer_batches": WRITER_BATCHES,
+        "requests": len(log),
+        "per_table": public(per_table),
+        "global_lock": public(global_lock),
+        "speedup_reads_under_writes": speedup,
+    }
+
+
+def test_reads_under_concurrent_writes(benchmark):
+    series = benchmark.pedantic(_series, rounds=1, iterations=1)
+    record_benchmark("service", {"reads_under_writes": series})
+    print(f"\n=== Service tier: reads under concurrent writes "
+          f"({series['requests']} requests, {series['read_rows']} roster rows, "
+          f"{series['write_rows']} ledger rows) ===")
+    for mode in ("per_table", "global_lock"):
+        stats = series[mode]
+        print(f"  {mode}: reader wall {stats['reader_wall_seconds']:.3f}s, "
+              f"total {stats['total_wall_seconds']:.3f}s, "
+              f"{stats['qps']:.1f} qps, p99 {stats['p99_seconds']:.3f}s")
+    print(f"  speedup (reader wall, per-table over global-lock): "
+          f"{series['speedup_reads_under_writes']:.2f}x")
+    # The scheduling gate binds at full scale only; smoke runs just record.
+    if bench_scale() >= 1.0:
+        assert series["speedup_reads_under_writes"] >= 2.0

@@ -60,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.daisy import Daisy
     from repro.relation.relation import Row
     from repro.repair.provenance import ProvenanceStore
+    from repro.service.snapshot import EpochLease, EpochSnapshot
 
 #: LRU bound of the session's cross-query plan cache.
 _PLAN_CACHE_LIMIT = 256
@@ -505,22 +506,98 @@ class Session:
         self._check_open()
         return clean_full_table(self._state(table), rules, parallel=self._parallel)
 
+    # -- snapshot-pinned reads (service tier) -------------------------------------------
+
+    def snapshot(self, *tables: str) -> "EpochSnapshot":
+        """Pin the named tables at their current data epochs.
+
+        Returns an :class:`~repro.service.snapshot.EpochSnapshot` whose
+        ``verify()`` raises
+        :class:`~repro.service.snapshot.SnapshotViolation` if any pinned
+        table's epoch moved (or an update was mid-flight) while the read
+        ran.  The pin tolerates the read's *own* cleaning — repairs
+        replace the relation and advance storage generations without
+        moving the data epoch, which is exactly what makes the epoch the
+        unit of isolation.
+        """
+        from repro.service.snapshot import EpochSnapshot, SnapshotHandle
+
+        self._check_open()
+        handles = {}
+        for table in sorted(tables):
+            state = self._state(table)
+            storage = self._engine.storage_manager.get(table)
+            handles[table] = SnapshotHandle(table, state, storage)
+        return EpochSnapshot(handles)
+
+    def execute_pinned(
+        self, query: Query | str
+    ) -> "tuple[QueryResult, EpochSnapshot]":
+        """Execute one query pinned to a data-epoch snapshot.
+
+        Pins every table the query touches, executes through the normal
+        cleaning path, then verifies the pin — raising
+        :class:`~repro.service.snapshot.SnapshotViolation` if a concurrent
+        external update tore the read.  Returns the result together with
+        the (verified) snapshot, whose ``epochs()`` says exactly which
+        epochs the answer reflects.
+        """
+        self._check_open()
+        parsed = parse_sql(query) if isinstance(query, str) else query
+        snap = self.snapshot(*parsed.tables)
+        result = self.execute(query)
+        snap.verify()
+        return result, snap
+
+    def epoch_lease(self, table: str) -> "EpochLease":
+        """Acquire an epoch compare-and-swap lease for one table's write."""
+        from repro.service.snapshot import EpochLease
+
+        self._check_open()
+        return EpochLease(table, self._state(table))
+
     # -- external data updates ----------------------------------------------------------
 
     def update_table(
-        self, table: str, updates: dict[tuple[int, str], Any]
+        self,
+        table: str,
+        updates: dict[tuple[int, str], Any],
+        lease: "EpochLease | None" = None,
     ) -> "UpdateReport":
         """Apply external cell updates through the engine (see
         :meth:`repro.Daisy.update_table`).  The session's cached plans stay
         valid — plan structure never depends on cell values — while its
-        cost models refresh from the rebuilt statistics on next use."""
-        self._check_open()
-        return self._engine.update_table(table, updates)
+        cost models refresh from the rebuilt statistics on next use.
 
-    def update_rows(self, table: str, rows: Iterable["Row"]) -> "UpdateReport":
-        """Apply external row replacements (see :meth:`repro.Daisy.update_rows`)."""
+        With ``lease`` (from :meth:`epoch_lease`), the update runs as an
+        epoch compare-and-swap: the lease is checked immediately before
+        the update applies and committed against the resulting report, so
+        an interleaved writer surfaces as
+        :class:`~repro.service.snapshot.EpochCasError` instead of silent
+        lost updates."""
         self._check_open()
-        return self._engine.update_rows(table, rows)
+        if lease is not None:
+            lease.check()
+        report = self._engine.update_table(table, updates)
+        if lease is not None:
+            lease.commit(report)
+        return report
+
+    def update_rows(
+        self,
+        table: str,
+        rows: Iterable["Row"],
+        lease: "EpochLease | None" = None,
+    ) -> "UpdateReport":
+        """Apply external row replacements (see :meth:`repro.Daisy.update_rows`);
+        ``lease`` adds the same epoch-CAS discipline as :meth:`update_table`."""
+        self._check_open()
+        if lease is not None:
+            lease.check()
+        report = self._engine.update_rows(table, rows)
+        if lease is not None:
+            lease.commit(report)
+        return report
 
     # -- introspection -----------------------------------------------------------------
 

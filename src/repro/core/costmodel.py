@@ -257,6 +257,7 @@ DECISION_BATCH = "batch_strategy"
 DECISION_STRATEGY = "strategy_switch"
 DECISION_COLUMN_BACKEND = "column_backend"
 DECISION_STORAGE = "storage"
+DECISION_ADMISSION = "admission"
 
 #: Calibration buckets (``PassDecision.pass_kind``): one observed/estimated
 #: ratio is maintained per kind of priced work.
@@ -265,6 +266,7 @@ PASS_FD_RELAX = "fd_relax"
 PASS_BATCH = "batch"
 PASS_KERNEL = "kernel"
 PASS_STORAGE = "storage"
+PASS_ADMISSION = "admission"
 
 
 @session_owned
@@ -695,6 +697,51 @@ class AdaptivePlanner:
             estimated_cost=shared_est if choice == "shared" else sequential_est,
             raw_units=float(shared_raw if choice == "shared" else sequential_raw),
             alternatives={"shared": shared_est, "sequential": sequential_est},
+        )
+        self._append(decision)
+        return decision
+
+    # -- (4) service-tier admission control -----------------------------------------
+
+    def choose_admission(
+        self,
+        table: str,
+        raw_units: float,
+        queued_units: float,
+        budget_units: float,
+    ) -> PassDecision:
+        """Price admitting one service request against the queue budget.
+
+        ``raw_units`` is the request's uncalibrated work estimate (scope
+        rows for a read, cells for an update batch), rescaled by the
+        ``admission`` calibration bucket as observed work-unit deltas are
+        fed back via :meth:`observe`.  ``queued_units`` is the calibrated
+        work already admitted but not yet completed; ``budget_units`` the
+        queue ceiling (``<= 0`` = unbounded, every request admits).
+
+        * ``admit`` — the request fits under the ceiling now;
+        * ``delay`` — it would overflow the ceiling but fits an empty
+          queue: hold it until enough queued work completes;
+        * ``shed`` — its own estimate exceeds the whole budget: no amount
+          of draining will ever make it fit, reject outright.
+        """
+        est = self.calibration.calibrated(PASS_ADMISSION, max(0.0, raw_units))
+        queued = max(0.0, queued_units)
+        alternatives = {"admit": queued + est, "delay": queued, "shed": queued}
+        if budget_units <= 0 or queued + est <= budget_units:
+            choice = "admit"
+        elif est > budget_units:
+            choice = "shed"
+        else:
+            choice = "delay"
+        decision = PassDecision(
+            kind=DECISION_ADMISSION,
+            pass_kind=PASS_ADMISSION,
+            table=table,
+            choice=choice,
+            estimated_cost=alternatives[choice],
+            raw_units=float(raw_units),
+            alternatives=alternatives,
         )
         self._append(decision)
         return decision

@@ -104,6 +104,7 @@ class TableState:
         "maintenance_log": ("TableState._sync_matrix",),
         "patch_log": ("TableState.apply_updates", "TableState._trim_patch_log"),
         "data_epoch": ("TableState.apply_updates",),
+        "write_in_progress": ("TableState.apply_updates",),
         # ``seen_for`` hands out the live set (a declared mutating
         # accessor), so its callers are part of the seam.
         "seen_tids": (
@@ -173,6 +174,13 @@ class TableState:
     matrix_epochs: dict[str, int] = field(default_factory=dict)
     #: Maintenance actions taken so far (patch/rebuild decisions + stats).
     maintenance_log: list[MaintenanceReport] = field(default_factory=list)
+    #: True while :meth:`apply_updates` is mid-flight: the relation / epoch /
+    #: patch-log writes of one update batch are not yet all visible.  The
+    #: service tier's snapshot pins (:mod:`repro.service.snapshot`) refuse to
+    #: pin — and fail verification — while this is set, turning a torn read
+    #: (a reader racing into the middle of an update) into a hard
+    #: ``SnapshotViolation`` instead of silently inconsistent answers.
+    write_in_progress: bool = False
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
@@ -409,52 +417,61 @@ class TableState:
         if not applied:
             return report
 
-        # Columnar backend: make sure the view exists *before* the update so
-        # update_cells patches it positionally (preserving shared indexes)
-        # and the patch batch is emitted for any stream subscribers.
-        self.column_view()
-        updated = self.relation.update_cells(applied, origin=PATCH_DATA)
-        self.replace_relation(updated)
-        report.cells_applied = len(applied)
+        # The mutating tail below replaces the relation, bumps the epoch,
+        # appends to the patch log and invalidates derived state — several
+        # writes a concurrent reader must see all-or-nothing.  The marker
+        # lets snapshot pins detect (and refuse) a torn read of the middle.
+        self.write_in_progress = True
+        try:
+            # Columnar backend: make sure the view exists *before* the update
+            # so update_cells patches it positionally (preserving shared
+            # indexes) and the patch batch is emitted for stream subscribers.
+            self.column_view()
+            updated = self.relation.update_cells(applied, origin=PATCH_DATA)
+            self.replace_relation(updated)
+            report.cells_applied = len(applied)
 
-        self.data_epoch += 1
-        report.epoch = self.data_epoch
-        self.patch_log.append((self.data_epoch, applied))
-        if len(self.patch_log) > _PATCH_LOG_SOFT_LIMIT:
-            # A matrix nobody queries anymore would pin the log forever;
-            # sync every matrix now so the log trims back to empty.
-            for key, matrix in self.matrices.items():
-                self._sync_matrix(key, matrix)
-        report.attrs_touched = {attr for (_tid, attr) in applied}
+            self.data_epoch += 1
+            report.epoch = self.data_epoch
+            self.patch_log.append((self.data_epoch, applied))
+            if len(self.patch_log) > _PATCH_LOG_SOFT_LIMIT:
+                # A matrix nobody queries anymore would pin the log forever;
+                # sync every matrix now so the log trims back to empty.
+                for key, matrix in self.matrices.items():
+                    self._sync_matrix(key, matrix)
+            report.attrs_touched = {attr for (_tid, attr) in applied}
 
-        for tid, attr in applied:
-            if self.provenance.is_repaired(tid, attr):
-                self.provenance.forget_cell(tid, attr)
-                report.provenance_forgotten += 1
+            for tid, attr in applied:
+                if self.provenance.is_repaired(tid, attr):
+                    self.provenance.forget_cell(tid, attr)
+                    report.provenance_forgotten += 1
 
-        for rule in self.rules:
-            attrs = rule_attributes(rule)
-            if not (attrs & report.attrs_touched):
-                continue
-            key = rule_key(rule)
-            report.rules_invalidated.append(key)
-            touched_tids = {
-                tid for (tid, attr) in applied if attr in attrs
-            }
-            seen = self.seen_tids.get(key)
-            if seen:
-                seen -= touched_tids
-            self.fully_cleaned_rules.discard(key)
-            # Conservative: checked-group marks may cover groups the update
-            # rewired; forget them all for this rule rather than track keys.
-            self.provenance.reset_rule(key)
-            fd = as_fd(rule)
-            if fd is not None:
-                self.statistics.add(
-                    key, build_fd_statistics(updated, fd, counter=self.counter)
-                )
-                report.stats_rebuilt.append(key)
-        self._trim_patch_log()
+            for rule in self.rules:
+                attrs = rule_attributes(rule)
+                if not (attrs & report.attrs_touched):
+                    continue
+                key = rule_key(rule)
+                report.rules_invalidated.append(key)
+                touched_tids = {
+                    tid for (tid, attr) in applied if attr in attrs
+                }
+                seen = self.seen_tids.get(key)
+                if seen:
+                    seen -= touched_tids
+                self.fully_cleaned_rules.discard(key)
+                # Conservative: checked-group marks may cover groups the
+                # update rewired; forget them all rather than track keys.
+                self.provenance.reset_rule(key)
+                fd = as_fd(rule)
+                if fd is not None:
+                    self.statistics.add(
+                        key,
+                        build_fd_statistics(updated, fd, counter=self.counter),
+                    )
+                    report.stats_rebuilt.append(key)
+            self._trim_patch_log()
+        finally:
+            self.write_in_progress = False
         return report
 
     def apply_row_updates(self, delta: dict[int, Row]) -> UpdateReport:

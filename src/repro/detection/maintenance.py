@@ -49,7 +49,7 @@ import logging
 import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.detection.thetajoin import (
     ThetaJoinMatrix,
@@ -61,6 +61,9 @@ from repro.probabilistic.value import PValue
 from repro.relation.columnview import BACKEND_COLUMNAR
 from repro.relation.relation import Relation, Row
 from repro._ownership import session_owned
+
+if TYPE_CHECKING:  # state.py imports this module; avoid the cycle at runtime
+    from repro.core.state import TableState
 
 logger = logging.getLogger(__name__)
 
@@ -171,6 +174,49 @@ class MaintenanceReport:
     est_patch_cost: float = 0.0
     est_rebuild_cost: float = 0.0
     invalidated: set[tuple[int, int]] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class EpochVisibility:
+    """What a table's derived structures currently see of its data epoch.
+
+    ``data_epoch`` is the table's current epoch; ``matrix_epochs`` maps each
+    theta-join matrix (by rule key, sorted) to the epoch it last synced to —
+    a matrix behind the table epoch has pending patch batches it will fold
+    in lazily on its next :meth:`~repro.core.state.TableState.matrix_for`.
+    The service tier reports this from its status endpoint and the soak
+    test asserts ``min_matrix_epoch <= data_epoch`` stays invariant.
+    """
+
+    data_epoch: int
+    matrix_epochs: tuple[tuple[str, int], ...]
+    pending_batches: int
+
+    @property
+    def min_matrix_epoch(self) -> int:
+        """The most-behind matrix's synced epoch (data epoch if none)."""
+        if not self.matrix_epochs:
+            return self.data_epoch
+        return min(epoch for _key, epoch in self.matrix_epochs)
+
+    @property
+    def fully_synced(self) -> bool:
+        """True when every matrix has folded in every pending batch."""
+        return all(
+            epoch == self.data_epoch for _key, epoch in self.matrix_epochs
+        )
+
+
+def visibility_of(state: "TableState") -> EpochVisibility:
+    """Snapshot one table's epoch-visibility surface (read-only)."""
+    return EpochVisibility(
+        data_epoch=state.data_epoch,
+        matrix_epochs=tuple(
+            (key, state.matrix_epochs.get(key, 0))
+            for key in sorted(state.matrices)
+        ),
+        pending_batches=len(state.patch_log),
+    )
 
 
 def _patched_source(

@@ -14,6 +14,7 @@ from repro.diagnostics.witness import (
     WitnessEvent,
     WitnessViolation,
     global_witness,
+    watching,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "WitnessEvent",
     "WitnessViolation",
     "global_witness",
+    "watching",
 ]

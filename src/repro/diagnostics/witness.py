@@ -45,6 +45,8 @@ import json
 import os
 import sys
 import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -418,3 +420,20 @@ _GLOBAL = RaceWitness()
 
 def global_witness() -> RaceWitness:
     return _GLOBAL
+
+
+@contextmanager
+def watching() -> Iterator[RaceWitness]:
+    """Activate the global witness for one scope (reference-counted).
+
+    The service soak test and ad-hoc instrumented runs wrap their whole
+    workload in ``with watching() as witness:`` and assert on
+    ``witness.violations`` afterwards — activation nests safely with the
+    conftest harness fixture because activate/deactivate are counted.
+    """
+    witness = global_witness()
+    witness.activate()
+    try:
+        yield witness
+    finally:
+        witness.deactivate()

@@ -49,6 +49,15 @@ class SessionError(ReproError):
     """Raised when a closed :class:`repro.api.Session` is used."""
 
 
+class IsolationError(ReproError):
+    """Raised when the service tier's snapshot-isolation discipline breaks.
+
+    Subclasses in :mod:`repro.service.snapshot` distinguish torn snapshot
+    reads (:class:`~repro.service.snapshot.SnapshotViolation`) from failed
+    epoch compare-and-swap on the write path
+    (:class:`~repro.service.snapshot.EpochCasError`)."""
+
+
 class ProbabilisticValueError(ReproError):
     """Raised when a probabilistic value is malformed (e.g. bad weights)."""
 

@@ -1,0 +1,48 @@
+"""The concurrent multi-session service tier over one shared Daisy engine.
+
+The layering, bottom-up (see ``docs/service.md`` for the full guide):
+
+* :mod:`.snapshot` — the isolation primitives: data-epoch snapshot pins
+  for reads, epoch compare-and-swap leases for writes;
+* :mod:`.requests` — the wire objects and their canonical (byte-stable)
+  JSON encoding;
+* :mod:`.runner` — per-client request dispatch over one session, shared
+  verbatim by the concurrent workers and the serial oracle;
+* :mod:`.scheduler` — :class:`DaisyService`: admission control priced by
+  the :class:`~repro.core.costmodel.AdaptivePlanner`, per-table FIFO
+  turnstiles, one worker thread per client;
+* :mod:`.oracle` — :func:`replay_serial`, the one-session-at-a-time
+  replay every concurrent run must match byte for byte;
+* :mod:`.server` — the stdlib-asyncio HTTP/JSON front end.
+"""
+
+from repro.service.oracle import replay_serial
+from repro.service.requests import ServiceRequest, ServiceResponse
+from repro.service.runner import RequestRunner
+from repro.service.scheduler import DaisyService, ServicePolicy, TableTurnstile
+from repro.service.server import ServiceServer
+from repro.service.snapshot import (
+    EpochCasError,
+    EpochLease,
+    EpochSnapshot,
+    IsolationError,
+    SnapshotHandle,
+    SnapshotViolation,
+)
+
+__all__ = [
+    "DaisyService",
+    "EpochCasError",
+    "EpochLease",
+    "EpochSnapshot",
+    "IsolationError",
+    "RequestRunner",
+    "ServicePolicy",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceServer",
+    "SnapshotHandle",
+    "SnapshotViolation",
+    "TableTurnstile",
+    "replay_serial",
+]

@@ -1,0 +1,52 @@
+"""The serial one-session-at-a-time oracle the parity suite compares against.
+
+:func:`replay_serial` replays an admission log on a *fresh* engine, one
+request at a time, with one persistent
+:class:`~repro.service.runner.RequestRunner` per client (created on the
+client's first request, exactly like the concurrent service's worker
+threads).  Because the concurrent scheduler serializes same-table engine
+mutations in admission order and same-client session mutations in client
+order (a subsequence of admission order), this single-threaded replay
+performs the identical sequence of state transitions — every response
+must come out byte-identical (:meth:`ServiceResponse.encode`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.service.requests import ServiceRequest, ServiceResponse
+from repro.service.runner import RequestRunner
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.config import DaisyConfig
+    from repro.daisy import Daisy
+
+__all__ = ["replay_serial"]
+
+
+def replay_serial(
+    engine: "Daisy",
+    log: Iterable[ServiceRequest],
+    session_config: "DaisyConfig | None" = None,
+) -> list[ServiceResponse]:
+    """Replay an admission log serially; returns responses in log order.
+
+    ``engine`` must be a fresh engine with the same tables/rules/config as
+    the one the concurrent run started from, and ``session_config`` must
+    match the service's — per-client sessions are opened against it on
+    first use and closed at the end.
+    """
+    runners: dict[str, RequestRunner] = {}
+    responses: list[ServiceResponse] = []
+    try:
+        for admitted, request in enumerate(log):
+            runner = runners.get(request.client)
+            if runner is None:
+                runner = RequestRunner(engine.connect(session_config))
+                runners[request.client] = runner
+            responses.append(runner.run(request, admitted))
+    finally:
+        for client in sorted(runners):
+            runners[client].session.close()
+    return responses

@@ -1,0 +1,180 @@
+"""Wire objects of the service tier: requests in, responses out.
+
+Both sides are frozen dataclasses with a canonical JSON encoding.  The
+encoding is load-bearing: the parity suite compares a concurrent run
+against the serial oracle **byte for byte**, so responses must be
+bit-stable — keys sorted, separators fixed, non-JSON engine values (e.g.
+probabilistic cells) rendered through ``repr``, and no wall-clock fields
+anywhere (``elapsed_seconds`` is deliberately absent from every payload).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.query.sql import parse_sql
+from repro.relation.relation import Row
+
+__all__ = [
+    "KIND_BATCH",
+    "KIND_EXECUTE",
+    "KIND_PREPARED",
+    "KIND_UPDATE_ROWS",
+    "KIND_UPDATE_TABLE",
+    "READ_KINDS",
+    "REQUEST_KINDS",
+    "ServiceRequest",
+    "ServiceResponse",
+    "WRITE_KINDS",
+]
+
+#: Request kinds the service understands.
+KIND_EXECUTE = "execute"
+KIND_PREPARED = "prepared"
+KIND_BATCH = "batch"
+KIND_UPDATE_TABLE = "update_table"
+KIND_UPDATE_ROWS = "update_rows"
+READ_KINDS = (KIND_EXECUTE, KIND_PREPARED, KIND_BATCH)
+WRITE_KINDS = (KIND_UPDATE_TABLE, KIND_UPDATE_ROWS)
+REQUEST_KINDS = READ_KINDS + WRITE_KINDS
+
+
+def canonical_encode(value: Any) -> bytes:
+    """The one byte-stable JSON encoding every comparison goes through."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=repr
+    ).encode()
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One client request: a read (SQL) or a write (cell/row updates).
+
+    ``client`` scopes session state (each client maps to one long-lived
+    session in both the concurrent service and the serial oracle);
+    ``seq`` is the client's own submission counter, echoed back so a
+    client can match responses to requests.
+    """
+
+    client: str
+    seq: int
+    kind: str
+    sql: str | None = None
+    params: tuple[Any, ...] = ()
+    queries: tuple[str, ...] = ()
+    table: str | None = None
+    #: Cell updates as ``(tid, attr, value)`` triples (JSON has no tuple keys).
+    cells: tuple[tuple[int, str, Any], ...] = ()
+    #: Row replacements as ``(tid, (values...))`` pairs.
+    rows: tuple[tuple[int, tuple[Any, ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r}; "
+                f"expected one of {REQUEST_KINDS}"
+            )
+        if self.kind in WRITE_KINDS and not self.table:
+            raise ValueError(f"{self.kind} requests need a table")
+        if self.kind in (KIND_EXECUTE, KIND_PREPARED) and not self.sql:
+            raise ValueError(f"{self.kind} requests need sql")
+        if self.kind == KIND_BATCH and not self.queries:
+            raise ValueError("batch requests need queries")
+
+    def touched_tables(self) -> tuple[str, ...]:
+        """Every table this request reads or writes, sorted.
+
+        The admission scheduler takes one turnstile ticket per touched
+        table, so this *is* the request's lock footprint.
+        """
+        if self.kind in WRITE_KINDS:
+            assert self.table is not None
+            return (self.table,)
+        sqls = self.queries if self.kind == KIND_BATCH else (self.sql,)
+        tables: set[str] = set()
+        for sql in sqls:
+            assert sql is not None
+            tables.update(parse_sql(sql).tables)
+        return tuple(sorted(tables))
+
+    def cell_updates(self) -> dict[tuple[int, str], Any]:
+        """The ``(tid, attr) -> value`` map ``update_table`` expects."""
+        return {(tid, attr): value for tid, attr, value in self.cells}
+
+    def row_updates(self) -> list[Row]:
+        """The replacement :class:`~repro.relation.relation.Row` objects."""
+        return [Row(tid, tuple(values)) for tid, values in self.rows]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "client": self.client,
+            "seq": self.seq,
+            "kind": self.kind,
+            "sql": self.sql,
+            "params": list(self.params),
+            "queries": list(self.queries),
+            "table": self.table,
+            "cells": [[tid, attr, value] for tid, attr, value in self.cells],
+            "rows": [[tid, list(values)] for tid, values in self.rows],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict[str, Any]) -> ServiceRequest:
+        return cls(
+            client=str(data["client"]),
+            seq=int(data["seq"]),
+            kind=str(data["kind"]),
+            sql=data.get("sql"),
+            params=tuple(data.get("params") or ()),
+            queries=tuple(data.get("queries") or ()),
+            table=data.get("table"),
+            cells=tuple(
+                (int(tid), str(attr), value)
+                for tid, attr, value in (data.get("cells") or ())
+            ),
+            rows=tuple(
+                (int(tid), tuple(values))
+                for tid, values in (data.get("rows") or ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One response, byte-comparable against the serial oracle's.
+
+    ``admitted`` is the request's position in the global admission log
+    (-1 for shed/rejected requests that never entered it); ``epochs``
+    records, per touched table, the data epoch the request observed — the
+    pinned snapshot epoch for reads, the post-commit epoch for writes.
+    ``payload`` deliberately contains no wall-clock quantities.
+    """
+
+    client: str
+    seq: int
+    kind: str
+    status: str  # "ok" | "error" | "shed"
+    admitted: int
+    epochs: tuple[tuple[str, int], ...] = ()
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "client": self.client,
+            "seq": self.seq,
+            "kind": self.kind,
+            "status": self.status,
+            "admitted": self.admitted,
+            "epochs": {table: epoch for table, epoch in self.epochs},
+            "payload": self.payload,
+        }
+
+    def encode(self) -> bytes:
+        """The canonical byte encoding the parity suite compares."""
+        return canonical_encode(self.to_wire())

@@ -1,0 +1,177 @@
+"""Per-client request dispatch: one runner wraps one long-lived session.
+
+The runner is the *shared* execution core of the service tier: the
+concurrent workers (:mod:`repro.service.scheduler`) and the serial oracle
+(:mod:`repro.service.oracle`) both drive requests through this exact
+class, so any divergence between the two runs can only come from
+scheduling — which is precisely what the parity suite is testing.
+
+Reads pin an :class:`~repro.service.snapshot.EpochSnapshot` over their
+touched tables before executing and verify it after; writes run under an
+:class:`~repro.service.snapshot.EpochLease` (epoch compare-and-swap).
+Every payload is wall-clock-free and deterministic, including error
+payloads (``{"error": "ExcType: message"}``), so failed requests are
+byte-comparable too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro._ownership import session_owned
+from repro.service.requests import (
+    KIND_BATCH,
+    KIND_EXECUTE,
+    KIND_PREPARED,
+    KIND_UPDATE_ROWS,
+    KIND_UPDATE_TABLE,
+    ServiceRequest,
+    ServiceResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.prepared import PreparedQuery
+    from repro.api.session import Session
+    from repro.core.state import UpdateReport
+    from repro.query.executor import QueryResult
+
+__all__ = ["RequestRunner"]
+
+
+def _rows_payload(result: QueryResult) -> list[list[Any]]:
+    """Result rows as JSON-ready lists (plain values; PValues resolved)."""
+    return [list(values) for values in result.relation.to_plain_rows()]
+
+
+def _update_payload(report: UpdateReport) -> dict[str, Any]:
+    return {
+        "epoch": report.epoch,
+        "cells_requested": report.cells_requested,
+        "cells_applied": report.cells_applied,
+        "attrs_touched": sorted(report.attrs_touched),
+        "rules_invalidated": list(report.rules_invalidated),
+        "stats_rebuilt": list(report.stats_rebuilt),
+        "provenance_forgotten": report.provenance_forgotten,
+    }
+
+
+@session_owned
+class RequestRunner:
+    """Dispatch :class:`ServiceRequest` objects through one session.
+
+    Owns the per-client prepared-statement cache (keyed on SQL text) so a
+    client's repeated ``prepared`` requests reuse one plan — in the
+    concurrent service *and* in the oracle, identically.
+    """
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+        self._prepared: dict[str, PreparedQuery] = {}
+
+    def run(self, request: ServiceRequest, admitted: int) -> ServiceResponse:
+        """Execute one request; never raises — errors become responses."""
+        try:
+            payload, epochs = self._dispatch(request)
+            status = "ok"
+        except Exception as exc:  # daisylint: disable=DL005
+            # Deliberate breadth: the service boundary converts *every*
+            # engine exception into a deterministic error response — the
+            # type and message are part of the byte-compared payload, so
+            # nothing is hidden, and one bad request must never take the
+            # worker thread (and its client's whole queue) down.
+            payload = {"error": f"{type(exc).__name__}: {exc}"}
+            epochs = {}
+            status = "error"
+        return ServiceResponse(
+            client=request.client,
+            seq=request.seq,
+            kind=request.kind,
+            status=status,
+            admitted=admitted,
+            epochs=tuple(sorted(epochs.items())),
+            payload=payload,
+        )
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(
+        self, request: ServiceRequest
+    ) -> tuple[dict[str, Any], dict[str, int]]:
+        if request.kind == KIND_EXECUTE:
+            return self._run_execute(request)
+        if request.kind == KIND_PREPARED:
+            return self._run_prepared(request)
+        if request.kind == KIND_BATCH:
+            return self._run_batch(request)
+        if request.kind == KIND_UPDATE_TABLE:
+            return self._run_update(request, rows=False)
+        if request.kind == KIND_UPDATE_ROWS:
+            return self._run_update(request, rows=True)
+        raise ValueError(f"unknown request kind {request.kind!r}")
+
+    def _read_payload(self, result: QueryResult) -> dict[str, Any]:
+        entry = self.session.query_log[-1]
+        return {
+            "rows": _rows_payload(result),
+            "result_size": len(result),
+            "work_units": entry.work_units,
+            "errors_fixed": entry.errors_fixed,
+            "extra_tuples": entry.extra_tuples,
+            "switched_to_full": entry.switched_to_full,
+        }
+
+    def _run_execute(
+        self, request: ServiceRequest
+    ) -> tuple[dict[str, Any], dict[str, int]]:
+        assert request.sql is not None
+        snap = self.session.snapshot(*request.touched_tables())
+        result = self.session.execute(request.sql)
+        snap.verify()
+        return self._read_payload(result), snap.epochs()
+
+    def _run_prepared(
+        self, request: ServiceRequest
+    ) -> tuple[dict[str, Any], dict[str, int]]:
+        assert request.sql is not None
+        prepared = self._prepared.get(request.sql)
+        if prepared is None:
+            prepared = self.session.prepare(request.sql)
+            self._prepared[request.sql] = prepared
+        snap = self.session.snapshot(*request.touched_tables())
+        result = prepared.execute(*request.params)
+        snap.verify()
+        return self._read_payload(result), snap.epochs()
+
+    def _run_batch(
+        self, request: ServiceRequest
+    ) -> tuple[dict[str, Any], dict[str, int]]:
+        snap = self.session.snapshot(*request.touched_tables())
+        batch = self.session.execute_batch(list(request.queries))
+        snap.verify()
+        payload = {
+            "results": [
+                {"rows": _rows_payload(result), "result_size": len(result)}
+                for result in batch.results
+            ],
+            "work_units": batch.report.total_work_units,
+            "member_work_units": [
+                entry.work_units for entry in batch.report.entries
+            ],
+            "groups": len(batch.groups),
+        }
+        return payload, snap.epochs()
+
+    def _run_update(
+        self, request: ServiceRequest, rows: bool
+    ) -> tuple[dict[str, Any], dict[str, int]]:
+        assert request.table is not None
+        lease = self.session.epoch_lease(request.table)
+        if rows:
+            report = self.session.update_rows(
+                request.table, request.row_updates(), lease=lease
+            )
+        else:
+            report = self.session.update_table(
+                request.table, request.cell_updates(), lease=lease
+            )
+        return _update_payload(report), {request.table: report.epoch}

@@ -1,0 +1,185 @@
+"""Snapshot pins and epoch leases: the service tier's isolation primitives.
+
+The concurrency regime of the Daisy engine is unusual: *reads mutate*.  A
+query's incremental cleaning repairs cells, replaces the relation object,
+and advances storage stripe generations — all **without** moving the
+table's ``data_epoch``.  The epoch moves only when the external world
+does, through :meth:`~repro.core.state.TableState.apply_updates`.  So the
+unit of isolation a concurrent reader can actually be pinned to is the
+**data epoch**, not object identity:
+
+* :class:`SnapshotHandle` pins one table at pin time — data epoch, patch
+  log length, per-attribute storage stripe generations, and the
+  ``write_in_progress`` torn-read marker.  :meth:`SnapshotHandle.verify`
+  re-checks the pin after the read ran: the epoch must not have moved, no
+  update may be mid-flight, and stripe generations must never have
+  *decreased* (they advance under the read's own repairs, which is fine;
+  going backwards would mean the reader resolved columns against stripes
+  older than its pin).
+* :class:`EpochSnapshot` bundles one handle per touched table for
+  multi-table reads (joins, batches).
+* :class:`EpochLease` is the write-path counterpart: an epoch
+  compare-and-swap.  A writer acquires the lease at the current epoch;
+  :meth:`EpochLease.check` fails if any other writer moved the epoch
+  since (the single-writer-per-table discipline was violated), and
+  :meth:`EpochLease.commit` verifies the update landed exactly one epoch
+  ahead of the acquisition point.
+
+All three are frozen after construction (``@immutable_after_init``): a
+pin that could be edited after the fact would prove nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro._ownership import immutable_after_init
+from repro.errors import IsolationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.state import TableState, UpdateReport
+    from repro.storage.provider import TableStorage
+
+__all__ = [
+    "EpochCasError",
+    "EpochLease",
+    "EpochSnapshot",
+    "IsolationError",
+    "SnapshotHandle",
+    "SnapshotViolation",
+]
+
+
+class SnapshotViolation(IsolationError):
+    """A snapshot-pinned read observed state outside its pinned epoch."""
+
+
+class EpochCasError(IsolationError):
+    """An epoch compare-and-swap failed: another writer interleaved."""
+
+
+@immutable_after_init
+class SnapshotHandle:
+    """One table's isolation pin: epoch + patch-log length + generations.
+
+    Construction *is* the pin: it refuses to pin a table that is mid-
+    ``apply_updates`` (the torn-read marker is set), then captures the
+    quantities :meth:`verify` re-checks.  The handle keeps a reference to
+    the live :class:`~repro.core.state.TableState` purely to re-read it at
+    verify time — it never writes through it.
+    """
+
+    def __init__(self, table: str, state: TableState, storage: TableStorage | None) -> None:
+        if state.write_in_progress:
+            raise SnapshotViolation(
+                f"cannot pin table {table!r}: an external update is mid-flight "
+                "(write_in_progress is set)"
+            )
+        self.table = table
+        self._state = state
+        self._storage = storage
+        self.data_epoch = state.data_epoch
+        self.patch_count = len(state.patch_log)
+        self.generations: dict[str, int] = (
+            storage.generation_snapshot() if storage is not None else {}
+        )
+
+    def verify(self) -> None:
+        """Re-check the pin after the read ran; raise on any torn read.
+
+        The read's *own* cleaning legally replaced the relation and
+        advanced stripe generations — neither moves the data epoch, so the
+        checks are: marker clear, epoch unchanged, patch log not shorter
+        (trim only ever removes *synced* prefixes at the same epoch), and
+        generations monotone non-decreasing (a decrease is time-travel).
+        """
+        state = self._state
+        if state.write_in_progress:
+            raise SnapshotViolation(
+                f"torn read on table {self.table!r}: an external update was "
+                "mid-flight while the snapshot was live"
+            )
+        if state.data_epoch != self.data_epoch:
+            raise SnapshotViolation(
+                f"snapshot of table {self.table!r} pinned epoch "
+                f"{self.data_epoch} but the table is now at epoch "
+                f"{state.data_epoch}"
+            )
+        if self._storage is not None:
+            current = self._storage.generation_snapshot()
+            for attr in sorted(self.generations):
+                pinned = self.generations[attr]
+                if current.get(attr, pinned) < pinned:
+                    raise SnapshotViolation(
+                        f"storage generation of {self.table!r}.{attr} went "
+                        f"backwards ({self.generations[attr]} -> "
+                        f"{current[attr]}): reader resolved stripes older "
+                        "than its pin"
+                    )
+
+
+@immutable_after_init
+class EpochSnapshot:
+    """A consistent multi-table pin: one :class:`SnapshotHandle` per table."""
+
+    def __init__(self, handles: dict[str, SnapshotHandle]) -> None:
+        self.handles = dict(sorted(handles.items()))
+
+    def epochs(self) -> dict[str, int]:
+        """``table -> pinned data epoch`` for every table in the snapshot."""
+        return {
+            table: self.handles[table].data_epoch
+            for table in sorted(self.handles)
+        }
+
+    def verify(self) -> None:
+        """Verify every per-table pin (see :meth:`SnapshotHandle.verify`)."""
+        for table in sorted(self.handles):
+            self.handles[table].verify()
+
+
+@immutable_after_init
+class EpochLease:
+    """An epoch compare-and-swap for one table's write path.
+
+    ``acquire -> check -> apply -> commit``: the lease captures the data
+    epoch at acquisition; :meth:`check` (called immediately before the
+    update applies) fails if another writer moved the epoch since, and
+    :meth:`commit` (called with the resulting
+    :class:`~repro.core.state.UpdateReport`) fails unless the epoch
+    advanced by exactly the applied batch — proof that no other writer
+    interleaved anywhere inside the critical section.
+    """
+
+    def __init__(self, table: str, state: TableState) -> None:
+        if state.write_in_progress:
+            raise EpochCasError(
+                f"cannot lease table {table!r}: another update is mid-flight"
+            )
+        self.table = table
+        self._state = state
+        self.acquired_epoch = state.data_epoch
+
+    def check(self) -> None:
+        """Fail unless the table is still at the acquisition epoch."""
+        if self._state.write_in_progress:
+            raise EpochCasError(
+                f"epoch CAS failed for {self.table!r}: another update is "
+                "mid-flight"
+            )
+        if self._state.data_epoch != self.acquired_epoch:
+            raise EpochCasError(
+                f"epoch CAS failed for {self.table!r}: leased epoch "
+                f"{self.acquired_epoch} but the table moved to "
+                f"{self._state.data_epoch}"
+            )
+
+    def commit(self, report: UpdateReport) -> None:
+        """Verify the update landed exactly one batch past the lease."""
+        expected = self.acquired_epoch + (1 if report.cells_applied else 0)
+        if self._state.data_epoch != expected or report.epoch != expected:
+            raise EpochCasError(
+                f"epoch CAS commit failed for {self.table!r}: leased "
+                f"{self.acquired_epoch}, expected {expected}, table is at "
+                f"{self._state.data_epoch} (report epoch {report.epoch})"
+            )

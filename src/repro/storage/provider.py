@@ -269,6 +269,16 @@ class TableStorage:
         if self.sqlite is not None and sqlite_updates:
             self.sqlite.update_rows(sqlite_updates, batch.version)
 
+    def generation_snapshot(self) -> dict[str, int]:
+        """Per-attribute stripe generations at this instant, sorted by attr.
+
+        The service tier pins this on snapshot creation: generations only
+        ever advance (every rewrite bumps them), so a verify that sees a
+        generation *decrease* has caught time-travel — a reader resolving
+        against stripes older than its pin.
+        """
+        return {attr: self.store.generation(attr) for attr in sorted(self.store.attrs())}
+
     # -- provider protocol (StorageColumns callbacks) ------------------------------
 
     def load_column(self, attr: str, generation: "int | None") -> list[Any]:

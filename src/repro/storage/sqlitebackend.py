@@ -151,7 +151,15 @@ class SqliteBackend:
 
     def _connection(self) -> sqlite3.Connection:
         if self._conn is None:
-            self._conn = sqlite3.connect(str(self.path))
+            # check_same_thread=False: the service tier's client workers
+            # reach one table's mirror from different threads, strictly
+            # serialized by the per-table turnstile (and sqlite3 compiled
+            # at threadsafety level "serialized" locks internally anyway).
+            # The default same-thread guard would reject that hand-off
+            # outright even though accesses never overlap.
+            self._conn = sqlite3.connect(
+                str(self.path), check_same_thread=False
+            )
             self._conn.execute("PRAGMA synchronous = OFF")
             self._conn.execute("PRAGMA journal_mode = MEMORY")
         return self._conn

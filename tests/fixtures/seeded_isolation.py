@@ -1,0 +1,102 @@
+"""Seeded isolation bugs: torn reads the service tier's pins must catch.
+
+The companion of ``seeded_race.py`` for the snapshot-isolation layer.  It
+plants the same defect — an external update whose epoch/marker writes
+happen *outside* :meth:`~repro.core.state.TableState.apply_updates` —
+three ways, so every analysis layer gets a target it can actually see:
+
+* :class:`SeededEpochTable` + :func:`torn_bump` is the *static* bug: a
+  self-contained ``@shared_engine_state`` class whose epoch fields are
+  seam-declared under :meth:`SeededEpochTable.apply`, and a function that
+  writes them anywhere else.  daisylint DL101 flags it at a pretend
+  engine path (``tests/test_daisylint_ownership.py`` idiom); the runtime
+  witness flags the same call dynamically (``seam-violation``).
+* :func:`torn_update` is the *dynamic marked* bug against a real
+  :class:`~repro.core.state.TableState`: it raises the
+  ``write_in_progress`` torn-read marker by hand (an out-of-seam write
+  the witness flags), invokes the caller's read mid-"update", then bumps
+  the epoch.  A reader that tries to pin a
+  :class:`~repro.service.snapshot.SnapshotHandle` mid-flight gets an
+  immediate :class:`~repro.service.snapshot.SnapshotViolation`.
+* :func:`torn_update_unmarked` is the *dynamic unmarked* bug: no marker
+  at all, just an epoch bump while the caller's snapshot is live — the
+  pin constructs fine and only :meth:`SnapshotHandle.verify` can convict
+  the torn read after the fact.
+
+The module name avoids the witness's harness-exemption patterns
+(``test_*`` / ``docsnippet_*`` / ``conftest``) on purpose, exactly like
+``seeded_race.py``: writes from these functions look engine-shaped, so
+the self-tests in ``tests/test_service.py`` prove both the witness and
+the isolation primitives fire on the same seeded defect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._ownership import shared_engine_state
+from repro.core.state import TableState
+
+
+@shared_engine_state
+class SeededEpochTable:
+    """A miniature table state: epoch + torn-read marker, one legal seam.
+
+    Mirrors the real :class:`~repro.core.state.TableState` contract at
+    fixture scale: ``data_epoch`` and ``write_in_progress`` may only move
+    inside :meth:`apply` — anywhere else is a seeded DL101.
+    """
+
+    MUTATED_UNDER = {
+        "data_epoch": ("SeededEpochTable.apply",),
+        "write_in_progress": ("SeededEpochTable.apply",),
+    }
+
+    def __init__(self) -> None:
+        self.data_epoch = 0
+        self.write_in_progress = False
+
+    def apply(self) -> None:
+        """The one declared write seam: a well-formed update batch."""
+        self.write_in_progress = True
+        try:
+            self.data_epoch += 1
+        finally:
+            self.write_in_progress = False
+
+
+def torn_bump(table: SeededEpochTable) -> None:
+    """The seeded DL101 bug: epoch/marker writes outside every seam."""
+    table.write_in_progress = True
+    table.data_epoch += 1
+    table.write_in_progress = False
+
+
+def torn_update(state: TableState, mid_read: Callable[[], None]) -> None:
+    """A marked torn update against a *real* table state.
+
+    Raises the ``write_in_progress`` marker by hand, runs the caller's
+    read mid-flight (a snapshot pin attempted here must raise
+    ``SnapshotViolation``), then bumps the epoch and clears the marker.
+    Every write is out-of-seam on purpose: under an active witness each
+    one is a ``seam-violation``.
+    """
+    state.write_in_progress = True
+    try:
+        mid_read()
+        state.data_epoch += 1
+    finally:
+        state.write_in_progress = False
+
+
+def torn_update_unmarked(
+    state: TableState, mid_read: Callable[[], None]
+) -> None:
+    """An unmarked torn update: no marker, just an epoch bump mid-read.
+
+    ``mid_read`` runs first and can pin a snapshot successfully (nothing
+    is flagged yet); the epoch bump lands while that snapshot is live, so
+    only ``SnapshotHandle.verify()`` can catch the tear afterwards.
+    """
+    mid_read()
+    state.data_epoch += 1

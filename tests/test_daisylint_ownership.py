@@ -40,6 +40,9 @@ from tools.daisylint.project import (  # noqa: E402
 )
 
 SEEDED_FIXTURE = Path(__file__).resolve().parent / "fixtures" / "seeded_race.py"
+ISOLATION_FIXTURE = (
+    Path(__file__).resolve().parent / "fixtures" / "seeded_isolation.py"
+)
 
 
 def summarize(source: str, relpath: str) -> ModuleSummary:
@@ -390,6 +393,39 @@ class TestSeededBugStatic:
         )
         assert all(
             "self.position += 1" not in f.source_line for f in findings
+        )
+
+
+class TestSeededIsolationStatic:
+    """Static half of the torn-read proof: daisylint DL101 flags the same
+    out-of-seam epoch/marker writes the runtime witness and the snapshot
+    primitives convict dynamically (``tests/test_service.py``)."""
+
+    def test_dl101_fires_on_every_torn_bump_write(self):
+        source = ISOLATION_FIXTURE.read_text()
+        findings = project_findings(
+            {"src/repro/engine/seeded_isolation.py": source}, ("DL101",)
+        )
+        bump_findings = [f for f in findings if "torn_bump" in f.message]
+        assert len(bump_findings) == 3
+        attrs = " ".join(f.message for f in bump_findings)
+        assert "SeededEpochTable.write_in_progress" in attrs
+        assert "SeededEpochTable.data_epoch" in attrs
+
+    def test_the_declared_apply_seam_is_not_flagged(self):
+        source = ISOLATION_FIXTURE.read_text()
+        findings = project_findings(
+            {"src/repro/engine/seeded_isolation.py": source}, ("DL101",)
+        )
+        # Every finding sits in the seeded rogue function; the identical
+        # writes inside the declared ``apply`` seam produce none.
+        assert findings, "the seeded bug must fire"
+        assert all("mutated at" in f.message for f in findings)
+        assert all(
+            f.message.partition("mutated at ")[2].startswith(
+                "repro.engine.seeded_isolation.torn_bump"
+            )
+            for f in findings
         )
 
 

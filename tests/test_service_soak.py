@@ -1,0 +1,133 @@
+"""Stress/soak test of the concurrent service tier (``@pytest.mark.slow``).
+
+Excluded from tier-1 (``addopts = -m 'not slow'`` in pyproject.toml); CI
+runs it as a dedicated job with ``-m slow`` under the instrumented race
+witness.  For ``REPRO_SOAK_SECONDS`` (default 30) wall seconds it keeps a
+mixed read/update workload in flight — several reader clients per table
+plus writer clients issuing external update batches — and then asserts:
+
+* every response resolved ``ok`` (no errors, no sheds at budget 0);
+* **zero** ownership/isolation violations were recorded by the witness
+  while the soak ran;
+* observed epochs are monotone non-decreasing per table along the
+  admission order, and every writer's commit advanced the epoch by at
+  most one batch (the single-writer-per-table CAS discipline held).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.diagnostics import watching
+from repro.metrics.timing import clock
+from repro.service import DaisyService
+from repro.service.requests import ServiceRequest, WRITE_KINDS
+
+from test_service import TABLES, ZIPS, _CITIES_READS, _ORDERS_READS, make_engine
+
+pytestmark = pytest.mark.slow
+
+#: Futures kept in flight per wave; bounds memory and gives the scheduler
+#: a steady queue without ever letting it drain fully dry.
+WAVE = 40
+
+
+def _soak_request(rng: random.Random, client: str, seq: int) -> ServiceRequest:
+    roll = rng.random()
+    if client.startswith("reader-cities"):
+        if roll < 0.8:
+            return ServiceRequest(
+                client=client, seq=seq, kind="execute",
+                sql=rng.choice(_CITIES_READS),
+            )
+        return ServiceRequest(
+            client=client, seq=seq, kind="batch",
+            queries=tuple(rng.sample(_CITIES_READS + _ORDERS_READS, 2)),
+        )
+    if client.startswith("reader-orders"):
+        return ServiceRequest(
+            client=client, seq=seq, kind="execute",
+            sql=rng.choice(_ORDERS_READS),
+        )
+    if client == "writer-cities":
+        cells = tuple(
+            (rng.randrange(12), "city", f"metro{rng.randrange(4)}")
+            for _ in range(rng.randrange(1, 3))
+        )
+        return ServiceRequest(
+            client=client, seq=seq, kind="update_table",
+            table="cities", cells=cells,
+        )
+    tid = rng.randrange(10)
+    if roll < 0.5:
+        k = rng.randrange(3)
+        return ServiceRequest(
+            client=client, seq=seq, kind="update_rows",
+            table="orders", rows=((tid, (k, f"item{k}")),),
+        )
+    return ServiceRequest(
+        client=client, seq=seq, kind="update_table",
+        table="orders", cells=((tid, "v", f"item{rng.randrange(3)}"),),
+    )
+
+
+def test_mixed_soak_zero_violations_and_monotone_epochs():
+    seconds = float(os.environ.get("REPRO_SOAK_SECONDS", "30"))
+    clients = (
+        "reader-cities-0", "reader-cities-1", "reader-orders-0",
+        "writer-cities", "writer-orders",
+    )
+    rng = random.Random(20260808)
+    seqs = {client: 0 for client in clients}
+    engine = make_engine()
+    responses = []
+    with watching() as witness:
+        before = len(witness.violations)
+        with DaisyService(engine) as service:
+            deadline = clock() + seconds
+            while clock() < deadline:
+                wave = []
+                for _ in range(WAVE):
+                    client = rng.choice(clients)
+                    request = _soak_request(rng, client, seqs[client])
+                    seqs[client] += 1
+                    wave.append(service.submit(request))
+                responses.extend(f.result(timeout=300) for f in wave)
+            taken = len(service.admission_log)
+        violations = witness.violations[before:]
+
+    assert violations == [], [v.reason for v in violations]
+    assert responses, "the soak must have completed at least one wave"
+    assert taken == len(responses)
+    assert all(r.status == "ok" for r in responses)
+
+    # Epoch progression: monotone per table along the admission order,
+    # and each applied update batch advances by exactly one.
+    current = {table: 0 for table in TABLES}
+    ordered = sorted(responses, key=lambda r: r.admitted)
+    for response in ordered:
+        for table, epoch in response.epochs:
+            assert epoch >= current[table], (
+                f"epoch went backwards on {table} at admission "
+                f"{response.admitted}: {current[table]} -> {epoch}"
+            )
+            if response.kind in WRITE_KINDS:
+                assert epoch <= current[table] + 1
+            else:
+                assert epoch == current[table]
+            current[table] = epoch
+    assert sum(current.values()) > 0, "writers must have advanced the epochs"
+
+    # Sanity on the workload shape: both tables saw reads and writes.
+    kinds_by_table = {table: set() for table in TABLES}
+    for response in ordered:
+        for table, _epoch in response.epochs:
+            kinds_by_table[table].add(
+                "write" if response.kind in WRITE_KINDS else "read"
+            )
+    assert all(
+        kinds_by_table[table] == {"read", "write"} for table in TABLES
+    ), kinds_by_table
